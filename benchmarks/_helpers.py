@@ -1,0 +1,29 @@
+"""Helpers shared by the benchmark modules."""
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic (seeded) and heavy; multiple
+    benchmark rounds would only repeat identical work.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def as_seconds(cell):
+    """Parse a table cell that may be a float, 'OOM' or '>Ns'."""
+    if cell is None:
+        return None
+    if isinstance(cell, (int, float)):
+        return float(cell)
+    text = str(cell)
+    if text.startswith(">"):
+        text = text[1:].rstrip("s")
+        try:
+            return float(text)
+        except ValueError:
+            return None
+    try:
+        return float(text)
+    except ValueError:
+        return None

@@ -1,0 +1,58 @@
+"""Benchmarks: the paper's extensions and design-choice ablations."""
+
+from _helpers import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_ext_extended_space(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("ext_space", ctx))
+    emit(tables, "ext_space")
+    table = tables[0]
+
+    plan_counts = table.column("plans")
+    # 11 core plans; +5 per extra stochastic algorithm (Figure 5 logic).
+    assert plan_counts[0] == 11
+    assert plan_counts[1] == 16
+    assert plan_counts[2] == 31
+    for row in table.rows:
+        assert row["chosen"]
+
+
+def test_ext_curvefit_ablation(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("ext_curvefit", ctx))
+    emit(tables, "ext_curvefit")
+    table = tables[0]
+
+    # Wherever both fit, the generalized power model should predict at
+    # least as well as the rigid a/e model (it nests it).
+    power_better_or_equal = 0
+    comparable = 0
+    for row in table.rows:
+        pr, ir = row.get("power_ratio"), row.get("inverse_ratio")
+        if pr is None or ir is None:
+            continue
+        comparable += 1
+        if abs(pr - 1) <= abs(ir - 1) + 0.05:
+            power_better_or_equal += 1
+    if comparable:
+        assert power_better_or_equal >= comparable * 0.6
+
+
+def test_ext_tuning(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("ext_tuning", ctx))
+    emit(tables, "ext_tuning")
+    table = tables[0]
+
+    chosen = [r for r in table.rows if r["chosen"] == "<=="]
+    assert len(chosen) == 1
+    chosen = chosen[0]
+    assert chosen["converged"]
+    # The tuned pick must land within 2x of the true fastest *converged*
+    # candidate's execution time.
+    converged = [r for r in table.rows if r["converged"]]
+    best_real = min(r["real_s"] for r in converged)
+    assert chosen["real_s"] <= max(2 * best_real, best_real + 0.5), (
+        f"tuner picked {chosen['step_size']} at {chosen['real_s']}s; "
+        f"best converged candidate ran {best_real}s"
+    )

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 1 (motivation -- no all-times GD winner)."""
+
+from _helpers import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig01_motivation(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("fig01", ctx))
+    emit(tables, "fig01")
+    table = tables[0]
+
+    winners = set(table.column("winner"))
+    # The motivating claim: no single algorithm wins everywhere.
+    assert len(winners) >= 2, f"expected winner diversity, got {winners}"
+    # rcv1 at 1e-4 must be an SGD blowout (paper: >1 order of magnitude).
+    rcv1 = table.row_for(dataset="rcv1")
+    assert rcv1["winner"] == "sgd"
+    assert rcv1["bgd_s"] > 10 * rcv1["sgd_s"]

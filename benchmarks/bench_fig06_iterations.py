@@ -1,0 +1,38 @@
+"""Benchmark: regenerate Figure 6 (estimated vs real iterations)."""
+
+from _helpers import run_once
+
+from repro.experiments import run_experiment
+
+
+def _as_int(cell):
+    if cell is None:
+        return None
+    if isinstance(cell, str) and cell.startswith(">"):
+        return None
+    return int(cell)
+
+
+def test_fig06_iterations(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("fig06", ctx))
+    emit(tables, "fig06")
+    table = tables[0]
+
+    in_order = 0
+    comparisons = 0
+    for row in table.rows:
+        for algorithm in ("bgd", "mgd", "sgd"):
+            real = _as_int(row[f"{algorithm}_real"])
+            estim = row.get(f"{algorithm}_estim")
+            if real is None or estim is None:
+                continue
+            comparisons += 1
+            # "in the same order of magnitude" (one decade either way,
+            # with slack for SGD stochasticity).
+            if 0.05 <= estim / real <= 20:
+                in_order += 1
+    assert comparisons >= 4, "too few comparable estimates"
+    assert in_order >= comparisons * 0.6, (
+        f"only {in_order}/{comparisons} estimates within an order of "
+        "magnitude"
+    )

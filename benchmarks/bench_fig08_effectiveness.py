@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 8 (optimizer effectiveness)."""
+
+from _helpers import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig08_effectiveness(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("fig08", ctx))
+    emit(tables, "fig08")
+    table = tables[0]
+
+    for row in table.rows:
+        # The optimizer must avoid the worst plans: the executed chosen
+        # plan should be much closer to the exhaustive best than to the
+        # worst (the paper's optimizer always picks the best).
+        spread = row["max_s"] - row["min_s"]
+        if spread <= 0.5:  # all plans tie; nothing to distinguish
+            continue
+        distance = row["chosen_exec_s"] - row["min_s"]
+        assert distance <= 0.35 * spread, (
+            f"{row['dataset']}: chosen plan {row['chosen']} at "
+            f"{row['chosen_exec_s']}s vs best {row['min_s']}s / worst "
+            f"{row['max_s']}s"
+        )
+        # Optimization overhead stays in the paper's few-seconds regime.
+        assert row["speculation_s"] < 30

@@ -1,0 +1,43 @@
+"""Benchmark: regenerate Figure 9 (ML4all vs MLlib vs SystemML)."""
+
+from _helpers import as_seconds, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig09_systems(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("fig09", ctx))
+    emit(tables, "fig09")
+    table = tables[0]
+
+    # SGD: ML4all beats MLlib (paper: factors 2-46).  On tiny
+    # single-partition datasets iteration-count randomness between the
+    # samplers can exceed the per-iteration cost gap, so the requirement
+    # is a majority overall and strictly the large multi-partition
+    # datasets, where the data-skipping mechanism (not luck) decides.
+    sgd_rows = [r for r in table.rows if r["algorithm"] == "sgd"]
+    beat = sum(
+        1 for r in sgd_rows
+        if as_seconds(r["mllib_s"]) is not None
+        and r["ml4all_s"] < as_seconds(r["mllib_s"])
+    )
+    assert beat >= len(sgd_rows) * 0.5, "ML4all should beat MLlib on SGD"
+    for r in sgd_rows:
+        if r["dataset"].startswith("svm") or r["dataset"] == "higgs":
+            mllib = as_seconds(r["mllib_s"])
+            if mllib is not None:
+                assert r["ml4all_s"] < mllib
+
+    # Large dense data: SystemML fails with simulated OOM (paper 8.4.1).
+    dense_rows = [r for r in table.rows if r["dataset"].startswith("svm")]
+    if dense_rows:
+        assert any(r["systemml_s"] == "OOM" for r in dense_rows)
+
+    # MGD on big datasets: shuffled-partition sampling gives large wins.
+    big = [r for r in table.rows
+           if r["algorithm"] == "mgd" and r["dataset"] in ("svm1", "svm2",
+                                                           "svm3", "higgs")]
+    for row in big:
+        mllib = as_seconds(row["mllib_s"])
+        if mllib is not None:
+            assert row["ml4all_s"] < mllib

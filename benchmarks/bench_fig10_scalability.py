@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 10 (scalability sweeps)."""
+
+from _helpers import as_seconds, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig10_scalability(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("fig10", ctx))
+    emit(tables, "fig10")
+    table = tables[0]
+
+    for row in table.rows:
+        mllib = as_seconds(row["mllib_s"])
+        if mllib is None:
+            continue
+        # Both ML4all plans beat MLlib; lazy-shuffle by >=1 order of
+        # magnitude on the larger sweep points (paper: >1 order).
+        assert row["lazy_shuffle_s"] < mllib
+        assert row["eager_random_s"] < mllib
+
+    big_rows = [r for r in table.rows if r["sim_gb"] >= 10]
+    for row in big_rows:
+        mllib = as_seconds(row["mllib_s"])
+        if mllib is not None:
+            assert mllib / max(row["lazy_shuffle_s"], 1e-9) >= 10
+
+    # lazy-shuffle scales at least as well as eager-random everywhere.
+    better = sum(
+        1 for r in table.rows
+        if r["lazy_shuffle_s"] <= r["eager_random_s"] * 1.05
+    )
+    assert better >= len(table.rows) * 0.7

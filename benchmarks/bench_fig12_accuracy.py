@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 12 (testing error across systems)."""
+
+from _helpers import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig12_accuracy(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("fig12", ctx))
+    emit(tables, "fig12")
+    table = tables[0]
+
+    comparable = 0
+    close = 0
+    for row in table.rows:
+        mllib = row["mllib_mse"]
+        ml4all = row["ml4all_mse"]
+        if mllib is None or ml4all is None:
+            continue
+        comparable += 1
+        # "the error is significantly close to the ones of MLlib":
+        # within 0.15 absolute MSE or 35% relative.
+        if abs(ml4all - mllib) <= max(0.15, 0.35 * max(mllib, 1e-6)):
+            close += 1
+    assert comparable >= 4
+    # The paper's one exception is SGD on skewed rcv1; allow two outliers.
+    assert close >= comparable - 2, (
+        f"only {close}/{comparable} ML4all errors close to MLlib"
+    )

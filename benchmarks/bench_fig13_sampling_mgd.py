@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 13 (sampling effect in MGD)."""
+
+from _helpers import as_seconds, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig13_sampling_mgd(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("fig13", ctx))
+    emit(tables, "fig13")
+    eager = tables[0]
+
+    # On multi-partition datasets, shuffled-partition's per-iteration
+    # cost beats Bernoulli's full scans (paper: "for larger datasets ...
+    # the shuffle-partition is faster in all cases").
+    for row in eager.rows:
+        if row["partitions"] > 1:
+            bern = row["bernoulli_ms/it"]
+            shuf = row["shuffle_ms/it"]
+            if bern is not None and shuf is not None:
+                assert shuf <= bern * 1.1, (
+                    f"{row['dataset']}: shuffle {shuf} vs bernoulli "
+                    f"{bern} ms/it"
+                )
+
+    lazy = tables[1]
+    # Bernoulli is excluded from lazy plans (Section 6).
+    assert all(row["bernoulli_s"] == "n/a" for row in lazy.rows)

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 14 (transformation effect, shuffle)."""
+
+from _helpers import as_seconds, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig14_transform(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("fig14", ctx))
+    emit(tables, "fig14")
+    sgd = tables[0]
+
+    # "SGD always benefits from the lazy transformation" with the
+    # shuffled-partition sampler: the per-draw parse is tiny while eager
+    # pays a full-dataset transform up front.  Allow ties within noise.
+    wins = 0
+    for row in sgd.rows:
+        eager = as_seconds(row["eager_s"])
+        lazy = as_seconds(row["lazy_s"])
+        if lazy is not None and eager is not None and lazy <= eager * 1.1:
+            wins += 1
+    assert wins >= len(sgd.rows) * 0.7, (
+        f"lazy won only {wins}/{len(sgd.rows)} SGD cases"
+    )

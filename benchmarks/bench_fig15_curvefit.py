@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figures 15-16 (curve fitting / step sizes)."""
+
+from _helpers import run_once
+
+from repro.experiments import run_experiment
+
+
+def _as_int(cell):
+    if cell is None or (isinstance(cell, str) and cell.startswith(">")):
+        return None
+    return int(cell)
+
+
+def test_fig15_16_curvefit(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("fig15_16", ctx))
+    emit(tables, "fig15_16")
+    fig15, fig16 = tables
+
+    # A curve must be fitted for every step schedule.
+    for row in fig15.rows:
+        assert row["predicted_T(0.001)"] is not None, row
+
+    # Where the real run converged within the cap, the prediction should
+    # land within an order of magnitude (the paper's Figures 15-16 show
+    # the fitted curve reaching 0.001 near the real execution).
+    for table in (fig15, fig16):
+        for row in table.rows:
+            real = _as_int(row["real_T(0.001)"])
+            pred = row["predicted_T(0.001)"]
+            if real is None or pred is None:
+                continue
+            assert 0.1 <= pred / real <= 10, (
+                f"{row}: prediction {pred} vs real {real}"
+            )

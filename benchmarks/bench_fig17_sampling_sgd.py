@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 17 (sampling effect in SGD, appendix)."""
+
+from _helpers import as_seconds, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig17_sampling_sgd(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("fig17", ctx))
+    emit(tables, "fig17")
+    eager = tables[0]
+
+    # Mechanism check on the *per-iteration* cost (iteration counts vary
+    # stochastically per sampler): the shuffled-partition cursor read is
+    # never dearer than random accesses, and Bernoulli's full scans are
+    # the most expensive draw on multi-partition datasets.
+    for row in eager.rows:
+        shuf = row["shuffle_ms/it"]
+        rand = row["random_ms/it"]
+        bern = row["bernoulli_ms/it"]
+        assert shuf <= rand * 1.25, (
+            f"{row['dataset']}: shuffle {shuf} vs random {rand} ms/it"
+        )
+        if row["partitions"] > 1:
+            assert bern >= shuf, (
+                f"{row['dataset']}: bernoulli {bern} vs shuffle {shuf} ms/it"
+            )

@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 18 (transform effect, random-partition)."""
+
+from _helpers import as_seconds, run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig18_transform_random(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("fig18", ctx))
+    emit(tables, "fig18")
+    mgd, sgd = tables
+
+    # "SGD benefits from the lazy transformation": guaranteed wherever
+    # the run is short relative to the one-time transform -- i.e. the
+    # large datasets (svm1 converges in a handful of draws).
+    for name in ("rcv1", "svm1"):
+        row = sgd.row_for(dataset=name)
+        eager = as_seconds(row["eager_s"])
+        lazy = as_seconds(row["lazy_s"])
+        assert lazy < eager, f"{name}: lazy {lazy} vs eager {eager}"
+
+    # MGD with lazy random-partition on big data is the pathological
+    # plan the paper had to stop after 1.5 hours.
+    svm1 = mgd.row_for(dataset="svm1")
+    assert as_seconds(svm1["lazy_s"]) > 5 * as_seconds(svm1["eager_s"])

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 2 (the dataset suite)."""
+
+from _helpers import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table2_datasets(benchmark, ctx, emit):
+    tables = run_once(benchmark, lambda: run_experiment("table2", ctx))
+    emit(tables, "table2")
+    table = tables[0]
+
+    names = table.column("name")
+    assert names == ["adult", "covtype", "yearpred", "rcv1", "higgs",
+                     "svm1", "svm2", "svm3"]
+    adult = table.row_for(name="adult")
+    assert adult["points"] == "100,827"
+    assert adult["features"] == "123"
+    svm3 = table.row_for(name="svm3")
+    assert svm3["size"] == "160.0G"

@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper figure/table through the experiment
+harness, asserts its qualitative shape (who wins, rough factors), prints
+the table and persists it under ``bench_results/``.
+
+Scale control: benchmarks run in quick mode by default (a subset of the
+Table 2 datasets); set ``REPRO_FULL=1`` to regenerate every cell.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import ExperimentContext
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext.from_env()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+    path = os.path.abspath(path)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print tables and persist them as <experiment_id>.txt / .md."""
+
+    def _emit(tables, experiment_id):
+        text = "\n\n".join(t.render() for t in tables)
+        markdown = "\n\n".join(t.to_markdown() for t in tables)
+        print()
+        print(text)
+        with open(os.path.join(results_dir, f"{experiment_id}.txt"), "w") as f:
+            f.write(text + "\n")
+        with open(os.path.join(results_dir, f"{experiment_id}.md"), "w") as f:
+            f.write(markdown + "\n")
+        return tables
+
+    return _emit

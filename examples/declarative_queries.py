@@ -1,0 +1,67 @@
+"""The ML4all declarative language (Appendix A) end to end.
+
+Shows the three command families:
+
+* ``run ... having ...``  -- declarative training with constraints,
+* ``run ... using ...``   -- expert control over the optimizer,
+* ``persist`` / ``predict`` -- model lifecycle.
+
+Run:  python examples/declarative_queries.py
+"""
+
+import os
+import tempfile
+
+from repro.api import ML4all
+
+
+def main():
+    system = ML4all(seed=7)
+
+    # --- Q1: fully declarative -----------------------------------------
+    print(">>> Q1 = run classification on adult having epsilon 0.01, "
+          "max iter 1000;")
+    session = system.query(
+        "Q1 = run classification on adult "
+        "having epsilon 0.01, max iter 1000;"
+    )
+    q1 = session.results["Q1"]
+    print(f"chosen plan: {q1.result.plan}")
+    print(f"iterations : {q1.result.iterations}")
+    print(f"sim time   : {q1.result.sim_seconds:.2f}s")
+    print()
+
+    # --- Q2: constraints incl. a time budget ---------------------------
+    print(">>> run svm on svm1 having time 1h30m, epsilon 0.001;")
+    session.execute("Q2 = run svm on svm1 having time 1h30m, epsilon 0.001;")
+    q2 = session.results["Q2"]
+    print(f"chosen plan: {q2.result.plan} "
+          f"({q2.result.iterations} iterations, "
+          f"{q2.result.sim_seconds:.2f}s simulated)")
+    print()
+
+    # --- Q3: expert 'using' controls ------------------------------------
+    print(">>> run classification on covtype using algorithm mgd, "
+          "sampler bernoulli(), batch 1000, step 1;")
+    session.execute(
+        "Q3 = run classification on covtype having max iter 300 "
+        "using algorithm mgd, sampler bernoulli(), batch 1000, step 1;"
+    )
+    q3 = session.results["Q3"]
+    print(f"pinned plan: {q3.result.plan} "
+          f"({q3.result.iterations} iterations)")
+    print()
+
+    # --- persist + predict ----------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        model_path = os.path.join(tmp, "my_model.txt")
+        print(f">>> persist Q1 on {model_path};")
+        session.execute(f"persist Q1 on {model_path};")
+        print(">>> result = predict on adult with my_model.txt;")
+        out = session.execute(f"result = predict on adult with {model_path};")
+        print(f"predictions: {out['predictions'][:8]} ...")
+        print(f"MSE vs ground truth: {out['mse']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

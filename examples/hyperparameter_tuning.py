@@ -1,0 +1,52 @@
+"""Cost-based hyperparameter tuning — the paper's proposed extension.
+
+"Our approach can easily be extended to assist in other design choices in
+ML systems, such as hyperparameter tuning" (Section 10).  This example
+tunes (1) the step-size schedule and (2) the MGD batch size using exactly
+the optimizer's machinery: speculate each candidate on a sample
+(Algorithm 1), cost the resulting plan (Section 7), pick the cheapest
+estimated total time.
+
+Run:  python examples/hyperparameter_tuning.py
+"""
+
+from repro.api import ML4all
+from repro.core import CostBasedTuner, TrainingSpec
+from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
+
+
+def main():
+    system = ML4all(seed=7)
+    dataset = system.load_dataset("yearpred")
+    training = TrainingSpec(task="linreg", tolerance=1e-2, max_iter=2000,
+                            seed=7)
+    tuner = CostBasedTuner(
+        system.engine,
+        estimator=SpeculativeEstimator(
+            SpeculationSettings(time_budget_s=1.0), seed=7
+        ),
+    )
+
+    print("=== step-size schedule (BGD on yearpred) ===")
+    report = tuner.tune_step_size(dataset, training, algorithm="bgd")
+    print(report.summary())
+    print()
+
+    print("=== MGD batch size (statistical vs hardware efficiency) ===")
+    report = tuner.tune_batch_size(dataset, training,
+                                   candidates=(100, 1000, 10000))
+    print(report.summary())
+    print()
+
+    # Execute with the tuned settings.
+    best_batch = report.best.setting
+    model = system.train(
+        dataset, task="linreg", algorithm="mgd", sampler="shuffle",
+        batch=best_batch, epsilon=1e-2, max_iter=2000,
+    )
+    print(f"trained with tuned batch={best_batch}: "
+          f"{model.result.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: train a classifier with the cost-based GD optimizer.
+
+The optimizer speculates on a data sample to estimate how many iterations
+each GD algorithm needs (Algorithm 1), costs all 11 execution plans of
+Figure 5 with the Section 7 cost model, picks the cheapest, and executes
+it on the simulated cluster -- real gradient math, simulated time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.api import ML4all
+from repro.data import train_test_split
+
+
+def main():
+    system = ML4all(seed=7)
+
+    # 'adult' is the Table 2 census dataset (100,827 points, 123 sparse
+    # features) -- simulated at paper scale, scaled-down physical rows.
+    dataset = system.load_dataset("adult")
+    print(dataset.describe())
+    print()
+
+    # Ask the optimizer for a model with tolerance 0.01.
+    model = system.train(dataset, epsilon=0.01, max_iter=1000)
+
+    report = model.report
+    print("--- optimizer decision " + "-" * 40)
+    print(report.summary())
+    print()
+
+    result = model.result
+    print("--- execution " + "-" * 49)
+    print(result.summary())
+    print("time per phase (simulated seconds):")
+    for phase, seconds in sorted(result.phase_seconds.items()):
+        print(f"  {phase:<12} {seconds:8.3f}")
+    print()
+
+    # Evaluate like the paper's Section 8.5 (80/20 split, label MSE).
+    X_train, y_train, X_test, y_test = train_test_split(
+        dataset.X, dataset.y, test_fraction=0.2
+    )
+    print("--- model quality " + "-" * 45)
+    print(f"test error rate: {model.error_rate(X_test, y_test):.3f}")
+    print(f"test MSE       : {model.mse(X_test, y_test):.3f}")
+
+
+if __name__ == "__main__":
+    main()

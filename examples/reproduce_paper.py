@@ -1,0 +1,35 @@
+"""Regenerate the paper's evaluation tables from the command line.
+
+Usage:
+    python examples/reproduce_paper.py            # list experiments
+    python examples/reproduce_paper.py fig08      # one experiment
+    python examples/reproduce_paper.py all        # everything (slow)
+
+Set REPRO_FULL=1 to run every dataset cell instead of the quick subset.
+"""
+
+import sys
+
+from repro.experiments import ExperimentContext, run_experiment
+from repro.experiments.registry import EXPERIMENTS
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("available experiments:")
+        for experiment_id, (_, description) in EXPERIMENTS.items():
+            print(f"  {experiment_id:<10} {description}")
+        print("\nusage: python examples/reproduce_paper.py <id>|all")
+        return 0
+
+    ctx = ExperimentContext.from_env()
+    targets = list(EXPERIMENTS) if argv[1] == "all" else argv[1:]
+    for experiment_id in targets:
+        for table in run_experiment(experiment_id, ctx):
+            print(table.render())
+            print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; this shim lets ``pip install -e . --no-build-isolation``
+fall back to the legacy setuptools path.  All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

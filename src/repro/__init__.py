@@ -1,0 +1,16 @@
+"""repro -- reproduction of "A Cost-based Optimizer for Gradient Descent
+Optimization" (Kaoudi et al., SIGMOD 2017; the ML4all system).
+
+Public API highlights
+---------------------
+- :class:`repro.api.ML4all` -- the system facade: ``train``, ``optimize``,
+  ``query`` (declarative language), ``predict``.
+- :mod:`repro.core` -- the cost-based GD optimizer: operator abstraction,
+  iterations estimator, plan space, cost model, executor.
+- :mod:`repro.gd` -- the GD algorithm zoo (pure math).
+- :mod:`repro.cluster` -- the simulated Spark/HDFS substrate.
+- :mod:`repro.data` -- Table 2 dataset registry and LIBSVM IO.
+- :mod:`repro.experiments` -- one module per paper figure/table.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,70 @@
+"""Command-line entry point: run declarative ML4all queries.
+
+    python -m repro "run classification on adult having epsilon 0.01;"
+    python -m repro --file queries.ml4all
+    echo "run svm on svm1;" | python -m repro -
+
+Each query's optimizer decision and execution summary are printed; named
+results persist across statements within one invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import ML4all
+from repro.errors import ReproError
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run ML4all declarative queries on the simulated "
+                    "cluster.",
+    )
+    parser.add_argument(
+        "query", nargs="?",
+        help="query text, or '-' to read from stdin",
+    )
+    parser.add_argument("--file", help="read queries from a file")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="RNG seed (default 7)")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.file:
+        with open(args.file) as handle:
+            text = handle.read()
+    elif args.query == "-":
+        text = sys.stdin.read()
+    elif args.query:
+        text = args.query
+    else:
+        build_parser().print_help()
+        return 2
+
+    system = ML4all(seed=args.seed)
+    try:
+        session = system.query(text)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    result = session.last_result
+    if hasattr(result, "result"):
+        if result.report is not None:
+            print(result.report.summary())
+        print(result.result.summary())
+    elif isinstance(result, dict) and "mse" in result:
+        print(f"predictions computed; MSE vs ground truth: "
+              f"{result['mse']:.4f}")
+    else:
+        print(result)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

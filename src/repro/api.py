@@ -1,0 +1,323 @@
+"""The ML4all system facade.
+
+:class:`ML4all` wires the pieces of Figure 2 together: the declarative
+language front-end, the cost-based GD optimizer, the plan executor and
+the simulated cluster.  A typical session:
+
+    >>> from repro.api import ML4all
+    >>> system = ML4all(seed=7)
+    >>> ds = system.load_dataset("adult")
+    >>> model = system.train(ds, epsilon=0.01)
+    >>> model.report.chosen_plan
+    ...
+    >>> model.error(ds.X, ds.y)
+    ...
+
+or, declaratively:
+
+    >>> system.query("run classification on adult having epsilon 0.01;")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+
+from repro.cluster import ClusterSpec, PartitionedDataset, SimulatedCluster
+from repro.core.executor import execute_plan
+from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
+from repro.core.optimizer import GDOptimizer
+from repro.core.plans import GDPlan, TrainingSpec
+from repro.data import datasets as dataset_registry
+from repro.data import libsvm
+from repro.errors import DataFormatError, PlanError
+from repro.gd.registry import CORE_ALGORITHMS
+
+
+@dataclasses.dataclass
+class TrainedModel:
+    """A trained model plus everything the optimizer decided on the way."""
+
+    weights: np.ndarray
+    task: str
+    #: OptimizationReport, or None when the plan was fixed by the caller.
+    report: object
+    #: TrainResult of the executed plan.
+    result: object
+    l2: float = 0.0
+
+    def _gradient(self):
+        from repro.gd.gradients import task_gradient
+
+        return task_gradient(self.task, l2=self.l2)
+
+    def predict(self, X):
+        """Predicted labels (classification) or values (regression)."""
+        return self._gradient().predict(self.weights, X)
+
+    def mse(self, X, y):
+        """Mean squared error of predictions against ground truth.
+
+        This is the testing-error metric of the paper's Section 8.5
+        ("we plot the mean square error of the output labels compared
+        to the ground truth").
+        """
+        pred = self.predict(X)
+        return float(np.mean((pred - y) ** 2))
+
+    def error_rate(self, X, y):
+        """Misclassification rate (classification tasks)."""
+        return float(np.mean(self.predict(X) != y))
+
+    def save(self, path):
+        """Persist the model vector (the ``persist`` command)."""
+        header = f"task={self.task} l2={self.l2:g}"
+        np.savetxt(path, self.weights, header=header)
+
+    @classmethod
+    def load(cls, path):
+        """Load a model persisted by :meth:`save`."""
+        task = "logreg"
+        l2 = 0.0
+        with open(path) as handle:
+            first = handle.readline()
+        if first.startswith("#"):
+            for item in first[1:].split():
+                key, _, value = item.partition("=")
+                if key == "task":
+                    task = value
+                elif key == "l2":
+                    l2 = float(value)
+        weights = np.loadtxt(path)
+        return cls(
+            weights=np.atleast_1d(weights),
+            task=task,
+            report=None,
+            result=None,
+            l2=l2,
+        )
+
+
+class ML4all:
+    """Facade over the cost-based GD optimizer on the simulated cluster."""
+
+    def __init__(
+        self,
+        cluster_spec=None,
+        seed=0,
+        speculation=None,
+        algorithms=CORE_ALGORITHMS,
+    ):
+        self.spec = cluster_spec or ClusterSpec()
+        self.seed = seed
+        self.engine = SimulatedCluster(self.spec, seed=seed)
+        self.speculation = speculation or SpeculationSettings()
+        self.algorithms = tuple(algorithms)
+
+    # ------------------------------------------------------------------
+    # datasets
+    # ------------------------------------------------------------------
+    def load_dataset(self, source, task=None, columns=None, seed=None):
+        """Resolve a dataset reference into a :class:`PartitionedDataset`.
+
+        ``source`` may be a registry name (``"adult"``), a path to a
+        LIBSVM/CSV file, an existing PartitionedDataset, or an ``(X, y)``
+        pair (with ``task`` required).
+        """
+        if isinstance(source, PartitionedDataset):
+            return source
+        if isinstance(source, tuple) and len(source) == 2:
+            X, y = source
+            if task is None:
+                raise DataFormatError(
+                    "task= is required when loading raw (X, y) arrays"
+                )
+            from repro.cluster.storage import DatasetStats
+            from scipy import sparse as sp
+
+            stats = DatasetStats(
+                name="user-data",
+                task=_canonical_task(task),
+                n=X.shape[0],
+                d=X.shape[1],
+                density=(
+                    X.nnz / (X.shape[0] * X.shape[1])
+                    if sp.issparse(X) else 1.0
+                ),
+                is_sparse=sp.issparse(X),
+            )
+            return PartitionedDataset(X, np.asarray(y, dtype=float), stats,
+                                      self.spec, representation="text")
+        if isinstance(source, str):
+            if source in dataset_registry.REGISTRY:
+                return dataset_registry.load(
+                    source, self.spec, seed=self.seed if seed is None else seed
+                )
+            if os.path.exists(source):
+                X, y = _read_file(source, columns)
+                inferred = task or "logreg"
+                return self.load_dataset((X, y), task=inferred)
+            raise DataFormatError(
+                f"unknown dataset {source!r}: not a registry name and not "
+                "an existing file"
+            )
+        raise DataFormatError(f"cannot load a dataset from {type(source)}")
+
+    # ------------------------------------------------------------------
+    # optimizer entry points
+    # ------------------------------------------------------------------
+    def _training_spec(self, dataset, task, epsilon, max_iter, time_budget,
+                       step, convergence, l2, seed):
+        return TrainingSpec(
+            task=_canonical_task(task or dataset.stats.task),
+            step_size=1.0 if step is None else step,
+            tolerance=1e-3 if epsilon is None else epsilon,
+            max_iter=1000 if max_iter is None else max_iter,
+            convergence=convergence or "l1",
+            l2=l2,
+            time_budget_s=time_budget,
+            seed=self.seed if seed is None else seed,
+        )
+
+    def _optimizer(self, algorithms=None, batch=None):
+        batch_sizes = {}
+        if batch is not None:
+            batch_sizes = {"mgd": batch}
+        return GDOptimizer(
+            self.engine,
+            estimator=SpeculativeEstimator(self.speculation, seed=self.seed),
+            algorithms=algorithms or self.algorithms,
+            batch_sizes=batch_sizes,
+        )
+
+    def optimize(self, dataset, task=None, epsilon=None, max_iter=None,
+                 time_budget=None, algorithm=None, batch=None, step=None,
+                 convergence=None, l2=0.0, fixed_iterations=None, seed=None):
+        """Run the cost-based optimizer; returns the OptimizationReport."""
+        dataset = self.load_dataset(dataset, task=task)
+        training = self._training_spec(
+            dataset, task, epsilon, max_iter, time_budget, step,
+            convergence, l2, seed,
+        )
+        algorithms = (algorithm,) if algorithm else None
+        return self._optimizer(algorithms, batch).optimize(
+            dataset, training, fixed_iterations=fixed_iterations
+        )
+
+    def train(self, dataset, task=None, epsilon=None, max_iter=None,
+              time_budget=None, algorithm=None, sampler=None,
+              transform=None, batch=None, step=None, convergence=None,
+              l2=0.0, fixed_iterations=None, seed=None, operators=None):
+        """Train a model, optimizing the plan unless it is fully pinned.
+
+        When ``algorithm`` (and optionally ``sampler`` / ``transform``)
+        pin a single plan, the optimizer is bypassed for that choice --
+        this is how the baseline-comparison experiments force a specific
+        GD variant while still letting ML4all pick sampling/transform
+        (Section 8.4: "we used ML4all just to find the best plan given a
+        GD algorithm").
+        """
+        dataset = self.load_dataset(dataset, task=task)
+        training = self._training_spec(
+            dataset, task, epsilon, max_iter, time_budget, step,
+            convergence, l2, seed,
+        )
+
+        if algorithm is not None and sampler is not None:
+            plan = GDPlan(
+                algorithm,
+                transform_mode=transform or "eager",
+                sampling=sampler,
+                batch_size=batch,
+            )
+            result = execute_plan(self.engine, dataset, plan, training,
+                                  operators)
+            report = None
+        else:
+            algorithms = (algorithm,) if algorithm else None
+            optimizer = self._optimizer(algorithms, batch)
+            report, result = optimizer.train(
+                dataset, training, fixed_iterations=fixed_iterations,
+                operators=operators,
+            )
+        return TrainedModel(
+            weights=result.weights,
+            task=training.task,
+            report=report,
+            result=result,
+            l2=l2,
+        )
+
+    def execute_plan(self, dataset, plan, task=None, operators=None, **training_kwargs):
+        """Execute one explicit GDPlan (no optimization)."""
+        dataset = self.load_dataset(dataset, task=task)
+        training = self._training_spec(
+            dataset,
+            task,
+            training_kwargs.get("epsilon"),
+            training_kwargs.get("max_iter"),
+            training_kwargs.get("time_budget"),
+            training_kwargs.get("step"),
+            training_kwargs.get("convergence"),
+            training_kwargs.get("l2", 0.0),
+            training_kwargs.get("seed"),
+        )
+        return execute_plan(self.engine, dataset, plan, training, operators)
+
+    # ------------------------------------------------------------------
+    # declarative front-end
+    # ------------------------------------------------------------------
+    def query(self, text):
+        """Execute a declarative query; returns the interpreter session.
+
+        The result of the *last* statement is available as
+        ``session.last_result``; named results (``Q1 = run ...``) live in
+        ``session.results``.
+        """
+        from repro.lang.interpreter import Interpreter
+
+        interpreter = Interpreter(self)
+        interpreter.execute(text)
+        return interpreter
+
+
+def _canonical_task(task):
+    aliases = {
+        "classification": "logreg",
+        "regression": "linreg",
+        "linear_regression": "linreg",
+        "logistic_regression": "logreg",
+        "logreg": "logreg",
+        "linreg": "linreg",
+        "svm": "svm",
+        # gradient-function names double as task names in the language
+        "hinge": "svm",
+        "logistic": "logreg",
+        "squared": "linreg",
+    }
+    key = str(task).lower()
+    if key not in aliases:
+        raise PlanError(
+            f"unknown task {task!r}; expected one of {sorted(set(aliases))}"
+        )
+    return aliases[key]
+
+
+def _read_file(path, columns=None):
+    """Read a dataset file: LIBSVM when it looks sparse, else CSV."""
+    with open(path) as handle:
+        first = handle.readline()
+    if ":" in first.split("#")[0]:
+        return libsvm.read_libsvm(path)
+    data = np.loadtxt(path, delimiter=",", ndmin=2)
+    if columns is not None:
+        label_col = columns[0]
+        feature_cols = columns[1]
+        y = data[:, label_col]
+        X = data[:, feature_cols]
+    else:
+        y = data[:, 0]
+        X = data[:, 1:]
+    return X, y

@@ -1,0 +1,22 @@
+"""Baseline systems the paper compares against (Section 8.1).
+
+All baselines execute the same GD mathematics with identical parameters
+(step size, initial weights, convergence condition) and differ only in
+the execution strategy they charge to the simulated cluster -- mirroring
+how the paper configured MLlib, SystemML and the Bismarck port.
+"""
+
+from repro.baselines.base import BaselineResult, BaselineSystem
+from repro.baselines.bismarck import BismarckBaseline
+from repro.baselines.mllib import MLlibBaseline
+from repro.baselines.spark_direct import run_spark_direct
+from repro.baselines.systemml import SystemMLBaseline
+
+__all__ = [
+    "BaselineResult",
+    "BaselineSystem",
+    "BismarckBaseline",
+    "MLlibBaseline",
+    "run_spark_direct",
+    "SystemMLBaseline",
+]

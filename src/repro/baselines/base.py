@@ -1,0 +1,199 @@
+"""Shared machinery for the baseline ML systems (Section 8.1).
+
+The baselines run the *same GD math* as ML4all (same gradients, step
+size, initial weights, convergence condition -- exactly how the paper
+configured all systems identically) but charge the simulated cluster
+according to each system's execution strategy: MLlib's Bernoulli sampling
+and treeAggregate, SystemML's binary-block conversion and hybrid
+local/distributed mode, Bismarck's serialized processing phase.
+
+Each baseline implements
+
+* :meth:`prepare`  -- one-time costs (parsing, caching, conversion);
+  may raise :class:`~repro.errors.SimulatedOutOfMemory`, and
+* :meth:`charge_iteration` -- per-iteration costs,
+
+while :meth:`train` drives the shared math loop and assembles a
+:class:`BaselineResult`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.core.cost_model import (
+    compute_cpu_per_unit,
+    converge_cpu,
+    layout_for,
+    transform_cpu_per_unit,
+    update_cpu,
+)
+from repro.errors import SimulatedTimeout
+from repro.gd.convergence import make_convergence
+from repro.gd.step_size import make_step_size
+
+
+@dataclasses.dataclass
+class BaselineResult:
+    """Outcome of training one algorithm on one baseline system."""
+
+    system: str
+    algorithm: str
+    dataset: str
+    iterations: int
+    converged: bool
+    sim_seconds: float
+    weights: np.ndarray | None
+    #: One-time data preparation charged before the loop (SystemML's
+    #: binary conversion; reported separately in Figure 9).
+    conversion_s: float = 0.0
+    #: Failure tag ("OOM", "timeout") when the system could not finish.
+    failed: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failed is None
+
+    def cell(self) -> str:
+        """Figure-style cell text: seconds, 'fail', or '>limit'."""
+        if self.failed == "OOM":
+            return "OOM"
+        if self.failed == "timeout":
+            return f">{self.sim_seconds:.0f}s"
+        return f"{self.sim_seconds:.1f}"
+
+
+def wave_seconds(spec, n_partitions, per_partition_s) -> float:
+    """Wave-parallel execution time of homogeneous partition tasks."""
+    full_waves = n_partitions // spec.cap
+    remaining = n_partitions - full_waves * spec.cap
+    return (full_waves + (1 if remaining else 0)) * per_partition_s
+
+
+class BaselineSystem:
+    """Interface of one comparison system."""
+
+    name = "baseline"
+
+    def prepare(self, engine, dataset, training):
+        """Charge one-time costs; returns opaque state for iterations."""
+        raise NotImplementedError
+
+    def charge_iteration(self, engine, state, iteration, sim_batch):
+        """Charge the cost of one iteration touching ``sim_batch`` units."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        engine,
+        dataset,
+        training,
+        algorithm,
+        batch_size=1000,
+        time_limit_s=None,
+        raise_on_timeout=False,
+    ) -> BaselineResult:
+        """Run ``algorithm`` (bgd | mgd | sgd) on this system.
+
+        ``time_limit_s`` is the simulated-time cut-off used to reproduce
+        the paper's "we had to stop the execution after 3 hours" cells.
+        """
+        from repro.errors import SimulatedOutOfMemory
+
+        spec = engine.spec
+        t0 = engine.clock
+        gradient = training.gradient()
+        step = make_step_size(training.step_size)
+        criterion = make_convergence(training.convergence)
+        rng = np.random.default_rng(training.seed)
+
+        try:
+            state = self.prepare(engine, dataset, training)
+        except SimulatedOutOfMemory:
+            return BaselineResult(
+                system=self.name,
+                algorithm=algorithm,
+                dataset=dataset.stats.name,
+                iterations=0,
+                converged=False,
+                sim_seconds=engine.clock - t0,
+                weights=None,
+                failed="OOM",
+            )
+        conversion_s = engine.clock - t0
+
+        n_phys = dataset.n_phys
+        n_sim = dataset.stats.n
+        d = dataset.stats.d
+        w = np.zeros(d)
+        converged = False
+        iterations = 0
+        sim_batch_for = {
+            "bgd": n_sim,
+            "mgd": min(batch_size, n_sim),
+            "sgd": 1,
+        }
+        if algorithm not in sim_batch_for:
+            raise ValueError(f"unsupported algorithm {algorithm!r}")
+        sim_batch = sim_batch_for[algorithm]
+        phys_batch = max(1, min(sim_batch, n_phys))
+
+        for i in range(1, training.max_iter + 1):
+            if algorithm == "bgd":
+                Xb, yb = dataset.X, dataset.y
+            else:
+                idx = rng.choice(n_phys, size=phys_batch, replace=False)
+                Xb, yb = dataset.X[idx], dataset.y[idx]
+            grad = gradient.gradient(w, Xb, yb)
+            w_new = w - step.step(i) * grad
+            delta = criterion.delta(w, w_new)
+            w = w_new
+
+            self.charge_iteration(engine, state, i, sim_batch)
+            iterations = i
+            if delta < training.tolerance:
+                converged = True
+                break
+            if time_limit_s is not None and engine.clock - t0 > time_limit_s:
+                if raise_on_timeout:
+                    raise SimulatedTimeout(self.name, engine.clock - t0,
+                                           time_limit_s)
+                return BaselineResult(
+                    system=self.name,
+                    algorithm=algorithm,
+                    dataset=dataset.stats.name,
+                    iterations=iterations,
+                    converged=False,
+                    sim_seconds=engine.clock - t0,
+                    weights=w,
+                    conversion_s=conversion_s,
+                    failed="timeout",
+                )
+
+        return BaselineResult(
+            system=self.name,
+            algorithm=algorithm,
+            dataset=dataset.stats.name,
+            iterations=iterations,
+            converged=converged,
+            sim_seconds=engine.clock - t0,
+            weights=w,
+            conversion_s=conversion_s,
+        )
+
+
+__all__ = [
+    "BaselineResult",
+    "BaselineSystem",
+    "wave_seconds",
+    "layout_for",
+    "transform_cpu_per_unit",
+    "compute_cpu_per_unit",
+    "update_cpu",
+    "converge_cpu",
+    "math",
+]

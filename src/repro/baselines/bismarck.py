@@ -1,0 +1,123 @@
+"""Bismarck-abstraction baseline ([12], ported to Spark by the authors).
+
+Bismarck models ML as a unified aggregate with a ``Prepare`` UDF and a
+*combined* Compute/Update step.  The paper's architectural point
+(Section 8.4.3): "a key advantage of separating Compute from Update is
+that the former can be parallelized where the latter has to be
+effectively serialized.  When these two operators are combined into one,
+parallelization cannot be leveraged."
+
+Modelled behaviours:
+
+* ``Prepare`` (the transform) is parallelized, like ML4all's eager path.
+* The gradient of every iteration's data is computed **serially** in the
+  combined step: the touched units flow through a single execution slot
+  (no wave parallelism), preceded by a collect of those units.
+* The combined step materialises dense per-example state, so large
+  batch-times-dimensionality products exhaust driver memory: "the
+  Bismarck abstraction fails due to the large number of features of
+  rcv1 ... but for svm1 the reason it fails is the large number of data
+  points" (Figure 11).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineSystem
+from repro.core.cost_model import (
+    compute_cpu_per_unit,
+    layout_for,
+    transform_cpu_per_unit,
+    update_cpu,
+)
+from repro.errors import SimulatedOutOfMemory
+
+GB = 1024 ** 3
+
+
+class BismarckBaseline(BaselineSystem):
+    name = "Bismarck"
+
+    #: Driver memory available to the combined Compute/Update step.
+    driver_bytes = 2 * GB
+
+    def __init__(self, batch_size=1000):
+        self.batch_size = batch_size
+
+    def prepare(self, engine, dataset, training):
+        spec = engine.spec
+        stats = dataset.stats
+        text = layout_for(spec, stats, "text")
+        binary = layout_for(spec, stats, "binary")
+        # Prepare UDF: parallel parse + cache, like an eager transform.
+        engine.scan(
+            dataset,
+            phase="transform",
+            cpu_per_row_s=transform_cpu_per_unit(spec, text),
+            cache=False,
+        )
+        prepared = dataset.as_binary()
+        engine.cache.insert(prepared)
+        engine.charge(
+            binary.bytes_total / spec.page_bytes * spec.page_io_mem_s
+            / spec.cap,
+            "transform",
+        )
+        return {
+            "prepared": prepared,
+            "binary": binary,
+            "weight_bytes": stats.weight_vector_bytes,
+        }
+
+    def _check_memory(self, touched_units, d):
+        """The combined step materialises dense per-example vectors."""
+        needed = touched_units * d * 8
+        if needed > self.driver_bytes:
+            raise SimulatedOutOfMemory(self.name, int(needed),
+                                       self.driver_bytes)
+
+    def charge_iteration(self, engine, state, iteration, sim_batch):
+        spec = engine.spec
+        binary = state["binary"]
+        touched = min(sim_batch, binary.n)
+        # The OOM check belongs to the first combined-step invocation.
+        self._check_memory(touched, binary.d)
+
+        engine.job("compute")
+        batch_bytes = int(touched * binary.bytes_per_row)
+        engine.collect(batch_bytes, "sample")
+        # Serialized combined Compute/Update: one slot, no waves.
+        io = batch_bytes / spec.page_bytes * spec.page_io_mem_s
+        cpu = touched * compute_cpu_per_unit(spec, binary)
+        engine.charge(io + cpu, "compute")
+        engine.charge(update_cpu(spec, binary), "update")
+        engine.charge(spec.iteration_overhead_s, "loop")
+
+    # The OOM for full-batch plans must fire before any iteration math;
+    # hook into prepare by overriding train()'s first charge via a
+    # pre-check here.
+    def train(self, engine, dataset, training, algorithm, batch_size=1000,
+              time_limit_s=None, raise_on_timeout=False):
+        sim_batch = {
+            "bgd": dataset.stats.n,
+            "mgd": min(batch_size, dataset.stats.n),
+            "sgd": 1,
+        }.get(algorithm, dataset.stats.n)
+        try:
+            self._check_memory(sim_batch, dataset.stats.d)
+        except SimulatedOutOfMemory:
+            from repro.baselines.base import BaselineResult
+
+            return BaselineResult(
+                system=self.name,
+                algorithm=algorithm,
+                dataset=dataset.stats.name,
+                iterations=0,
+                converged=False,
+                sim_seconds=0.0,
+                weights=None,
+                failed="OOM",
+            )
+        return super().train(
+            engine, dataset, training, algorithm, batch_size,
+            time_limit_s, raise_on_timeout,
+        )

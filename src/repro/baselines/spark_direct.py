@@ -1,0 +1,33 @@
+"""Hand-coded Spark baseline (Figure 11's "Spark" bars).
+
+The paper implements ML4all's chosen plan directly against the Spark API
+to measure the abstraction's overhead, finding it negligible ("ML4all
+adds almost no additional overhead to plan execution as it has very
+similar runtimes as the pure Spark implementation").
+
+Here the hand-coded program and the executor share the engine, so the
+only difference is the per-operator dispatch cost the abstraction adds
+(the ``local_overhead_s`` charges); this baseline runs the identical
+plan with those dispatch charges removed.
+"""
+
+from __future__ import annotations
+
+from repro.core.executor import execute_plan
+
+
+def run_spark_direct(engine, dataset, plan, training, operators=None):
+    """Execute ``plan`` as a hand-written Spark job (no abstraction).
+
+    Returns the same :class:`~repro.core.result.TrainResult`; the
+    simulated time differs from ML4all's executor only by the operator
+    dispatch overhead, which is what Figure 11 measures.
+    """
+    spec = engine.spec
+    stripped = spec.with_overrides(local_overhead_s=0.0)
+    engine.spec = stripped
+    try:
+        result = execute_plan(engine, dataset, plan, training, operators)
+    finally:
+        engine.spec = spec
+    return result

@@ -1,0 +1,40 @@
+"""Simulated Spark/HDFS-like execution substrate.
+
+This subpackage replaces the paper's physical testbed (4-node Spark
+cluster, Section 8.1) with a discrete-cost simulator: real numpy math,
+simulated time.  See DESIGN.md section 1 for the substitution argument.
+"""
+
+from repro.cluster.cache import CacheManager
+from repro.cluster.engine import SimulatedCluster
+from repro.cluster.hardware import ClusterSpec, laptop_scale_spec
+from repro.cluster.metrics import MetricsRecorder, PhaseMetrics
+from repro.cluster.sampling import (
+    SAMPLER_NAMES,
+    BernoulliSampler,
+    FullScanSampler,
+    RandomPartitionSampler,
+    SampleDraw,
+    ShuffledPartitionSampler,
+    make_sampler,
+)
+from repro.cluster.storage import DatasetStats, Partition, PartitionedDataset
+
+__all__ = [
+    "CacheManager",
+    "SimulatedCluster",
+    "ClusterSpec",
+    "laptop_scale_spec",
+    "MetricsRecorder",
+    "PhaseMetrics",
+    "SAMPLER_NAMES",
+    "BernoulliSampler",
+    "FullScanSampler",
+    "RandomPartitionSampler",
+    "SampleDraw",
+    "ShuffledPartitionSampler",
+    "make_sampler",
+    "DatasetStats",
+    "Partition",
+    "PartitionedDataset",
+]

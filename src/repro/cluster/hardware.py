@@ -1,0 +1,161 @@
+"""Hardware description of the simulated cluster.
+
+The paper evaluates ML4all on a 4-node cluster (4x4 Xeon cores per node,
+30 GB RAM, 250 GB disk, 10 Gbit switch) running Spark 1.6.2 over HDFS
+(Section 8.1).  :class:`ClusterSpec` captures that testbed as a set of cost
+constants used by both
+
+* the *cost model* (``repro.core.cost_model``), which computes the paper's
+  closed-form operator costs (formulas 3-9), and
+* the *execution engine* (``repro.cluster.engine``), which charges a
+  simulated clock from fine-grained events (page reads, seeks, per-row CPU,
+  packets, job launches) while real numpy math runs.
+
+All time constants are in **seconds**, all sizes in **bytes**.  The default
+values are calibrated so that simulated training times land in the same
+order of magnitude as the wall-clock times the paper reports; see DESIGN.md
+section 3 for the calibration rationale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+
+#: Number of bytes a double-precision value occupies in binary representation.
+DOUBLE_BYTES = 8
+
+#: Bytes of one (index, value) pair in a sparse binary row: int32 + float64.
+SPARSE_ENTRY_BYTES = 12
+
+
+@dataclasses.dataclass(frozen=True)
+class ClusterSpec:
+    """Immutable description of the simulated cluster hardware.
+
+    Parameters mirror Table 1 of the paper where applicable:
+
+    * ``page_bytes``        -- "data unit for storage access" (|page|_b)
+    * ``packet_bytes``      -- "maximum network data unit" (|packet|_b)
+    * ``hdfs_block_bytes``  -- data partition size (|P|_b)
+    * ``cap``               -- #processes able to run in parallel (property)
+    * ``seek_disk_s`` / ``seek_mem_s``       -- SK
+    * ``page_io_disk_s`` / ``page_io_mem_s`` -- pageIO
+    * ``network_byte_s`` + ``packet_latency_s`` -- NT
+
+    CPU constants are expressed per *simulated* data unit (row) and scale
+    with the number of non-zero features in a row (``*_per_nnz_s``) plus a
+    fixed per-row component (``*_base_s``).
+    """
+
+    # --- topology -------------------------------------------------------
+    n_nodes: int = 4
+    slots_per_node: int = 4
+
+    # --- storage --------------------------------------------------------
+    hdfs_block_bytes: int = 128 * 1024 * 1024
+    page_bytes: int = 64 * 1024
+    #: Sequential page read from disk (~400 MB/s per slot).
+    page_io_disk_s: float = 160e-6
+    #: Sequential page read from (cache) memory (~4 GB/s per slot).
+    page_io_mem_s: float = 16e-6
+    #: Disk seek (start of a partition scan or a random access).
+    seek_disk_s: float = 2e-3
+    #: Memory "seek" (pointer chase into a cached partition).
+    seek_mem_s: float = 5e-6
+
+    # --- network (10 Gbit switch ~ 1.25 GB/s) ---------------------------
+    packet_bytes: int = 64 * 1024
+    network_byte_s: float = 0.8e-9
+    packet_latency_s: float = 50e-6
+
+    # --- Spark-like runtime ---------------------------------------------
+    #: Fixed cost of launching one distributed job (scheduling + task dispatch).
+    job_overhead_s: float = 0.025
+    #: Fixed cost of one local (driver/"Java") operator invocation.
+    local_overhead_s: float = 2e-6
+    #: Fixed per-loop-iteration plumbing cost (operator dispatch, driver
+    #: bookkeeping, closure shipping).  The paper's Figure 11 implies tens
+    #: of milliseconds per iteration even for driver-local SGD on the
+    #: smallest dataset, for ML4all and hand-coded Spark alike.
+    iteration_overhead_s: float = 0.02
+    #: Storage memory available for caching datasets across the cluster.
+    cache_bytes: int = 100 * 1024 * 1024 * 1024
+
+    # --- per-row CPU constants ------------------------------------------
+    #: Parsing one text row into a binary data unit (Transform).
+    transform_base_s: float = 0.5e-6
+    transform_per_nnz_s: float = 0.10e-6
+    #: Gradient computation for one data unit (Compute).
+    compute_base_s: float = 0.05e-6
+    compute_per_nnz_s: float = 0.010e-6
+    #: Bernoulli inclusion test for one data unit (Sample).
+    sample_test_s: float = 0.02e-6
+    #: Shuffling one data unit in place (shuffled-partition preparation).
+    shuffle_per_row_s: float = 0.05e-6
+    #: Weight-vector update, per feature (Update).
+    update_per_dim_s: float = 0.010e-6
+    #: Convergence-delta computation, per feature (Converge).
+    converge_per_dim_s: float = 0.010e-6
+    #: Loop-condition check (Loop), fixed.
+    loop_s: float = 1e-6
+
+    # --- stochastic realism ----------------------------------------------
+    #: Log-normal sigma applied by the engine to every charged duration.
+    #: The closed-form cost model ignores it, so estimated and "actual"
+    #: simulated times diverge realistically (paper reports <= 17% error).
+    jitter_sigma: float = 0.05
+
+    @property
+    def cap(self) -> int:
+        """#processes able to run in parallel (Table 1: cap)."""
+        return self.n_nodes * self.slots_per_node
+
+    # ----- derived helpers used by both cost model and engine ----------
+
+    def pages_in(self, nbytes) -> int:
+        """Number of storage pages needed to hold ``nbytes``."""
+        return max(1, math.ceil(nbytes / self.page_bytes))
+
+    def packets_in(self, nbytes) -> int:
+        """Number of network packets needed to transfer ``nbytes``."""
+        return max(1, math.ceil(nbytes / self.packet_bytes))
+
+    def sequential_read_s(self, nbytes, in_memory) -> float:
+        """Cost of one sequential scan of ``nbytes`` from one storage source."""
+        page_io = self.page_io_mem_s if in_memory else self.page_io_disk_s
+        seek = self.seek_mem_s if in_memory else self.seek_disk_s
+        return seek + self.pages_in(nbytes) * page_io
+
+    def random_read_s(self, nbytes, in_memory) -> float:
+        """Cost of one random access fetching ``nbytes`` (seek + pages)."""
+        page_io = self.page_io_mem_s if in_memory else self.page_io_disk_s
+        seek = self.seek_mem_s if in_memory else self.seek_disk_s
+        return seek + self.pages_in(nbytes) * page_io
+
+    def transfer_s(self, nbytes) -> float:
+        """Network transfer cost of ``nbytes`` (formula 5 granularity)."""
+        n_packets = self.packets_in(nbytes)
+        return n_packets * (self.packet_bytes * self.network_byte_s
+                            + self.packet_latency_s)
+
+    def waves(self, n_partitions) -> float:
+        """Number of execution waves for ``n_partitions`` (Table 1: w(D))."""
+        return n_partitions / self.cap
+
+    def with_overrides(self, **kwargs) -> "ClusterSpec":
+        """Return a copy of this spec with selected fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+def laptop_scale_spec(**overrides) -> ClusterSpec:
+    """A :class:`ClusterSpec` with a small cache for quick local experiments.
+
+    Useful in tests that want to exercise cache-spill behaviour without
+    simulating 100 GB datasets.
+    """
+    spec = ClusterSpec(cache_bytes=64 * 1024 * 1024, job_overhead_s=0.005)
+    if overrides:
+        spec = spec.with_overrides(**overrides)
+    return spec

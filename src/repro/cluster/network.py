@@ -1,0 +1,66 @@
+"""Network-transfer cost helpers for the simulated cluster.
+
+The paper's Update operator is "the only operator that involves network
+transfers in its cost because all the data units output by the Compute
+should be aggregated and thus, sent to a single node" (Section 7.1).  Two
+aggregation topologies are modelled:
+
+* :func:`reduce_to_driver` -- ML4all's ``mapPartitions + reduce``: every
+  active partition ships its partial aggregate straight to the driver.
+* :func:`tree_aggregate` -- MLlib's ``treeAggregate``: partials are first
+  combined in ``depth - 1`` intermediate shuffle levels, adding per-level
+  latency and extra transfers.  The paper credits ML4all's BGD advantage
+  over MLlib partly to avoiding this (Section 8.4.1).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def reduce_to_driver(spec, n_partials, vector_bytes):
+    """Cost (seconds, bytes) of reducing ``n_partials`` vectors at the driver.
+
+    Transfers overlap across the switch, so the charged time is the cost of
+    the driver *receiving* all partials serialised through its single link,
+    which is how a reduce to one node actually bottlenecks.
+    """
+    if n_partials <= 0:
+        return 0.0, 0
+    total_bytes = n_partials * vector_bytes
+    return spec.transfer_s(total_bytes), total_bytes
+
+
+def tree_aggregate(spec, n_partials, vector_bytes, depth=2):
+    """Cost (seconds, bytes) of a treeAggregate with the given depth.
+
+    Each level combines groups of ``scale = ceil(n^(1/depth))`` partials.
+    Every level adds a synchronisation barrier (job-launch latency) plus
+    the transfer of the surviving partials.
+    """
+    if n_partials <= 0:
+        return 0.0, 0
+    depth = max(1, depth)
+    scale = max(2, math.ceil(n_partials ** (1.0 / depth)))
+    seconds = 0.0
+    total_bytes = 0
+    remaining = n_partials
+    while remaining > 1:
+        seconds += spec.job_overhead_s  # per-level barrier
+        level_bytes = remaining * vector_bytes
+        seconds += spec.transfer_s(level_bytes)
+        total_bytes += level_bytes
+        remaining = math.ceil(remaining / scale)
+    return seconds, total_bytes
+
+
+def broadcast(spec, n_nodes, vector_bytes):
+    """Cost (seconds, bytes) of broadcasting a vector to every node.
+
+    Spark uses a BitTorrent-style broadcast; we charge a log2 relay chain.
+    """
+    if n_nodes <= 1:
+        return 0.0, 0
+    hops = max(1, math.ceil(math.log2(n_nodes)))
+    per_hop, _ = spec.transfer_s(vector_bytes), vector_bytes
+    return hops * per_hop, hops * vector_bytes

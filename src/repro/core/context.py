@@ -1,0 +1,58 @@
+"""The Context: shared global variables of a GD plan.
+
+The paper's operator UDFs communicate exclusively through a context object
+("the context contains all global variables", Section 4.1; the Java
+listings call ``context.getByKey`` / ``context.put``).  This is the Python
+equivalent, with a tiny amount of sugar for the conventional keys.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanError
+
+
+class Context:
+    """Key-value store of a plan's global variables.
+
+    Conventional keys used by the reference operators:
+
+    ``weights``   current model vector
+    ``step``      step-size schedule (callable i -> alpha_i)
+    ``iter``      current iteration (1-based during the loop)
+    ``tolerance`` convergence tolerance (epsilon)
+    ``max_iter``  iteration cap
+    """
+
+    def __init__(self, initial=None):
+        self._store = dict(initial or {})
+
+    def get(self, key, default=None):
+        """Value by key (the listings' ``context.getByKey``)."""
+        return self._store.get(key, default)
+
+    def require(self, key):
+        """Value by key; raises :class:`PlanError` when missing."""
+        try:
+            return self._store[key]
+        except KeyError:
+            raise PlanError(
+                f"context is missing required global variable {key!r}"
+            ) from None
+
+    def put(self, key, value):
+        """Set a global variable (the listings' ``context.put``)."""
+        self._store[key] = value
+
+    def __contains__(self, key):
+        return key in self._store
+
+    def keys(self):
+        return self._store.keys()
+
+    def as_dict(self) -> dict:
+        """A shallow copy of all globals (for inspection/tests)."""
+        return dict(self._store)
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        keys = ", ".join(sorted(self._store))
+        return f"<Context keys=[{keys}]>"

@@ -1,0 +1,193 @@
+"""Error-sequence models for the iterations estimator (Section 5).
+
+"Gradient descent based methods on convex functions routinely exhibit
+only three standard convergence rates -- linear, supra linear and
+quadratic ... Each of these convergence rates can be identified purely
+through the error sequence."  The estimator runs a short speculative GD,
+collects the ``(iteration, error)`` pairs, fits a rate model and inverts
+it: ``T(epsilon_d) = a / epsilon_d`` for the paper's default sub-linear
+``a/epsilon`` model (Algorithm 1, lines 9-10).
+
+Three models are provided; ``fit_error_sequence`` fits the requested one
+or auto-selects by log-space R^2:
+
+    inverse      error_i = a / i          ->  T(e) = a / e
+    power        error_i = a / i^p        ->  T(e) = (a / e)^(1/p)
+    exponential  error_i = a * r^i        ->  T(e) = log(e/a) / log(r)
+                 (linear convergence in the optimization sense)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+#: Hard cap returned by iterations_for(); avoids absurd extrapolations.
+MAX_ESTIMATED_ITERATIONS = 100_000_000
+
+MODELS = ("inverse", "power", "exponential")
+
+
+@dataclasses.dataclass(frozen=True)
+class FittedCurve:
+    """A fitted error-sequence model ``error(i)`` with its inverse."""
+
+    model: str
+    params: tuple
+    r2: float
+    n_points: int
+
+    def error_at(self, i) -> float:
+        """Predicted error after iteration ``i``."""
+        if i < 1:
+            raise EstimationError("iteration index must be >= 1")
+        if self.model == "inverse":
+            (a,) = self.params
+            return a / i
+        if self.model == "power":
+            a, p = self.params
+            return a / i ** p
+        if self.model == "exponential":
+            a, r = self.params
+            return a * r ** i
+        raise EstimationError(f"unknown model {self.model!r}")
+
+    def iterations_for(self, epsilon) -> int:
+        """T(epsilon): iterations needed to reach the given error."""
+        if epsilon <= 0:
+            raise EstimationError("tolerance must be positive")
+        if self.model == "inverse":
+            (a,) = self.params
+            raw = a / epsilon
+        elif self.model == "power":
+            a, p = self.params
+            raw = (a / epsilon) ** (1.0 / p)
+        elif self.model == "exponential":
+            a, r = self.params
+            if epsilon >= a:
+                return 1
+            raw = math.log(epsilon / a) / math.log(r)
+        else:
+            raise EstimationError(f"unknown model {self.model!r}")
+        if not math.isfinite(raw):
+            raise EstimationError(
+                f"{self.model} fit produced a non-finite iteration estimate"
+            )
+        return int(min(max(1, math.ceil(raw)), MAX_ESTIMATED_ITERATIONS))
+
+    def describe(self) -> str:
+        if self.model == "inverse":
+            return f"error(i) = {self.params[0]:.4g}/i (R2={self.r2:.3f})"
+        if self.model == "power":
+            a, p = self.params
+            return f"error(i) = {a:.4g}/i^{p:.3f} (R2={self.r2:.3f})"
+        a, r = self.params
+        return f"error(i) = {a:.4g}*{r:.4f}^i (R2={self.r2:.3f})"
+
+
+def _clean_sequence(errors, iterations=None):
+    """Positive, finite (i, e) pairs as float arrays."""
+    errors = np.asarray(errors, dtype=float)
+    if iterations is None:
+        iterations = np.arange(1, len(errors) + 1, dtype=float)
+    else:
+        iterations = np.asarray(iterations, dtype=float)
+    if len(errors) != len(iterations):
+        raise EstimationError("iterations and errors must have equal length")
+    mask = np.isfinite(errors) & (errors > 0) & (iterations >= 1)
+    iterations, errors = iterations[mask], errors[mask]
+    if len(errors) < 3:
+        raise EstimationError(
+            f"need at least 3 positive error observations to fit, "
+            f"have {len(errors)}"
+        )
+    return iterations, errors
+
+
+def _log_r2(log_e, log_pred):
+    ss_res = float(np.sum((log_e - log_pred) ** 2))
+    ss_tot = float(np.sum((log_e - log_e.mean()) ** 2))
+    if ss_tot == 0:
+        return 1.0 if ss_res == 0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_inverse(errors, iterations=None) -> FittedCurve:
+    """Least-squares fit of error_i = a/i (the paper's T(e) = a/e model).
+
+    Minimises sum_i (e_i - a/i)^2, giving the closed form
+    a = sum(e_i / i) / sum(1 / i^2).
+    """
+    it, e = _clean_sequence(errors, iterations)
+    inv = 1.0 / it
+    a = float(np.dot(e, inv) / np.dot(inv, inv))
+    if a <= 0:
+        raise EstimationError("inverse fit produced non-positive a")
+    r2 = _log_r2(np.log(e), np.log(a * inv))
+    return FittedCurve("inverse", (a,), r2, len(e))
+
+
+def fit_power(errors, iterations=None) -> FittedCurve:
+    """Log-log linear fit of error_i = a / i^p (generalised sub-linear)."""
+    it, e = _clean_sequence(errors, iterations)
+    log_i, log_e = np.log(it), np.log(e)
+    slope, intercept = np.polyfit(log_i, log_e, 1)
+    p = -float(slope)
+    a = float(np.exp(intercept))
+    if p <= 0:
+        raise EstimationError(
+            "power fit found a non-decreasing error sequence (p <= 0)"
+        )
+    r2 = _log_r2(log_e, intercept + slope * log_i)
+    return FittedCurve("power", (a, p), r2, len(e))
+
+
+def fit_exponential(errors, iterations=None) -> FittedCurve:
+    """Semi-log fit of error_i = a * r^i (linear convergence rate)."""
+    it, e = _clean_sequence(errors, iterations)
+    log_e = np.log(e)
+    slope, intercept = np.polyfit(it, log_e, 1)
+    r = float(np.exp(slope))
+    a = float(np.exp(intercept))
+    if not 0 < r < 1:
+        raise EstimationError(
+            f"exponential fit found rate r={r:.4f} outside (0, 1)"
+        )
+    r2 = _log_r2(log_e, intercept + slope * it)
+    return FittedCurve("exponential", (a, r), r2, len(e))
+
+
+_FITTERS = {
+    "inverse": fit_inverse,
+    "power": fit_power,
+    "exponential": fit_exponential,
+}
+
+
+def fit_error_sequence(errors, iterations=None, model="inverse") -> FittedCurve:
+    """Fit the requested model, or the best of all three for ``"auto"``."""
+    if model in _FITTERS:
+        return _FITTERS[model](errors, iterations)
+    if model != "auto":
+        raise EstimationError(
+            f"unknown model {model!r}; expected one of {MODELS + ('auto',)}"
+        )
+    best = None
+    failures = []
+    for name, fitter in _FITTERS.items():
+        try:
+            curve = fitter(errors, iterations)
+        except EstimationError as exc:
+            failures.append(f"{name}: {exc}")
+            continue
+        if best is None or curve.r2 > best.r2:
+            best = curve
+    if best is None:
+        raise EstimationError(
+            "no convergence-rate model could be fitted: " + "; ".join(failures)
+        )
+    return best

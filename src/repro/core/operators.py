@@ -1,0 +1,163 @@
+"""The seven GD operators (Section 4 of the paper).
+
+    Preparation  : Transform, Stage
+    Processing   : Compute, Update, Sample (optional)
+    Convergence  : Converge, Loop
+
+The paper exposes these as UDFs over single data units; this reproduction
+keeps the same operator boundaries but lets each operator work on a
+*batch* of data units at once (a numpy matrix slice), which is the
+vectorised equivalent -- semantics per unit are unchanged, and the
+executor still invokes ``Compute`` once per partition so that partial
+aggregation and the Compute/Update separation (the key to parallelism,
+Section 4.2) remain visible in the execution trace.
+
+Why two preparation operators?  "GD algorithms need to transform the
+entire input dataset, but, to set their global variables, they usually
+need no (or a small sample of) input data" (Section 4.1).  Why two
+processing operators?  Merging them "would lead to centralizing the
+process phase" (Section 4.2) -- this is what the Bismarck baseline does,
+and what Figure 11 punishes.
+"""
+
+from __future__ import annotations
+
+
+class Operator:
+    """Base class for all GD operators."""
+
+    name = "operator"
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class Transform(Operator):
+    """Prepares input data units: ``Transform(U) -> U_T``.
+
+    Parses / normalises raw data units so the processing phase can consume
+    them (Listing 1 parses a CSV line into a double[]).
+    """
+
+    name = "transform"
+
+    def transform(self, X, y, context):
+        """Transform a batch of raw data units; returns ``(X_T, y_T)``."""
+        raise NotImplementedError
+
+
+class Stage(Operator):
+    """Sets initial values for all algorithm-specific parameters.
+
+    ``Stage(null | U_T | list<U_T>) -> null | U_T | list<U_T>`` -- it is
+    *not* a data transformation; any data units it receives (e.g. a sample
+    used to initialise weights, Figure 3(b)) pass through unchanged.
+    """
+
+    name = "stage"
+
+    def stage(self, context, data_sample=None):
+        """Initialise context globals; returns ``data_sample`` unchanged."""
+        raise NotImplementedError
+
+
+class Compute(Operator):
+    """Performs the core computation: ``Compute(U_T) -> U_C``.
+
+    For GD this is the (partial) gradient of a batch of data units
+    (Listing 2).  Partials from different partitions are merged with
+    :meth:`combine` before Update sees them.
+    """
+
+    name = "compute"
+
+    def compute(self, X, y, context):
+        """Partial result over a batch; opaque to the executor."""
+        raise NotImplementedError
+
+    def combine(self, partial_a, partial_b):
+        """Merge two partials (defaults to elementwise tuple addition)."""
+        return tuple(a + b for a, b in zip(partial_a, partial_b))
+
+
+class Update(Operator):
+    """Re-sets the global parameters: ``Update(U_C) -> U_U``.
+
+    Receives the aggregated Compute output ("U_C is the sum of all data
+    units") and produces the new weight vector (Listing 3).  The only
+    operator whose cost involves network transfer (Section 7.1).
+    """
+
+    name = "update"
+
+    def update(self, aggregated, context):
+        """New weight vector from the aggregated partials."""
+        raise NotImplementedError
+
+
+class Sample(Operator):
+    """Narrows the scope of computation: ``Sample(n | list<U>) -> list``.
+
+    The logical operator only decides *how many / which* simulated data
+    units the iteration touches; the physical strategy (Bernoulli /
+    random-partition / shuffled-partition) is a plan property bound by the
+    executor (Section 6).
+    """
+
+    name = "sample"
+
+    def sample_size(self, context):
+        """Number of data units the next iteration should draw."""
+        raise NotImplementedError
+
+
+class Converge(Operator):
+    """Produces the delta data unit: ``Converge(U_U) -> U_Delta``.
+
+    E.g. the L1/L2 norm of the difference between successive weight
+    vectors (Listing 5).
+    """
+
+    name = "converge"
+
+    def converge(self, weights_new, context):
+        """Delta value fed to Loop."""
+        raise NotImplementedError
+
+
+class Loop(Operator):
+    """Stopping condition: ``Loop(U_Delta) -> true | false``.
+
+    Returns True while the algorithm should keep iterating (note the
+    paper's Listing 6 returns the *stop* flag; we use the continue flag
+    and document it to avoid double negation in the executor).
+    """
+
+    name = "loop"
+
+    def should_continue(self, delta, context):
+        raise NotImplementedError
+
+
+class GDOperators:
+    """Bundle of the seven operators forming one abstracted GD plan."""
+
+    def __init__(self, transform, stage, compute, update, sample,
+                 converge, loop):
+        self.transform = transform
+        self.stage = stage
+        self.compute = compute
+        self.update = update
+        self.sample = sample  # may be None (BGD plans, Figure 3(b))
+        self.converge = converge
+        self.loop = loop
+
+    def operators(self):
+        """All non-None operators in phase order."""
+        ops = [self.transform, self.stage, self.sample, self.compute,
+               self.update, self.converge, self.loop]
+        return [op for op in ops if op is not None]
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        names = ", ".join(op.name for op in self.operators())
+        return f"<GDOperators [{names}]>"

@@ -1,0 +1,60 @@
+"""Enumeration of the GD plan search space (Figure 5).
+
+Combining transformation and sampling choices yields, for the three core
+algorithms, exactly 11 plans:
+
+    BGD : eager                                  (1 plan)
+    MGD : eager x {bernoulli, random, shuffle}
+          lazy  x {random, shuffle}              (5 plans)
+    SGD : same five                              (5 plans)
+
+"Our search space size is fully parameterized based on the number of GD
+algorithms and optimizations that need to be evaluated" (Section 6):
+passing extra registered stochastic algorithms (svrg, momentum, ...)
+grows the space by five plans each.
+"""
+
+from __future__ import annotations
+
+from repro.core.plans import GDPlan
+from repro.gd import registry as gd_registry
+
+#: The (transform_mode, sampling) combinations valid for stochastic plans.
+STOCHASTIC_VARIANTS = (
+    ("eager", "bernoulli"),
+    ("eager", "random"),
+    ("eager", "shuffle"),
+    ("lazy", "random"),
+    ("lazy", "shuffle"),
+)
+
+
+def plans_for_algorithm(algorithm, batch_size=None):
+    """All valid plans for one algorithm."""
+    info = gd_registry.info(algorithm)
+    if not info.stochastic:
+        return [GDPlan(algorithm, "eager", None, batch_size)]
+    return [
+        GDPlan(algorithm, mode, sampling, batch_size)
+        for mode, sampling in STOCHASTIC_VARIANTS
+    ]
+
+
+def enumerate_plans(algorithms=gd_registry.CORE_ALGORITHMS, batch_sizes=None):
+    """The full search space for the given algorithms.
+
+    ``batch_sizes`` optionally maps algorithm name -> batch size override
+    (e.g. ``{"mgd": 10_000}``).
+    """
+    batch_sizes = batch_sizes or {}
+    plans = []
+    for algorithm in algorithms:
+        plans.extend(
+            plans_for_algorithm(algorithm, batch_sizes.get(algorithm))
+        )
+    return plans
+
+
+def space_size(algorithms=gd_registry.CORE_ALGORITHMS) -> int:
+    """Number of plans the optimizer will cost for these algorithms."""
+    return len(enumerate_plans(algorithms))

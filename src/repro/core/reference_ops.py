@@ -1,0 +1,279 @@
+"""Reference implementations of the seven GD operators.
+
+These mirror the paper's Java listings (Listings 1-7 plus the SVRG
+variants of Appendix C) as vectorised Python.  "While we provide reference
+implementations for all the common use cases, expert users could readily
+customize or override them if necessary" (Section 4) -- the executor
+accepts any :class:`~repro.core.operators.GDOperators` bundle, and
+``examples/custom_gd_algorithm.py`` shows an override in action.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.operators import (
+    Compute,
+    Converge,
+    GDOperators,
+    Loop,
+    Sample,
+    Stage,
+    Transform,
+    Update,
+)
+from repro.errors import PlanError
+from repro.gd.base import Updater
+from repro.gd.convergence import make_convergence
+from repro.gd.step_size import make_step_size
+
+
+class ParseTransform(Transform):
+    """Listing 1: parse raw units into numeric form.
+
+    The physical arrays are already numeric (parsing raw text is charged
+    by the engine's cost accounting; see DESIGN.md), so the reference
+    Transform optionally applies feature scaling and otherwise passes the
+    batch through -- exactly the information-preserving map the listing
+    performs.
+    """
+
+    def __init__(self, feature_scale=1.0):
+        if feature_scale <= 0:
+            raise PlanError("feature_scale must be positive")
+        self.feature_scale = float(feature_scale)
+
+    def transform(self, X, y, context):
+        if self.feature_scale != 1.0:
+            X = X * self.feature_scale
+        return X, y
+
+
+class DefaultStage(Stage):
+    """Listing 4: weights = 0-vector, step schedule, iteration counter."""
+
+    def __init__(self, d, step_size=1.0, tolerance=1e-3, max_iter=1000):
+        self.d = int(d)
+        self.step_size = step_size
+        self.tolerance = float(tolerance)
+        self.max_iter = int(max_iter)
+
+    def stage(self, context, data_sample=None):
+        context.put("weights", np.zeros(self.d))
+        context.put("step", make_step_size(self.step_size))
+        context.put("iter", 0)
+        context.put("tolerance", self.tolerance)
+        context.put("max_iter", self.max_iter)
+        return data_sample
+
+
+class GradientCompute(Compute):
+    """Listing 2: the task gradient of a batch of data units.
+
+    Emits ``(gradient_sum, count)`` partials so distributed partitions can
+    be combined by addition before Update normalises to the mean.
+    """
+
+    def __init__(self, gradient):
+        self.gradient = gradient
+
+    def compute(self, X, y, context):
+        w = context.require("weights")
+        n = X.shape[0]
+        # gradient() returns the mean; re-scale to a sum-partial so that
+        # combining partitions of different sizes stays exact.
+        return self.gradient.gradient(w, X, y) * n, n
+
+
+class WeightUpdate(Update):
+    """Listing 3: w <- w - alpha_i * direction(mean gradient)."""
+
+    def __init__(self, updater=None):
+        self.updater = updater or Updater()
+        self._initialised_for = None
+
+    def update(self, aggregated, context):
+        grad_sum, count = aggregated
+        if count <= 0:
+            raise PlanError("Update received an empty aggregate")
+        w = context.require("weights")
+        if self._initialised_for != w.shape[0]:
+            self.updater.reset(w.shape[0])
+            self._initialised_for = w.shape[0]
+        i = context.require("iter")
+        step = context.require("step")
+        mean_grad = grad_sum / count
+        w_new = w - step(i) * self.updater.direction(mean_grad, i)
+        context.put("weights", w_new)
+        return w_new
+
+
+class FixedSizeSample(Sample):
+    """Listing 7's role: declare how many units the iteration draws.
+
+    The physical strategy (Bernoulli / random / shuffle) is a plan
+    property; this logical operator only fixes the batch size (1 for SGD,
+    b for MGD -- "It is via Sample that users can enable the MGD and SGD
+    methods, by setting the right sample size", Section 4.2).
+    """
+
+    def __init__(self, batch_size):
+        if batch_size < 1:
+            raise PlanError("sample batch size must be >= 1")
+        self.batch_size = int(batch_size)
+
+    def sample_size(self, context):
+        return self.batch_size
+
+
+class L1Converge(Converge):
+    """Listing 5: delta = sum_j |w_j - w'_j| (criterion is pluggable)."""
+
+    def __init__(self, criterion="l1"):
+        self.criterion = make_convergence(criterion)
+        self._previous = None
+
+    def converge(self, weights_new, context):
+        if self._previous is None:
+            delta = float("inf")
+        else:
+            delta = self.criterion.delta(self._previous, weights_new)
+        self._previous = np.array(weights_new, copy=True)
+        return delta
+
+
+class ToleranceLoop(Loop):
+    """Listing 6 plus the iteration cap: continue while delta >= tol."""
+
+    def should_continue(self, delta, context):
+        tolerance = context.require("tolerance")
+        max_iter = context.require("max_iter")
+        i = context.require("iter")
+        if i >= max_iter:
+            return False
+        return not delta < tolerance
+
+
+def default_operators(
+    d,
+    gradient,
+    batch_size=None,
+    step_size=1.0,
+    tolerance=1e-3,
+    max_iter=1000,
+    convergence="l1",
+    updater=None,
+    feature_scale=1.0,
+) -> GDOperators:
+    """The reference operator bundle for BGD/MGD/SGD plans.
+
+    ``batch_size=None`` omits the Sample operator (a BGD plan, Figure
+    3(b)); any positive value yields the stochastic plan of Figure 3(a).
+    """
+    sample = FixedSizeSample(batch_size) if batch_size else None
+    return GDOperators(
+        transform=ParseTransform(feature_scale),
+        stage=DefaultStage(d, step_size, tolerance, max_iter),
+        compute=GradientCompute(gradient),
+        update=WeightUpdate(updater),
+        sample=sample,
+        converge=L1Converge(convergence),
+        loop=ToleranceLoop(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# SVRG expressed in the abstraction (Appendix C, Listing 8)
+# ---------------------------------------------------------------------------
+
+class SVRGCompute(Compute):
+    """Listing 8: if-else on the iteration flattens SVRG's nested loops.
+
+    Anchor iterations ((i % m) - 1 == 0) emit the plain gradient partial;
+    other iterations emit the pair (grad at w, grad at w_bar) so Update
+    can form the variance-reduced direction.
+    """
+
+    def __init__(self, gradient, update_frequency):
+        if update_frequency < 2:
+            raise PlanError("SVRG update_frequency must be >= 2")
+        self.gradient = gradient
+        self.m = int(update_frequency)
+
+    def compute(self, X, y, context):
+        w = context.require("weights")
+        i = context.require("iter")
+        n = X.shape[0]
+        if (i % self.m) - 1 == 0:
+            grad = self.gradient.gradient(w, X, y)
+            return grad * n, np.zeros_like(grad), n, True
+        w_bar = context.require("weights_bar")
+        grad = self.gradient.gradient(w, X, y)
+        grad_bar = self.gradient.gradient(w_bar, X, y)
+        return grad * n, grad_bar * n, n, False
+
+    def combine(self, a, b):
+        return a[0] + b[0], a[1] + b[1], a[2] + b[2], a[3] and b[3]
+
+
+class SVRGUpdate(Update):
+    """The Appendix C update rule with anchor bookkeeping."""
+
+    def update(self, aggregated, context):
+        grad_sum, grad_bar_sum, count, is_anchor = aggregated
+        if count <= 0:
+            raise PlanError("Update received an empty aggregate")
+        w = context.require("weights")
+        i = context.require("iter")
+        step = context.require("step")
+        alpha = step(i)
+        if is_anchor:
+            if i > 1:
+                context.put("weights_bar", w.copy())
+            mu = grad_sum / count
+            context.put("mu", mu)
+            w_new = w - alpha * mu
+        else:
+            mu = context.require("mu")
+            direction = (grad_sum - grad_bar_sum) / count + mu
+            w_new = w - alpha * direction
+        context.put("weights", w_new)
+        return w_new
+
+
+class SVRGStage(DefaultStage):
+    """Stage for SVRG: also initialises the anchor point and mu."""
+
+    def stage(self, context, data_sample=None):
+        out = super().stage(context, data_sample)
+        context.put("weights_bar", np.zeros(self.d))
+        context.put("mu", np.zeros(self.d))
+        return out
+
+
+def svrg_operators(
+    d,
+    gradient,
+    update_frequency=50,
+    step_size="constant:0.05",
+    tolerance=1e-3,
+    max_iter=1000,
+    convergence="l1",
+) -> GDOperators:
+    """SVRG as a GDOperators bundle (same plan shape as SGD, Figure 3(a)).
+
+    Note: the executor runs anchor iterations over the full dataset and
+    stochastic iterations over the Sample draw, recognising SVRG compute
+    via the ``anchor_every`` attribute below.
+    """
+    ops = GDOperators(
+        transform=ParseTransform(),
+        stage=SVRGStage(d, step_size, tolerance, max_iter),
+        compute=SVRGCompute(gradient, update_frequency),
+        update=SVRGUpdate(),
+        sample=FixedSizeSample(1),
+        converge=L1Converge(convergence),
+        loop=ToleranceLoop(),
+    )
+    ops.anchor_every = int(update_frequency)
+    return ops

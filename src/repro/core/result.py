@@ -1,0 +1,101 @@
+"""Result types returned by the executor and the optimizer."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class TrainResult:
+    """Outcome of executing one GD plan on the simulated cluster."""
+
+    plan: object
+    weights: np.ndarray
+    iterations: int
+    converged: bool
+    #: Per-iteration convergence deltas (the error sequence).
+    deltas: np.ndarray
+    #: Simulated seconds spent executing the plan (training time).
+    sim_seconds: float
+    #: Simulated seconds per phase label (transform/sample/compute/...).
+    phase_seconds: dict
+    #: Engine metrics snapshot (pages, seeks, network bytes, jobs, ...).
+    metrics: dict
+    #: True when a simulated time budget stopped the run early.
+    timed_out: bool = False
+
+    @property
+    def final_delta(self) -> float:
+        return float(self.deltas[-1]) if len(self.deltas) else float("inf")
+
+    def summary(self) -> str:
+        status = "converged" if self.converged else (
+            "TIMED OUT" if self.timed_out else "max-iterations"
+        )
+        return (
+            f"{self.plan}: {self.iterations} iterations, {status}, "
+            f"final delta {self.final_delta:.3g}, "
+            f"simulated training time {self.sim_seconds:.2f}s"
+        )
+
+
+@dataclasses.dataclass
+class PlanCostEstimate:
+    """The optimizer's cost-model view of one candidate plan."""
+
+    plan: object
+    estimated_iterations: int
+    one_time_s: float
+    per_iteration_s: float
+    total_s: float
+    #: Component breakdown {phase: seconds-per-iteration or one-time}.
+    breakdown: dict
+    #: True when the plan satisfies the user's time constraint (if any).
+    feasible: bool = True
+
+    def summary(self) -> str:
+        return (
+            f"{self.plan}: est. {self.estimated_iterations} iters x "
+            f"{self.per_iteration_s * 1e3:.3f} ms/iter + "
+            f"{self.one_time_s:.2f}s one-time = {self.total_s:.2f}s"
+            + ("" if self.feasible else "  [infeasible]")
+        )
+
+
+@dataclasses.dataclass
+class OptimizationReport:
+    """Everything the cost-based optimizer decided and why."""
+
+    chosen: PlanCostEstimate
+    candidates: list
+    #: algorithm name -> IterationsEstimate (None when the user supplied
+    #: a fixed iteration count and speculation was skipped).
+    iteration_estimates: dict | None
+    #: Wall-clock seconds the optimizer itself spent (speculation + costing).
+    optimizer_wall_s: float
+    #: Simulated seconds charged for speculation (sample collection job).
+    speculation_sim_s: float
+
+    @property
+    def chosen_plan(self):
+        return self.chosen.plan
+
+    def ranking(self):
+        """Candidates sorted by estimated total cost (feasible first)."""
+        return sorted(
+            self.candidates,
+            key=lambda c: (not c.feasible, c.total_s),
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"chosen plan: {self.chosen.plan} "
+            f"(estimated {self.chosen.total_s:.2f}s simulated)",
+            f"optimizer overhead: {self.optimizer_wall_s:.2f}s wall, "
+            f"{self.speculation_sim_s:.2f}s simulated",
+            "candidates:",
+        ]
+        lines.extend(f"  {c.summary()}" for c in self.ranking())
+        return "\n".join(lines)

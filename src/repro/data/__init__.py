@@ -1,0 +1,32 @@
+"""Dataset substrate: synthetic Table 2 stand-ins and real LIBSVM IO."""
+
+from repro.data.datasets import (
+    PAPER_ORDER,
+    REGISTRY,
+    DatasetSpec,
+    generate,
+    load,
+    names,
+    svm_a_spec,
+    svm_b_spec,
+)
+from repro.data.libsvm import parse_libsvm_line, read_libsvm, write_libsvm
+from repro.data.splits import train_test_split
+from repro.data.synth import make_classification, make_regression
+
+__all__ = [
+    "PAPER_ORDER",
+    "REGISTRY",
+    "DatasetSpec",
+    "generate",
+    "load",
+    "names",
+    "svm_a_spec",
+    "svm_b_spec",
+    "parse_libsvm_line",
+    "read_libsvm",
+    "write_libsvm",
+    "train_test_split",
+    "make_classification",
+    "make_regression",
+]

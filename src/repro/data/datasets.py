@@ -1,0 +1,234 @@
+"""Registry of the paper's evaluation datasets (Table 2).
+
+Each entry describes one dataset from Table 2 plus the synthetic-generator
+parameters that make our stand-in behave like the original (see
+``repro.data.synth``).  The *simulated* statistics (row count, byte sizes)
+match the paper exactly; the *physical* arrays are scaled down by
+``phys_divisor`` so everything runs on a laptop.
+
+    Name      Task  #points     #features  Size    Density
+    adult     LogR  100,827     123        7 MB    0.11
+    covtype   LogR  581,012     54         68 MB   0.22
+    yearpred  LinR  463,715     90         890 MB  1.0
+    rcv1      LogR  677,399     47,236     1.2 GB  1.5e-3
+    higgs     SVM   11,000,000  28         7.4 GB  0.92
+    svm1      SVM   5,516,800   100        10 GB   1.0
+    svm2      SVM   44,134,400  100        80 GB   1.0
+    svm3      SVM   88,268,800  100        160 GB  1.0
+    SVM_A     SVM   [2.7M-88M]  100        [5-160 GB]   1.0
+    SVM_B     SVM   10K         [1K-500K]  [180MB-90GB] 1.0
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.cluster.hardware import DOUBLE_BYTES, SPARSE_ENTRY_BYTES, ClusterSpec
+from repro.cluster.storage import DatasetStats, PartitionedDataset
+from repro.data import synth
+from repro.errors import DataFormatError
+
+GB = 1024 ** 3
+MB = 1024 ** 2
+
+
+@dataclasses.dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of one registry dataset."""
+
+    name: str
+    task: str  # "logreg" | "linreg" | "svm"
+    paper_n: int
+    d: int
+    density: float
+    sparse: bool
+    paper_bytes: int
+    #: physical rows = paper_n / phys_divisor
+    phys_divisor: int
+    #: generator shape knobs (see repro.data.synth)
+    separability: float = 1.0
+    hard_fraction: float = 0.3
+    label_noise: float = 0.0
+    row_order: str = "shuffled"
+    regression_noise: float = 0.1
+    feature_scale: float = 1.0
+    noise_scale: float = 1.0
+    description: str = ""
+
+    @property
+    def phys_n(self) -> int:
+        return max(32, self.paper_n // self.phys_divisor)
+
+    @property
+    def row_text_bytes(self) -> float:
+        """Average raw-file bytes per row implied by Table 2."""
+        return self.paper_bytes / self.paper_n
+
+    @property
+    def row_binary_bytes(self) -> float:
+        if self.sparse:
+            nnz = max(1.0, self.d * self.density)
+            return DOUBLE_BYTES + nnz * SPARSE_ENTRY_BYTES
+        return DOUBLE_BYTES + self.d * DOUBLE_BYTES
+
+    def stats(self, n=None) -> DatasetStats:
+        """Paper-scale :class:`DatasetStats` (optionally overriding n)."""
+        n = self.paper_n if n is None else n
+        return DatasetStats(
+            name=self.name,
+            task=self.task,
+            n=n,
+            d=self.d,
+            density=self.density,
+            is_sparse=self.sparse,
+            row_text_bytes=self.row_text_bytes,
+            row_binary_bytes=self.row_binary_bytes,
+        )
+
+
+# Generator parameters below were calibrated (see DESIGN.md section 3 and
+# EXPERIMENTS.md) so that iteration counts at the paper's tolerances land
+# in the same regimes the paper reports: LogR datasets need hundreds-to-
+# thousands of SGD/BGD iterations, the dense SVM datasets stop SGD within
+# a few draws while MGD hits the 1000-iteration cap, and yearpred
+# converges within tens of iterations at tolerance 0.1.
+REGISTRY = {
+    spec.name: spec
+    for spec in [
+        DatasetSpec(
+            "adult", "logreg", 100_827, 123, 0.11, True, 7 * MB, 100,
+            separability=1.2, hard_fraction=0.3, label_noise=0.02,
+            noise_scale=0.3, feature_scale=1.0,
+            description="census income; sparse binary features",
+        ),
+        DatasetSpec(
+            "covtype", "logreg", 581_012, 54, 0.22, True, 68 * MB, 100,
+            separability=1.0, hard_fraction=0.5, label_noise=0.10,
+            noise_scale=0.3, feature_scale=1.0,
+            description="forest cover type; noisy, hard to separate",
+        ),
+        DatasetSpec(
+            "yearpred", "linreg", 463_715, 90, 1.0, False, 890 * MB, 100,
+            regression_noise=0.05, feature_scale=0.2,
+            description="YearPredictionMSD; dense regression",
+        ),
+        DatasetSpec(
+            "rcv1", "logreg", 677_399, 47_236, 1.5e-3, True, int(1.2 * GB), 100,
+            separability=1.5, hard_fraction=0.2, label_noise=0.02,
+            noise_scale=0.3, feature_scale=0.4, row_order="sorted",
+            description="Reuters news; very sparse, label-skewed row order",
+        ),
+        DatasetSpec(
+            "higgs", "svm", 11_000_000, 28, 0.92, False, int(7.4 * GB), 200,
+            separability=2.0, hard_fraction=0.0, label_noise=0.02,
+            noise_scale=0.3, feature_scale=1.0,
+            description="HIGGS; large dense, well separable",
+        ),
+        DatasetSpec(
+            "svm1", "svm", 5_516_800, 100, 1.0, False, 10 * GB, 200,
+            separability=2.0, hard_fraction=0.0, label_noise=0.02,
+            noise_scale=0.3, feature_scale=1.0,
+            description="synthetic dense SVM, 10 GB",
+        ),
+        DatasetSpec(
+            "svm2", "svm", 44_134_400, 100, 1.0, False, 80 * GB, 1000,
+            separability=2.0, hard_fraction=0.0, label_noise=0.02,
+            noise_scale=0.3, feature_scale=1.0,
+            description="synthetic dense SVM, 80 GB",
+        ),
+        DatasetSpec(
+            "svm3", "svm", 88_268_800, 100, 1.0, False, 160 * GB, 2000,
+            separability=2.0, hard_fraction=0.0, label_noise=0.02,
+            noise_scale=0.3, feature_scale=1.0,
+            description="synthetic dense SVM, 160 GB (exceeds Spark cache)",
+        ),
+    ]
+}
+
+#: Datasets in the order the paper's figures present them.
+PAPER_ORDER = ("adult", "covtype", "yearpred", "rcv1", "higgs", "svm1", "svm2", "svm3")
+
+
+def svm_a_spec(paper_n) -> DatasetSpec:
+    """One point of the SVM_A scalability sweep (#points varies, d=100)."""
+    bytes_total = int(paper_n * (160 * GB / 88_268_800))  # same row encoding as svm3
+    return DatasetSpec(
+        f"SVM_A_{paper_n}", "svm", paper_n, 100, 1.0, False, bytes_total,
+        phys_divisor=max(100, paper_n // 40_000),
+        separability=2.0, hard_fraction=0.0, label_noise=0.02,
+        noise_scale=0.3, feature_scale=1.0,
+        description="SVM_A scalability sweep point",
+    )
+
+
+def svm_b_spec(d) -> DatasetSpec:
+    """One point of the SVM_B sweep (10K points, #features varies)."""
+    bytes_total = int(10_000 * d * (90 * GB / (10_000 * 500_000)))
+    # Cap the physical matrix at ~25M elements (~200 MB) regardless of d.
+    divisor = max(10, (10_000 * d) // 25_000_000)
+    return DatasetSpec(
+        f"SVM_B_{d}", "svm", 10_000, d, 1.0, False, max(bytes_total, MB),
+        phys_divisor=divisor,
+        separability=2.0, hard_fraction=0.0, label_noise=0.02,
+        noise_scale=0.3, feature_scale=1.0,
+        description="SVM_B scalability sweep point",
+    )
+
+
+def generate(spec, seed=0, phys_n=None):
+    """Materialise physical arrays for a :class:`DatasetSpec`.
+
+    Returns ``(X, y)`` with ``phys_n`` rows (default: ``spec.phys_n``).
+    """
+    rng = np.random.default_rng(seed)
+    n = phys_n if phys_n is not None else spec.phys_n
+    if spec.task in ("logreg", "svm"):
+        X, y, _ = synth.make_classification(
+            n=n,
+            d=spec.d,
+            density=spec.density if spec.sparse else 1.0,
+            separability=spec.separability,
+            hard_fraction=spec.hard_fraction,
+            label_noise=spec.label_noise,
+            sparse=spec.sparse,
+            row_order=spec.row_order,
+            feature_scale=spec.feature_scale,
+            noise_scale=spec.noise_scale,
+            rng=rng,
+        )
+    elif spec.task == "linreg":
+        X, y, _ = synth.make_regression(
+            n=n,
+            d=spec.d,
+            density=spec.density if spec.sparse else 1.0,
+            noise=spec.regression_noise,
+            sparse=spec.sparse,
+            row_order=spec.row_order,
+            feature_scale=spec.feature_scale,
+            rng=rng,
+        )
+    else:
+        raise DataFormatError(f"unknown task {spec.task!r}")
+    return X, y
+
+
+def load(name_or_spec, cluster_spec=None, seed=0, phys_n=None):
+    """Generate and partition a registry dataset for the simulated cluster.
+
+    ``name_or_spec`` is a registry name (e.g. ``"adult"``) or a
+    :class:`DatasetSpec` (e.g. from :func:`svm_a_spec`).  The returned
+    :class:`PartitionedDataset` is in ``text`` representation, as stored
+    on HDFS before any Transform runs.
+    """
+    spec = REGISTRY[name_or_spec] if isinstance(name_or_spec, str) else name_or_spec
+    cluster_spec = cluster_spec or ClusterSpec()
+    X, y = generate(spec, seed=seed, phys_n=phys_n)
+    stats = spec.stats()
+    return PartitionedDataset(X, y, stats, cluster_spec, representation="text")
+
+
+def names():
+    """Registry dataset names in paper order."""
+    return list(PAPER_ORDER)

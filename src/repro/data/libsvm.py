@@ -1,0 +1,130 @@
+"""Reader/writer for the LIBSVM sparse text format.
+
+The paper's real datasets come from the LIBSVM repository (Section 8.1)
+and its running example parses exactly this format (Figure 3(a): a label
+followed by ``index:value`` pairs).  Users who have the original files can
+load them through :func:`read_libsvm` and run the optimizer on real data;
+the test-suite uses :func:`write_libsvm` round-trips.
+
+Indices in files are 1-based (LIBSVM convention) and converted to 0-based
+column positions in the returned CSR matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse as sp
+
+from repro.errors import DataFormatError
+
+
+def parse_libsvm_line(line, line_no=0):
+    """Parse one LIBSVM line into ``(label, indices, values)``.
+
+    Mirrors the Transform operator of Figure 3(a): "identifies the
+    double-type dimensions of each data point as well as its label ...
+    outputs a sparse data unit containing a label, a set of indices, and
+    a set of values".
+    """
+    parts = line.strip().split()
+    if not parts:
+        raise DataFormatError(f"line {line_no}: empty data unit")
+    try:
+        label = float(parts[0])
+    except ValueError as exc:
+        raise DataFormatError(f"line {line_no}: bad label {parts[0]!r}") from exc
+    indices = []
+    values = []
+    for item in parts[1:]:
+        if item.startswith("#"):
+            break  # trailing comment
+        idx_str, _, val_str = item.partition(":")
+        if not val_str:
+            raise DataFormatError(
+                f"line {line_no}: expected index:value, got {item!r}"
+            )
+        try:
+            idx = int(idx_str)
+            val = float(val_str)
+        except ValueError as exc:
+            raise DataFormatError(
+                f"line {line_no}: bad feature entry {item!r}"
+            ) from exc
+        if idx < 1:
+            raise DataFormatError(
+                f"line {line_no}: LIBSVM indices are 1-based, got {idx}"
+            )
+        indices.append(idx - 1)
+        values.append(val)
+    if indices and any(b <= a for a, b in zip(indices, indices[1:])):
+        # LIBSVM requires ascending indices; tolerate but normalise.
+        order = np.argsort(indices, kind="stable")
+        indices = [indices[i] for i in order]
+        values = [values[i] for i in order]
+    return label, indices, values
+
+
+def read_libsvm(path_or_lines, n_features=None):
+    """Read a LIBSVM file (path, file object or iterable of lines).
+
+    Returns ``(X, y)`` where ``X`` is CSR with ``n_features`` columns
+    (inferred from the data when not given).
+    """
+    if isinstance(path_or_lines, str):
+        with open(path_or_lines) as handle:
+            return read_libsvm(handle, n_features=n_features)
+
+    labels = []
+    indptr = [0]
+    col_indices = []
+    data = []
+    max_index = -1
+    for line_no, line in enumerate(path_or_lines, start=1):
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        label, idx, vals = parse_libsvm_line(line, line_no)
+        labels.append(label)
+        col_indices.extend(idx)
+        data.extend(vals)
+        indptr.append(len(col_indices))
+        if idx:
+            max_index = max(max_index, idx[-1])
+
+    if not labels:
+        raise DataFormatError("no data units found in LIBSVM input")
+    d = n_features if n_features is not None else max_index + 1
+    if d <= max_index:
+        raise DataFormatError(
+            f"n_features={d} but the file references feature {max_index + 1}"
+        )
+    d = max(1, d)
+    X = sp.csr_matrix(
+        (np.asarray(data), np.asarray(col_indices, dtype=np.int32),
+         np.asarray(indptr, dtype=np.int64)),
+        shape=(len(labels), d),
+    )
+    return X, np.asarray(labels)
+
+
+def write_libsvm(path_or_handle, X, y, precision=6):
+    """Write ``(X, y)`` in LIBSVM format (1-based, ascending indices)."""
+    if isinstance(path_or_handle, str):
+        with open(path_or_handle, "w") as handle:
+            write_libsvm(handle, X, y, precision=precision)
+            return
+    handle = path_or_handle
+    X = sp.csr_matrix(X)
+    if X.shape[0] != len(y):
+        raise DataFormatError(
+            f"X has {X.shape[0]} rows but y has {len(y)} labels"
+        )
+    fmt = f"{{:d}}:{{:.{precision}g}}"
+    for row in range(X.shape[0]):
+        lo, hi = X.indptr[row], X.indptr[row + 1]
+        entries = " ".join(
+            fmt.format(int(col) + 1, float(val))
+            for col, val in zip(X.indices[lo:hi], X.data[lo:hi])
+        )
+        label = y[row]
+        label_str = f"{int(label):d}" if float(label).is_integer() else f"{label:g}"
+        handle.write(f"{label_str} {entries}\n" if entries else f"{label_str}\n")

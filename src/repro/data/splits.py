@@ -1,0 +1,29 @@
+"""Train/test splitting utilities.
+
+The paper's accuracy experiment (Section 8.5) uses the LIBSVM-provided
+test sets where available "otherwise we randomly split the initial dataset
+in training (80%) and testing (20%)".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataFormatError
+
+
+def train_test_split(X, y, test_fraction=0.2, rng=None):
+    """Random split into (X_train, y_train, X_test, y_test)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    if not 0.0 < test_fraction < 1.0:
+        raise DataFormatError("test_fraction must be in (0, 1)")
+    n = X.shape[0]
+    n_test = max(1, int(round(n * test_fraction)))
+    if n_test >= n:
+        raise DataFormatError(
+            f"cannot hold out {n_test} of {n} rows for testing"
+        )
+    perm = rng.permutation(n)
+    test_idx = perm[:n_test]
+    train_idx = perm[n_test:]
+    return X[train_idx], y[train_idx], X[test_idx], y[test_idx]

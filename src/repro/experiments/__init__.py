@@ -1,0 +1,24 @@
+"""Experiment harness: one module per paper figure/table.
+
+See DESIGN.md section 4 for the experiment index.  Typical use:
+
+    from repro.experiments import run_experiment
+    for table in run_experiment("fig08"):
+        print(table.render())
+"""
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import Table
+
+__all__ = ["ExperimentContext", "Table", "run_experiment", "run_all",
+           "EXPERIMENTS"]
+
+
+def __getattr__(name):
+    # Lazy import: the registry imports every experiment module, which
+    # is wasteful for users who only want the context/table types.
+    if name in ("run_experiment", "run_all", "EXPERIMENTS"):
+        from repro.experiments import registry
+
+        return getattr(registry, name)
+    raise AttributeError(name)

@@ -1,0 +1,77 @@
+"""Figure 1 (right side): no GD algorithm is an all-times winner.
+
+The paper's motivating measurement: the fastest GD variant differs per
+dataset/tolerance -- "(i) for the adult dataset MGD takes less time ...
+(ii) for the covtype BGD is faster ... (iii) for the rcv1 dataset SGD is
+the winner".  We train each dataset with each algorithm (the optimizer
+picking the best plan *for that algorithm*) and report simulated
+training time; the reproduction target is winner diversity, not the
+absolute seconds.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimizer import GDOptimizer
+from repro.core.plans import TrainingSpec
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import Table
+
+#: (dataset, task, tolerance, iteration cap) cases.  The paper's Figure 1
+#: uses adult/covtype (SVM, 0.01) and rcv1 (LogR, 1e-4); our calibrated
+#: stand-ins express the same no-all-times-winner behaviour across the
+#: Table 2 tasks with winner flips driven by the tolerance, which is the
+#: mechanism Section 8.3 highlights ("other GD algorithms can be the
+#: winner for different tolerance values and tasks").
+CASES = (
+    ("adult", "logreg", 1e-2, 2000),
+    ("covtype", "logreg", 1e-2, 2000),
+    ("covtype", "logreg", 1e-3, 10000),
+    ("rcv1", "logreg", 1e-4, 2000),
+)
+
+ALGORITHMS = ("bgd", "mgd", "sgd")
+
+
+def run(ctx=None) -> Table:
+    ctx = ctx or ExperimentContext.from_env()
+    rows = []
+    for name, task, tolerance, cap in CASES:
+        dataset = ctx.dataset(name)
+        row = {"dataset": name, "task": task, "tolerance": tolerance}
+        times = {}
+        for algorithm in ALGORITHMS:
+            engine = ctx.engine()
+            training = TrainingSpec(
+                task=task,
+                tolerance=tolerance,
+                max_iter=cap,
+                time_budget_s=ctx.time_limit_s,
+                seed=ctx.seed,
+            )
+            optimizer = GDOptimizer(
+                engine, estimator=ctx.estimator(), algorithms=(algorithm,)
+            )
+            _, result = optimizer.train(dataset, training)
+            times[algorithm] = result.sim_seconds
+            row[f"{algorithm}_s"] = round(result.sim_seconds, 2)
+            row[f"{algorithm}_iters"] = result.iterations
+        row["winner"] = min(times, key=times.get)
+        rows.append(row)
+
+    winners = {row["winner"] for row in rows}
+    return Table(
+        experiment="Figure 1",
+        title="Training time per GD algorithm (no all-times winner)",
+        columns=[
+            "dataset", "task", "tolerance",
+            "bgd_s", "mgd_s", "sgd_s",
+            "bgd_iters", "mgd_iters", "sgd_iters", "winner",
+        ],
+        rows=rows,
+        notes=[
+            f"distinct winners across datasets: {sorted(winners)}",
+            "paper: adult->MGD, covtype->BGD, rcv1->SGD; the reproduction "
+            "target is winner *diversity* driven by the same mechanisms "
+            "(iteration counts vs per-iteration cost).",
+        ],
+    )

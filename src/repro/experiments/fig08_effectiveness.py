@@ -1,0 +1,81 @@
+"""Figure 8: optimizer effectiveness -- chosen plan vs best and worst.
+
+For each dataset, every plan in the search space is executed to
+convergence; the optimizer then makes its (speculation-based) choice.
+The paper's claims: "ML4all always selects the fastest GD plan" and the
+optimization overhead stays within a few seconds ("4.6 to 8 seconds").
+The reproduction checks that the chosen plan's time is at (or within
+noise of) the exhaustive minimum and far from the maximum -- like a
+database optimizer, the real goal is avoiding the worst plans.
+"""
+
+from __future__ import annotations
+
+from repro.core.executor import execute_plan
+from repro.core.optimizer import GDOptimizer
+from repro.core.plan_space import enumerate_plans
+from repro.core.plans import TrainingSpec
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import Table
+
+
+def exhaustive(ctx, dataset, training):
+    """Run all plans; returns {plan_label: sim_seconds}."""
+    times = {}
+    for plan in enumerate_plans():
+        engine = ctx.engine()
+        result = execute_plan(engine, dataset, plan, training)
+        times[plan.label] = result.sim_seconds
+    return times
+
+
+def run(ctx=None) -> Table:
+    ctx = ctx or ExperimentContext.from_env()
+    rows = []
+    for name in ctx.datasets:
+        dataset = ctx.dataset(name)
+        training = TrainingSpec(
+            task=dataset.stats.task,
+            tolerance=ctx.tolerance(name),
+            max_iter=ctx.max_iter,
+            time_budget_s=ctx.time_limit_s,
+            seed=ctx.seed,
+        )
+        times = exhaustive(ctx, dataset, training)
+        best_plan = min(times, key=times.get)
+        worst_plan = max(times, key=times.get)
+
+        engine = ctx.engine(seed_offset=100)
+        optimizer = GDOptimizer(engine, estimator=ctx.estimator())
+        report, result = optimizer.train(dataset, training)
+        chosen_total = result.sim_seconds + report.speculation_sim_s
+        ranked = sorted(times.values())
+        chosen_rank = 1 + sum(
+            1 for t in ranked if t < times[str(report.chosen_plan)] * 0.999
+        )
+        rows.append({
+            "dataset": name,
+            "min_plan": best_plan,
+            "min_s": round(times[best_plan], 2),
+            "max_plan": worst_plan,
+            "max_s": round(times[worst_plan], 2),
+            "chosen": str(report.chosen_plan),
+            "chosen_exec_s": round(result.sim_seconds, 2),
+            "speculation_s": round(report.speculation_sim_s, 2),
+            "total_s": round(chosen_total, 2),
+            "rank": f"{chosen_rank}/{len(times)}",
+        })
+    return Table(
+        experiment="Figure 8",
+        title="Best/worst plan vs the optimizer's choice (+overhead)",
+        columns=[
+            "dataset", "min_plan", "min_s", "max_plan", "max_s",
+            "chosen", "chosen_exec_s", "speculation_s", "total_s", "rank",
+        ],
+        rows=rows,
+        notes=[
+            "paper: the chosen plan always matches the exhaustive best; "
+            "optimization overhead 4.6-8s (mostly the Spark job that "
+            "collects the speculation sample).",
+        ],
+    )

@@ -1,0 +1,95 @@
+"""Figure 12: testing error (MSE) of MGD and SGD across systems.
+
+80/20 train/test split; every system trains with identical parameters
+and the mean squared error of predicted labels is compared.  Expected
+shape (Section 8.5): ML4all's aggressive sampling does *not* hurt
+accuracy -- errors match MLlib/SystemML closely -- except SGD on rcv1,
+where the shuffled-partition sampler meets the dataset's skewed row
+order (our rcv1 stand-in is label-sorted for exactly this reason) and
+the error rises above MLlib's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import MLlibBaseline, SystemMLBaseline
+from repro.cluster import PartitionedDataset
+from repro.core.executor import execute_plan
+from repro.core.optimizer import GDOptimizer
+from repro.core.plans import TrainingSpec
+from repro.data.splits import train_test_split
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import Table
+from repro.gd.gradients import task_gradient
+
+ALGORITHMS = ("mgd", "sgd")
+BATCH = 1000
+
+
+def _mse(weights, task, X, y):
+    if weights is None:
+        return None
+    pred = task_gradient(task).predict(weights, X)
+    return float(np.mean((pred - y) ** 2))
+
+
+def run(ctx=None) -> Table:
+    ctx = ctx or ExperimentContext.from_env()
+    datasets = [n for n in ctx.datasets if n != "svm3"]
+    rows = []
+    rng = np.random.default_rng(ctx.seed)
+    for name in datasets:
+        full = ctx.dataset(name)
+        X_train, y_train, X_test, y_test = train_test_split(
+            full.X, full.y, test_fraction=0.2, rng=rng
+        )
+        # Training rows keep the original order => skew is preserved.
+        train_ds = PartitionedDataset(
+            X_train, y_train,
+            full.stats, ctx.spec, representation="text",
+        )
+        task = full.stats.task
+        training = TrainingSpec(
+            task=task, tolerance=1e-3, max_iter=ctx.max_iter, seed=ctx.seed
+        )
+        for algorithm in ALGORITHMS:
+            row = {"dataset": name, "algorithm": algorithm}
+
+            mllib = MLlibBaseline().train(
+                ctx.engine(1), train_ds, training, algorithm,
+                batch_size=BATCH, time_limit_s=ctx.time_limit_s,
+            )
+            row["mllib_mse"] = _mse(mllib.weights, task, X_test, y_test)
+
+            sysml = SystemMLBaseline().train(
+                ctx.engine(2), train_ds, training, algorithm,
+                batch_size=BATCH, time_limit_s=ctx.time_limit_s,
+            )
+            row["systemml_mse"] = _mse(sysml.weights, task, X_test, y_test)
+
+            engine = ctx.engine(3)
+            optimizer = GDOptimizer(
+                engine, estimator=ctx.estimator(),
+                algorithms=(algorithm,), batch_sizes={"mgd": BATCH},
+            )
+            report = optimizer.optimize(train_ds, training)
+            result = execute_plan(
+                engine, train_ds, report.chosen_plan, training
+            )
+            row["ml4all_mse"] = _mse(result.weights, task, X_test, y_test)
+            row["ml4all_plan"] = str(report.chosen_plan)
+            rows.append(row)
+
+    return Table(
+        experiment="Figure 12",
+        title="Testing error (MSE), 80/20 split",
+        columns=["dataset", "algorithm", "mllib_mse", "systemml_mse",
+                 "ml4all_mse", "ml4all_plan"],
+        rows=rows,
+        notes=[
+            "paper: ML4all's error matches MLlib/SystemML despite "
+            "aggressive sampling; the exception is SGD on (skewed) rcv1 "
+            "with shuffled-partition sampling.",
+        ],
+    )

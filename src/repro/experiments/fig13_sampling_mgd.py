@@ -1,0 +1,21 @@
+"""Figure 13: sampling effect in MGD, for eager and lazy transformation."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.indepth import sampling_effect
+
+
+def run(ctx=None):
+    ctx = ctx or ExperimentContext.from_env()
+    eager = sampling_effect(
+        ctx, "mgd", "eager",
+        experiment="Figure 13(a)",
+        title="MGD sampling effect, eager transformation",
+    )
+    lazy = sampling_effect(
+        ctx, "mgd", "lazy",
+        experiment="Figure 13(b)",
+        title="MGD sampling effect, lazy transformation",
+    )
+    return [eager, lazy]

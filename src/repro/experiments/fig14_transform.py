@@ -1,0 +1,22 @@
+"""Figure 14: transformation effect with shuffled-partition sampling."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.indepth import transform_effect
+
+
+def run(ctx=None):
+    ctx = ctx or ExperimentContext.from_env()
+    return [
+        transform_effect(
+            ctx, ("sgd",), "shuffle",
+            experiment="Figure 14(a)",
+            title="SGD eager vs lazy, shuffled-partition sampling",
+        ),
+        transform_effect(
+            ctx, ("mgd",), "shuffle",
+            experiment="Figure 14(b)",
+            title="MGD eager vs lazy, shuffled-partition sampling",
+        ),
+    ]

@@ -1,0 +1,22 @@
+"""Figure 17 (appendix): sampling effect in SGD, eager and lazy."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.indepth import sampling_effect
+
+
+def run(ctx=None):
+    ctx = ctx or ExperimentContext.from_env()
+    return [
+        sampling_effect(
+            ctx, "sgd", "eager",
+            experiment="Figure 17(a)",
+            title="SGD sampling effect, eager transformation",
+        ),
+        sampling_effect(
+            ctx, "sgd", "lazy",
+            experiment="Figure 17(b)",
+            title="SGD sampling effect, lazy transformation",
+        ),
+    ]

@@ -1,0 +1,22 @@
+"""Figure 18 (appendix): transformation effect with random-partition."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.indepth import transform_effect
+
+
+def run(ctx=None):
+    ctx = ctx or ExperimentContext.from_env()
+    return [
+        transform_effect(
+            ctx, ("mgd",), "random",
+            experiment="Figure 18(a)",
+            title="MGD eager vs lazy, random-partition sampling",
+        ),
+        transform_effect(
+            ctx, ("sgd",), "random",
+            experiment="Figure 18(b)",
+            title="SGD eager vs lazy, random-partition sampling",
+        ),
+    ]

@@ -1,0 +1,79 @@
+"""Experiment registry: every paper table/figure by id.
+
+``run_experiment("fig08")`` executes one experiment and returns its
+table(s); ``run_all()`` regenerates the whole evaluation section.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ext_curvefit_ablation,
+    ext_extended_space,
+    ext_tuning,
+    fig01_motivation,
+    fig06_iterations,
+    fig07_estimates,
+    fig08_effectiveness,
+    fig09_systems,
+    fig10_scalability,
+    fig11_abstraction,
+    fig12_accuracy,
+    fig13_sampling_mgd,
+    fig14_transform,
+    fig15_16_curvefit,
+    fig17_sampling_sgd,
+    fig18_transform_random,
+    table2_datasets,
+    table4_plans,
+)
+from repro.experiments.common import ExperimentContext
+
+EXPERIMENTS = {
+    "fig01": (fig01_motivation.run, "Motivation: no all-times GD winner"),
+    "fig06": (fig06_iterations.run, "Estimated vs real iterations"),
+    "fig07": (fig07_estimates.run, "Estimated vs real training time"),
+    "fig08": (fig08_effectiveness.run, "Optimizer effectiveness"),
+    "fig09": (fig09_systems.run, "ML4all vs MLlib vs SystemML"),
+    "fig10": (fig10_scalability.run, "Scalability sweeps"),
+    "fig11": (fig11_abstraction.run, "Abstraction benefit/overhead"),
+    "fig12": (fig12_accuracy.run, "Testing error across systems"),
+    "fig13": (fig13_sampling_mgd.run, "Sampling effect in MGD"),
+    "fig14": (fig14_transform.run, "Transformation effect (shuffle)"),
+    "fig15_16": (fig15_16_curvefit.run, "Curve fitting / step sizes"),
+    "fig17": (fig17_sampling_sgd.run, "Sampling effect in SGD"),
+    "fig18": (fig18_transform_random.run, "Transformation effect (random)"),
+    "table2": (table2_datasets.run, "Dataset suite"),
+    "table4": (table4_plans.run, "Chosen plans per algorithm"),
+    "ext_space": (ext_extended_space.run,
+                  "Extension: plan space with extra algorithms"),
+    "ext_curvefit": (ext_curvefit_ablation.run,
+                     "Ablation: error-sequence fit models"),
+    "ext_tuning": (ext_tuning.run,
+                   "Extension: cost-based hyperparameter tuning"),
+}
+
+
+def run_experiment(experiment_id, ctx=None):
+    """Run one experiment; returns a list of Tables."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{sorted(EXPERIMENTS)}"
+        )
+    runner, _ = EXPERIMENTS[experiment_id]
+    result = runner(ctx or ExperimentContext.from_env())
+    return result if isinstance(result, list) else [result]
+
+
+def run_all(ctx=None, echo=print):
+    """Run every experiment, echoing tables; returns {id: [Table, ...]}."""
+    ctx = ctx or ExperimentContext.from_env()
+    out = {}
+    for experiment_id in EXPERIMENTS:
+        tables = run_experiment(experiment_id, ctx)
+        out[experiment_id] = tables
+        if echo:
+            for table in tables:
+                echo(table.render())
+                echo("")
+    return out

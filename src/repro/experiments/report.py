@@ -1,0 +1,85 @@
+"""Table rendering for the experiment harness.
+
+Every experiment returns a :class:`Table`; the benchmark suite prints it
+in the same row/series structure as the paper's figure, and
+EXPERIMENTS.md embeds the markdown rendering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class Table:
+    """A paper-figure-shaped result table."""
+
+    experiment: str
+    title: str
+    columns: list
+    rows: list  # list of dicts keyed by column name
+    notes: list = dataclasses.field(default_factory=list)
+
+    def _format_cell(self, value):
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 1:
+                return f"{value:.2f}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        """Fixed-width ASCII rendering."""
+        widths = {
+            col: max(
+                len(str(col)),
+                *(len(self._format_cell(row.get(col))) for row in self.rows),
+            ) if self.rows else len(str(col))
+            for col in self.columns
+        }
+        lines = [f"== {self.experiment}: {self.title} =="]
+        header = "  ".join(str(c).ljust(widths[c]) for c in self.columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(
+                    self._format_cell(row.get(c)).ljust(widths[c])
+                    for c in self.columns
+                )
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.experiment}: {self.title}", ""]
+        lines.append("| " + " | ".join(str(c) for c in self.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in self.columns) + "|")
+        for row in self.rows:
+            lines.append(
+                "| "
+                + " | ".join(
+                    self._format_cell(row.get(c)) for c in self.columns
+                )
+                + " |"
+            )
+        for note in self.notes:
+            lines.append(f"\n*{note}*")
+        return "\n".join(lines)
+
+    def column(self, name):
+        """All values of one column (convenience for assertions)."""
+        return [row.get(name) for row in self.rows]
+
+    def row_for(self, **match):
+        """First row matching all given column=value pairs."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError(f"no row matching {match}")

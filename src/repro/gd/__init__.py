@@ -1,0 +1,79 @@
+"""Gradient-descent algorithm substrate (pure numpy reference math)."""
+
+from repro.gd.base import (
+    AdaGradUpdater,
+    AdamUpdater,
+    GDRunResult,
+    MomentumUpdater,
+    Updater,
+    full_batch_selector,
+    make_minibatch_selector,
+    run_loop,
+)
+from repro.gd.bgd import bgd
+from repro.gd.convergence import (
+    ConvergenceCriterion,
+    L1WeightDelta,
+    L2WeightDelta,
+    make_convergence,
+)
+from repro.gd.gradients import (
+    Gradient,
+    HingeGradient,
+    L2Regularized,
+    LinearRegressionGradient,
+    LogisticGradient,
+    named_gradient,
+    task_gradient,
+)
+from repro.gd.line_search import backtracking_bgd
+from repro.gd.mgd import mgd
+from repro.gd.registry import ALGORITHMS, CORE_ALGORITHMS, AlgorithmInfo, info, run
+from repro.gd.sgd import sgd
+from repro.gd.step_size import (
+    ConstantStep,
+    InverseSqrtStep,
+    InverseSquaredStep,
+    InverseStep,
+    StepSize,
+    make_step_size,
+)
+from repro.gd.svrg import svrg
+
+__all__ = [
+    "AdaGradUpdater",
+    "AdamUpdater",
+    "GDRunResult",
+    "MomentumUpdater",
+    "Updater",
+    "full_batch_selector",
+    "make_minibatch_selector",
+    "run_loop",
+    "bgd",
+    "ConvergenceCriterion",
+    "L1WeightDelta",
+    "L2WeightDelta",
+    "make_convergence",
+    "Gradient",
+    "HingeGradient",
+    "L2Regularized",
+    "LinearRegressionGradient",
+    "LogisticGradient",
+    "named_gradient",
+    "task_gradient",
+    "backtracking_bgd",
+    "mgd",
+    "ALGORITHMS",
+    "CORE_ALGORITHMS",
+    "AlgorithmInfo",
+    "info",
+    "run",
+    "sgd",
+    "ConstantStep",
+    "InverseSqrtStep",
+    "InverseSquaredStep",
+    "InverseStep",
+    "StepSize",
+    "make_step_size",
+    "svrg",
+]

@@ -1,0 +1,15 @@
+"""Batch gradient descent (BGD).
+
+"This algorithm keeps the term as it is, i.e., no approximation is carried
+out ... each iteration of the GD algorithm requires a complete pass over
+the data set." (Section 2)
+"""
+
+from __future__ import annotations
+
+from repro.gd.base import full_batch_selector, run_loop
+
+
+def bgd(X, y, gradient, **kwargs):
+    """Run batch GD; accepts the keyword options of :func:`run_loop`."""
+    return run_loop(X, y, gradient, full_batch_selector, **kwargs)

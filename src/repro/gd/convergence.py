@@ -1,0 +1,59 @@
+"""Convergence criteria (the Converge operator's delta functions).
+
+The paper's reference Converge implementation (Listing 5) accumulates
+``delta += |w_j - w'_j|`` -- the **L1 norm** of the weight difference
+between successive iterations -- and Loop stops when ``delta < tolerance``
+(Listing 6).  The text also mentions the L2 norm as an alternative; both
+are provided, with L1 as the default used throughout the experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PlanError
+
+
+class ConvergenceCriterion:
+    """Interface: delta(w_old, w_new) -> float compared against tolerance."""
+
+    name = "base"
+
+    def delta(self, w_old, w_new) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class L1WeightDelta(ConvergenceCriterion):
+    """sum_j |w_j - w'_j| (Listing 5, the paper's reference Converge)."""
+
+    name = "l1"
+
+    def delta(self, w_old, w_new):
+        return float(np.abs(w_new - w_old).sum())
+
+
+class L2WeightDelta(ConvergenceCriterion):
+    """||w - w'||_2 (the alternative mentioned in Section 4.3)."""
+
+    name = "l2"
+
+    def delta(self, w_old, w_new):
+        return float(np.linalg.norm(w_new - w_old))
+
+
+_CRITERIA = {
+    "l1": L1WeightDelta,
+    "l2": L2WeightDelta,
+}
+
+
+def make_convergence(spec="l1"):
+    """Build a criterion from a name or pass through an instance."""
+    if isinstance(spec, ConvergenceCriterion):
+        return spec
+    if isinstance(spec, str) and spec.lower() in _CRITERIA:
+        return _CRITERIA[spec.lower()]()
+    raise PlanError(
+        f"unknown convergence criterion {spec!r}; expected one of "
+        f"{sorted(_CRITERIA)}"
+    )

@@ -1,0 +1,90 @@
+"""BGD with backtracking line search (Appendix C, Listings 9-10).
+
+"Backtracking line search chooses the step size in each iteration of GD as
+alpha_{k_i} = beta * alpha_{k_{i-1}} ... The iterations of the line search
+repeat until f(w_k) - f(w_k - alpha_{k_i} grad f(w_k))" exceeds a
+sufficient-decrease threshold.  We implement the standard Armijo form of
+that sketch: shrink alpha by ``beta`` until
+
+    f(w - alpha g) <= f(w) - c * alpha * ||g||^2
+
+Line search needs objective evaluations over the *entire* dataset, which
+is why the paper notes it "is not used in stochastic algorithms".
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import PlanError
+from repro.gd.base import GDRunResult
+from repro.gd.convergence import make_convergence
+
+
+def backtracking_bgd(
+    X,
+    y,
+    gradient,
+    alpha0=1.0,
+    beta=0.5,
+    c=1e-4,
+    max_backtracks=30,
+    tolerance=1e-3,
+    max_iter=1000,
+    convergence="l1",
+    w0=None,
+    time_budget_s=None,
+):
+    """Run BGD with Armijo backtracking; returns ``GDRunResult``.
+
+    Also records ``losses`` (the objective after each outer iteration),
+    since line search computes them anyway.
+    """
+    n, d = X.shape
+    if n == 0:
+        raise PlanError("cannot train on an empty dataset")
+    if not 0 < beta < 1:
+        raise PlanError("backtracking factor beta must be in (0, 1)")
+    if alpha0 <= 0:
+        raise PlanError("initial step alpha0 must be positive")
+    criterion = make_convergence(convergence)
+
+    w = np.zeros(d) if w0 is None else np.asarray(w0, dtype=float).copy()
+    deltas = []
+    losses = []
+    converged = False
+    start = time.perf_counter()
+    iterations = 0
+
+    for k in range(1, max_iter + 1):
+        grad = gradient.gradient(w, X, y)
+        f_w = gradient.loss(w, X, y)
+        g_norm_sq = float(grad @ grad)
+        alpha = alpha0
+        for _ in range(max_backtracks):
+            candidate = w - alpha * grad
+            if gradient.loss(candidate, X, y) <= f_w - c * alpha * g_norm_sq:
+                break
+            alpha *= beta
+        w_new = w - alpha * grad
+        delta = criterion.delta(w, w_new)
+        w = w_new
+        deltas.append(delta)
+        losses.append(gradient.loss(w, X, y))
+        iterations = k
+        if delta < tolerance:
+            converged = True
+            break
+        if time_budget_s is not None and time.perf_counter() - start > time_budget_s:
+            break
+
+    return GDRunResult(
+        weights=w,
+        iterations=iterations,
+        converged=converged,
+        deltas=np.asarray(deltas),
+        elapsed_s=time.perf_counter() - start,
+        losses=np.asarray(losses),
+    )

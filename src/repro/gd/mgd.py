@@ -1,0 +1,16 @@
+"""Mini-batch gradient descent (MGD).
+
+"A hybrid approach where a small sample of size b is randomly selected
+from the dataset to estimate the gradient ... MGD is also stochastic and
+independent of the dataset size." (Section 2)
+"""
+
+from __future__ import annotations
+
+from repro.gd.base import make_minibatch_selector, run_loop
+
+
+def mgd(X, y, gradient, batch_size=1000, **kwargs):
+    """Run MGD with the given batch size; options as in :func:`run_loop`."""
+    selector = make_minibatch_selector(X.shape[0], batch_size=batch_size)
+    return run_loop(X, y, gradient, selector, **kwargs)

@@ -1,0 +1,110 @@
+"""Uniform access to the GD algorithm zoo.
+
+The paper's search space "is fully parameterized based on the number of GD
+algorithms ... there could be tens of GD algorithms that the user might
+want to evaluate" (Section 6).  This registry is that parameterization
+point: the three fundamental variants the optimizer enumerates by default
+(BGD / MGD / SGD), plus the Appendix C accelerations (SVRG, line search)
+and adaptive-direction variants as extensions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import PlanError
+from repro.gd.base import (
+    AdaGradUpdater,
+    AdamUpdater,
+    MomentumUpdater,
+    make_minibatch_selector,
+    full_batch_selector,
+    run_loop,
+)
+from repro.gd.line_search import backtracking_bgd
+from repro.gd.svrg import svrg
+
+
+@dataclasses.dataclass(frozen=True)
+class AlgorithmInfo:
+    """Descriptor of one registered GD algorithm."""
+
+    name: str
+    #: None -> full batch; 1 -> single sample; other -> default mini-batch.
+    default_batch_size: int | None
+    #: Whether the algorithm reads a per-iteration sample (enables the
+    #: Sample operator and the lazy-transformation/data-skipping plans).
+    stochastic: bool
+    description: str
+
+
+ALGORITHMS = {
+    "bgd": AlgorithmInfo("bgd", None, False, "batch gradient descent"),
+    "mgd": AlgorithmInfo("mgd", 1000, True, "mini-batch gradient descent"),
+    "sgd": AlgorithmInfo("sgd", 1, True, "stochastic gradient descent"),
+    "svrg": AlgorithmInfo(
+        "svrg", 1, True, "stochastic variance-reduced gradient (Appendix C)"
+    ),
+    "line_search": AlgorithmInfo(
+        "line_search", None, False, "BGD with backtracking line search"
+    ),
+    "momentum": AlgorithmInfo("momentum", 1000, True, "MGD with Polyak momentum"),
+    "adagrad": AlgorithmInfo("adagrad", 1000, True, "MGD with AdaGrad scaling"),
+    "adam": AlgorithmInfo("adam", 1000, True, "MGD with Adam direction"),
+}
+
+#: The variants the cost-based optimizer enumerates by default (Figure 5).
+CORE_ALGORITHMS = ("bgd", "mgd", "sgd")
+
+
+def info(name) -> AlgorithmInfo:
+    try:
+        return ALGORITHMS[name]
+    except KeyError:
+        raise PlanError(
+            f"unknown GD algorithm {name!r}; expected one of {sorted(ALGORITHMS)}"
+        ) from None
+
+
+def updater_for(name):
+    """Direction updater for adaptive variants (None for vanilla GD)."""
+    if name == "momentum":
+        return MomentumUpdater()
+    if name == "adagrad":
+        return AdaGradUpdater()
+    if name == "adam":
+        return AdamUpdater()
+    return None
+
+
+def run(name, X, y, gradient, batch_size=None, **kwargs):
+    """Run any registered algorithm on in-memory data (pure math).
+
+    ``kwargs`` are forwarded to the underlying driver (``step_size``,
+    ``tolerance``, ``max_iter``, ``rng``, ``time_budget_s``, ...).
+    """
+    algo = info(name)
+    if name == "svrg":
+        kwargs = {k: v for k, v in kwargs.items()
+                  if k not in ("updater", "record_loss")}
+        return svrg(X, y, gradient, **kwargs)
+    if name == "line_search":
+        kwargs = {k: v for k, v in kwargs.items()
+                  if k not in ("rng", "updater", "step_size",
+                               "record_loss", "iteration_callback")}
+        return backtracking_bgd(X, y, gradient, **kwargs)
+
+    if algo.default_batch_size is None:
+        selector = full_batch_selector
+    elif name == "sgd":
+        # SGD is single-sample by definition; a batch_size override would
+        # silently turn it into MGD.
+        selector = make_minibatch_selector(X.shape[0], 1)
+    else:
+        size = batch_size if batch_size is not None else algo.default_batch_size
+        selector = make_minibatch_selector(X.shape[0], size)
+    updater = updater_for(name)
+    if updater is not None:
+        kwargs = dict(kwargs)
+        kwargs["updater"] = updater
+    return run_loop(X, y, gradient, selector, **kwargs)

@@ -1,0 +1,16 @@
+"""Stochastic gradient descent (SGD).
+
+"This algorithm takes a single random sample r from the data set for
+approximation ... the cost of each iteration is O(1), i.e., completely
+independent of the size of the data." (Section 2)
+"""
+
+from __future__ import annotations
+
+from repro.gd.base import make_minibatch_selector, run_loop
+
+
+def sgd(X, y, gradient, **kwargs):
+    """Run SGD (mini-batch of size 1); options as in :func:`run_loop`."""
+    selector = make_minibatch_selector(X.shape[0], batch_size=1)
+    return run_loop(X, y, gradient, selector, **kwargs)

@@ -1,0 +1,30 @@
+"""Declarative ML4all language (Appendix A): lexer, parser, interpreter."""
+
+from repro.lang.ast import (
+    ColumnSpec,
+    Constraints,
+    Controls,
+    DataSource,
+    PersistStatement,
+    PredictStatement,
+    RunStatement,
+)
+from repro.lang.interpreter import Interpreter
+from repro.lang.lexer import Token, parse_duration, tokenize
+from repro.lang.parser import Parser, parse
+
+__all__ = [
+    "ColumnSpec",
+    "Constraints",
+    "Controls",
+    "DataSource",
+    "PersistStatement",
+    "PredictStatement",
+    "RunStatement",
+    "Interpreter",
+    "Token",
+    "parse_duration",
+    "tokenize",
+    "Parser",
+    "parse",
+]

@@ -1,0 +1,81 @@
+"""Abstract syntax tree of the ML4all declarative language."""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ColumnSpec:
+    """A column selection like ``:2`` (single) or ``:4-20`` (range)."""
+
+    start: int
+    end: int | None = None  # inclusive; None means a single column
+
+    def __str__(self):
+        if self.end is None:
+            return str(self.start)
+        return f"{self.start}-{self.end}"
+
+
+@dataclasses.dataclass(frozen=True)
+class DataSource:
+    """A dataset reference: path/name, optional parser, optional columns.
+
+    ``run classification on libsvm(training.txt)`` yields
+    ``DataSource("training.txt", parser="libsvm")``;
+    ``input_data.txt:2, input_data.txt:4-20`` yields two sources whose
+    columns identify the label and the features respectively (query Q2).
+    """
+
+    path: str
+    parser: str | None = None
+    columns: ColumnSpec | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Constraints:
+    """The ``having`` clause: time / epsilon / max iter (all optional)."""
+
+    time_s: float | None = None
+    epsilon: float | None = None
+    max_iter: int | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Controls:
+    """The ``using`` clause: expert knobs for the optimizer (query Q3)."""
+
+    algorithm: str | None = None
+    convergence: str | None = None
+    step: float | None = None
+    sampler: str | None = None
+    batch: int | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class RunStatement:
+    """``[name =] run <task> on <sources> [having ...] [using ...];``"""
+
+    task: str
+    sources: tuple
+    having: Constraints = Constraints()
+    using: Controls = Controls()
+    result_name: str | None = None
+
+
+@dataclasses.dataclass(frozen=True)
+class PersistStatement:
+    """``persist <query-name> on <path>;``"""
+
+    name: str
+    path: str
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictStatement:
+    """``[name =] predict on <source> with <model>;``"""
+
+    source: DataSource
+    model: str
+    result_name: str | None = None

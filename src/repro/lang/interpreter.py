@@ -1,0 +1,125 @@
+"""Interpreter: executes parsed ML4all queries against the facade.
+
+Maps the Appendix A commands onto :class:`repro.api.ML4all`:
+
+* ``run``      -> cost-based optimization + training (``using`` pins)
+* ``persist``  -> save a named run's model to disk
+* ``predict``  -> apply a model (named result or persisted file) to data
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.lang import ast
+from repro.lang.parser import parse
+
+
+class Interpreter:
+    """Stateful session: named results persist across statements."""
+
+    def __init__(self, system):
+        self.system = system
+        #: name -> TrainedModel for ``Q1 = run ...`` statements
+        self.results = {}
+        #: predictions of named ``predict`` statements
+        self.predictions = {}
+        self.last_result = None
+
+    # ------------------------------------------------------------------
+    def execute(self, text):
+        """Parse and execute every statement; returns ``last_result``."""
+        for statement in parse(text):
+            self.last_result = self.execute_statement(statement)
+        return self.last_result
+
+    def execute_statement(self, statement):
+        if isinstance(statement, ast.RunStatement):
+            return self._run(statement)
+        if isinstance(statement, ast.PersistStatement):
+            return self._persist(statement)
+        if isinstance(statement, ast.PredictStatement):
+            return self._predict(statement)
+        raise QueryError(f"unsupported statement {type(statement).__name__}")
+
+    # ------------------------------------------------------------------
+    def _resolve_source(self, sources):
+        """Build (X, y)/dataset from one or two DataSource references.
+
+        The two-source form (``file:2, file:4-20``) selects the label and
+        feature columns of one CSV file (query Q2 of Appendix A).
+        """
+        primary = sources[0]
+        if len(sources) == 1 and primary.columns is None:
+            return self.system.load_dataset(primary.path)
+        if len(sources) == 2:
+            label_src, feature_src = sources
+            if label_src.path != feature_src.path:
+                raise QueryError(
+                    "label and feature column specs must reference the "
+                    "same file"
+                )
+            if label_src.columns is None or feature_src.columns is None:
+                raise QueryError(
+                    "both sources need column specs in the two-source form"
+                )
+            data = np.loadtxt(label_src.path, delimiter=",", ndmin=2)
+            y = data[:, label_src.columns.start]
+            end = feature_src.columns.end or feature_src.columns.start
+            X = data[:, feature_src.columns.start:end + 1]
+            return self.system.load_dataset((X, y), task="logreg")
+        raise QueryError("expected one dataset or a label/feature pair")
+
+    def _run(self, statement):
+        dataset = self._resolve_source(statement.sources)
+        having, using = statement.having, statement.using
+        model = self.system.train(
+            dataset,
+            task=statement.task,
+            epsilon=having.epsilon,
+            max_iter=having.max_iter,
+            time_budget=having.time_s,
+            algorithm=using.algorithm,
+            sampler=using.sampler,
+            step=using.step,
+            convergence=using.convergence,
+            batch=using.batch,
+        )
+        if statement.result_name:
+            self.results[statement.result_name] = model
+        return model
+
+    def _persist(self, statement):
+        if statement.name not in self.results:
+            raise QueryError(
+                f"unknown query result {statement.name!r}; assign one with "
+                f"'{statement.name} = run ...' first"
+            )
+        model = self.results[statement.name]
+        model.save(statement.path)
+        return statement.path
+
+    def _predict(self, statement):
+        from repro.api import TrainedModel
+
+        if statement.model in self.results:
+            model = self.results[statement.model]
+        elif os.path.exists(statement.model):
+            model = TrainedModel.load(statement.model)
+        else:
+            raise QueryError(
+                f"unknown model {statement.model!r}: neither a named run "
+                "result nor a model file"
+            )
+        dataset = self._resolve_source([statement.source])
+        predictions = model.predict(dataset.X)
+        output = {
+            "predictions": predictions,
+            "mse": model.mse(dataset.X, dataset.y),
+        }
+        if statement.result_name:
+            self.predictions[statement.result_name] = output
+        return output

@@ -1,0 +1,105 @@
+"""Tokenizer for the ML4all declarative language (Appendix A).
+
+The language is tiny -- three main commands (``run``, ``having``,
+``using``) plus ``persist`` and ``predict`` -- but queries mix keywords
+with file paths (``training_data.txt``), durations (``1h30m``), numbers
+(``0.01``), column specs (``:2``, ``:4-20``) and function-call syntax
+(``libsvm(training_data.txt)``, ``hinge()``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+
+from repro.errors import QueryError
+
+KEYWORDS = frozenset({
+    "run", "on", "having", "using", "persist", "predict", "with",
+    "time", "epsilon", "max", "iter", "algorithm", "convergence",
+    "step", "sampler", "batch",
+})
+
+#: token kinds
+(KEYWORD, WORD, NUMBER, DURATION, SYMBOL, EOF) = (
+    "KEYWORD", "WORD", "NUMBER", "DURATION", "SYMBOL", "EOF",
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<duration>\d+h(?:\d+m)?(?:\d+s)?|\d+m(?:\d+s)?|\d+s)(?![\w.])
+  | (?P<number>\d+\.\d+(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?
+       |\d+[eE][+-]?\d+|\d+)(?![\w.])
+  | (?P<word>[A-Za-z_][\w./-]*|/[\w./-]+|\.{1,2}/[\w./-]+)
+  | (?P<symbol>[=,;:()\-])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names) -> bool:
+        return self.kind == KEYWORD and self.value in names
+
+    def is_symbol(self, *symbols) -> bool:
+        return self.kind == SYMBOL and self.value in symbols
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}@{self.line}:{self.column})"
+
+
+def tokenize(text):
+    """Tokenize a query string; returns a list ending with an EOF token."""
+    tokens = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise QueryError(
+                f"unexpected character {text[pos]!r}", line=line, column=column
+            )
+        column = pos - line_start + 1
+        if match.lastgroup == "ws":
+            newlines = match.group().count("\n")
+            if newlines:
+                line += newlines
+                line_start = match.start() + match.group().rindex("\n") + 1
+        elif match.lastgroup == "duration":
+            tokens.append(Token(DURATION, match.group(), line, column))
+        elif match.lastgroup == "number":
+            tokens.append(Token(NUMBER, match.group(), line, column))
+        elif match.lastgroup == "word":
+            value = match.group()
+            kind = KEYWORD if value.lower() in KEYWORDS else WORD
+            value = value.lower() if kind == KEYWORD else value
+            tokens.append(Token(kind, value, line, column))
+        else:
+            tokens.append(Token(SYMBOL, match.group(), line, column))
+        pos = match.end()
+    tokens.append(Token(EOF, "", line, len(text) - line_start + 1))
+    return tokens
+
+
+def parse_duration(text, line=None, column=None) -> float:
+    """Parse a duration literal like ``1h30m`` into seconds."""
+    match = re.fullmatch(
+        r"(?:(?P<h>\d+)h)?(?:(?P<m>\d+)m)?(?:(?P<s>\d+)s)?", text
+    )
+    if match is None or not any(match.groupdict().values()):
+        raise QueryError(f"invalid duration {text!r}", line=line, column=column)
+    hours = int(match.group("h") or 0)
+    minutes = int(match.group("m") or 0)
+    seconds = int(match.group("s") or 0)
+    return float(hours * 3600 + minutes * 60 + seconds)

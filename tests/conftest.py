@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, PartitionedDataset, SimulatedCluster
+from repro.cluster.storage import DatasetStats
+from repro.data import make_classification, make_regression
+
+
+@pytest.fixture
+def spec():
+    """Default cluster spec without jitter, for deterministic assertions."""
+    return ClusterSpec(jitter_sigma=0.0)
+
+
+@pytest.fixture
+def engine(spec):
+    return SimulatedCluster(spec, seed=0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def make_dataset(
+    n_phys=200,
+    d=10,
+    sim_n=None,
+    spec=None,
+    task="logreg",
+    representation="text",
+    seed=0,
+    sparse=False,
+    block_bytes=None,
+    **gen_kwargs,
+):
+    """Build a small PartitionedDataset for tests.
+
+    ``sim_n`` (default: n_phys) sets the simulated row count;
+    ``block_bytes`` optionally overrides the HDFS block size so tests can
+    force a specific partition count.
+    """
+    spec = spec or ClusterSpec(jitter_sigma=0.0)
+    if block_bytes is not None:
+        spec = spec.with_overrides(hdfs_block_bytes=block_bytes)
+    rng = np.random.default_rng(seed)
+    if task == "linreg":
+        X, y, _ = make_regression(n_phys, d, sparse=sparse, rng=rng, **gen_kwargs)
+    else:
+        X, y, _ = make_classification(
+            n_phys, d, sparse=sparse, rng=rng, **gen_kwargs
+        )
+    stats = DatasetStats(
+        name="test",
+        task=task,
+        n=sim_n or n_phys,
+        d=d,
+        density=gen_kwargs.get("density", 1.0),
+        is_sparse=sparse,
+    )
+    return PartitionedDataset(X, y, stats, spec, representation=representation)
+
+
+@pytest.fixture
+def small_dataset(spec):
+    return make_dataset(spec=spec)

@@ -1,0 +1,92 @@
+"""Unit tests for the Spark-like cache manager."""
+
+import pytest
+
+from repro.cluster import CacheManager
+
+from conftest import make_dataset
+
+
+class TestCacheManager:
+    def test_insert_fully_cached(self):
+        ds = make_dataset(n_phys=100, d=5)
+        cache = CacheManager(ds.total_bytes * 2)
+        fraction = cache.insert(ds)
+        assert fraction == 1.0
+        assert cache.cached_fraction(ds) == 1.0
+
+    def test_insert_partially_cached(self):
+        ds = make_dataset(n_phys=100, d=5)
+        cache = CacheManager(ds.total_bytes // 2)
+        fraction = cache.insert(ds)
+        assert 0 < fraction < 1
+        assert cache.cached_fraction(ds) == pytest.approx(fraction)
+
+    def test_memory_overhead_inflates_footprint(self):
+        ds = make_dataset(n_phys=100, d=5)
+        cache = CacheManager(int(ds.total_bytes * 1.5))
+        assert cache.insert(ds) == 1.0
+        cache.clear()
+        assert cache.insert(ds, memory_overhead=2.0) < 1.0
+
+    def test_zero_capacity_caches_nothing(self):
+        ds = make_dataset(n_phys=50, d=5)
+        cache = CacheManager(0)
+        assert cache.insert(ds) == 0.0
+        assert cache.cached_fraction(ds) == 0.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CacheManager(-1)
+
+    def test_lru_eviction(self):
+        a = make_dataset(n_phys=100, d=5, seed=1)
+        b = make_dataset(n_phys=100, d=5, seed=2)
+        c = make_dataset(n_phys=100, d=5, seed=3)
+        cache = CacheManager(int(a.total_bytes * 2.2))
+        cache.insert(a)
+        cache.insert(b)
+        # Touch a so b becomes least-recently-used.
+        cache.touch(a)
+        cache.insert(c)
+        assert cache.cached_fraction(b) < 1.0
+        assert cache.cached_fraction(a) == 1.0
+
+    def test_evict_removes_entry(self):
+        ds = make_dataset(n_phys=100, d=5)
+        cache = CacheManager(ds.total_bytes * 2)
+        cache.insert(ds)
+        cache.evict(ds)
+        assert cache.cached_fraction(ds) == 0.0
+
+    def test_text_and_binary_cached_independently(self):
+        ds = make_dataset(n_phys=100, d=5)
+        binary = ds.as_binary()
+        cache = CacheManager(ds.total_bytes + binary.total_bytes + 10)
+        cache.insert(ds)
+        cache.insert(binary)
+        assert cache.cached_fraction(ds) == 1.0
+        assert cache.cached_fraction(binary) == 1.0
+
+    def test_reinsert_updates_not_duplicates(self):
+        ds = make_dataset(n_phys=100, d=5)
+        cache = CacheManager(ds.total_bytes * 3)
+        cache.insert(ds)
+        used_once = cache.used_bytes
+        cache.insert(ds)
+        assert cache.used_bytes == used_once
+
+    def test_used_and_free_bytes(self):
+        ds = make_dataset(n_phys=100, d=5)
+        cache = CacheManager(ds.total_bytes * 2)
+        assert cache.free_bytes == cache.capacity_bytes
+        cache.insert(ds)
+        assert cache.used_bytes == ds.total_bytes
+        assert cache.free_bytes == cache.capacity_bytes - ds.total_bytes
+
+    def test_clear(self):
+        ds = make_dataset(n_phys=100, d=5)
+        cache = CacheManager(ds.total_bytes * 2)
+        cache.insert(ds)
+        cache.clear()
+        assert cache.used_bytes == 0

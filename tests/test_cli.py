@@ -1,0 +1,54 @@
+"""Tests for the python -m repro command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLIMain:
+    def test_inline_query(self, capsys):
+        code = main(["run classification on adult having epsilon 0.05, "
+                     "max iter 200;"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chosen plan" in out
+        assert "iterations" in out
+
+    def test_query_file(self, tmp_path, capsys):
+        path = tmp_path / "q.ml4all"
+        path.write_text(
+            "run classification on adult having epsilon 0.05, "
+            "max iter 200;"
+        )
+        assert main(["--file", str(path)]) == 0
+        assert "chosen plan" in capsys.readouterr().out
+
+    def test_bad_query_reports_error(self, capsys):
+        code = main(["run nothing;"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_no_arguments_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_pinned_algorithm_query(self, capsys):
+        code = main(["run svm on svm1 having max iter 100 using "
+                     "algorithm sgd, sampler shuffle();"])
+        assert code == 0
+
+
+@pytest.mark.slow
+class TestCLISubprocess:
+    def test_module_invocation(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro",
+             "run classification on adult having epsilon 0.05, "
+             "max iter 100;"],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0
+        assert "iterations" in proc.stdout

@@ -1,0 +1,72 @@
+"""Unit tests for convergence criteria (the Converge operator maths)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import PlanError
+from repro.gd.convergence import (
+    L1WeightDelta,
+    L2WeightDelta,
+    make_convergence,
+)
+
+
+class TestCriteria:
+    def test_l1_matches_listing5(self):
+        # Listing 5: delta += |w_j - w'_j| over all j.
+        old = np.array([1.0, -2.0, 3.0])
+        new = np.array([0.5, -1.0, 3.0])
+        assert L1WeightDelta().delta(old, new) == pytest.approx(1.5)
+
+    def test_l2(self):
+        old = np.zeros(2)
+        new = np.array([3.0, 4.0])
+        assert L2WeightDelta().delta(old, new) == pytest.approx(5.0)
+
+    def test_identical_weights_zero_delta(self):
+        w = np.array([1.0, 2.0])
+        assert L1WeightDelta().delta(w, w) == 0.0
+        assert L2WeightDelta().delta(w, w) == 0.0
+
+    @given(
+        w=hnp.arrays(np.float64, 8,
+                     elements=st.floats(-1e6, 1e6)),
+        v=hnp.arrays(np.float64, 8,
+                     elements=st.floats(-1e6, 1e6)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_norm_inequality(self, w, v):
+        """L2 <= L1 <= sqrt(d) * L2 for any weight pair."""
+        l1 = L1WeightDelta().delta(w, v)
+        l2 = L2WeightDelta().delta(w, v)
+        assert l2 <= l1 + 1e-9
+        assert l1 <= np.sqrt(8) * l2 + 1e-9
+
+    @given(
+        w=hnp.arrays(np.float64, 5, elements=st.floats(-100, 100)),
+        v=hnp.arrays(np.float64, 5, elements=st.floats(-100, 100)),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_symmetry_and_nonnegativity(self, w, v):
+        for criterion in (L1WeightDelta(), L2WeightDelta()):
+            assert criterion.delta(w, v) >= 0
+            assert criterion.delta(w, v) == pytest.approx(
+                criterion.delta(v, w)
+            )
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_convergence("l1"), L1WeightDelta)
+        assert isinstance(make_convergence("L2"), L2WeightDelta)
+
+    def test_passthrough(self):
+        criterion = L1WeightDelta()
+        assert make_convergence(criterion) is criterion
+
+    def test_unknown(self):
+        with pytest.raises(PlanError):
+            make_convergence("linf")

@@ -1,0 +1,202 @@
+"""Unit and property tests for the Section 7 cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec
+from repro.cluster.storage import DatasetStats
+from repro.core.cost_model import (
+    CostModel,
+    compute_cpu_per_unit,
+    cpu_cost,
+    io_cost,
+    layout_for,
+    network_cost,
+    transform_cpu_per_unit,
+)
+from repro.core.plans import GDPlan
+
+
+@pytest.fixture
+def spec():
+    return ClusterSpec(jitter_sigma=0.0)
+
+
+def stats_for(n=100_000, d=50, density=1.0, sparse=False):
+    return DatasetStats("x", "svm", n=n, d=d, density=density,
+                        is_sparse=sparse)
+
+
+class TestLayout:
+    def test_partition_count_matches_table1(self, spec):
+        stats = stats_for(n=2_000_000, d=100)
+        layout = layout_for(spec, stats, "binary")
+        expected_p = -(-stats.binary_bytes // spec.hdfs_block_bytes)
+        assert layout.p == expected_p
+
+    def test_units_per_partition(self, spec):
+        stats = stats_for(n=2_000_000, d=100)
+        layout = layout_for(spec, stats, "binary")
+        assert layout.k == -(-stats.n // layout.p)
+        assert layout.k * layout.p >= stats.n
+
+    def test_text_layout_has_more_partitions_when_text_is_bigger(self, spec):
+        stats = DatasetStats("x", "svm", n=5_000_000, d=100,
+                             row_text_bytes=1800.0)
+        text = layout_for(spec, stats, "text")
+        binary = layout_for(spec, stats, "binary")
+        assert text.p > binary.p
+
+
+class TestFormulas:
+    def test_io_cost_formula3_manual(self, spec):
+        stats = stats_for(n=4_000_000, d=100)
+        layout = layout_for(spec, stats, "binary")
+        cost = io_cost(spec, layout, in_memory=False)
+        full_waves = layout.p // spec.cap
+        remaining = layout.p % spec.cap
+        per_partition = spec.seek_disk_s + (
+            layout.partition_bytes / spec.page_bytes * spec.page_io_disk_s
+        )
+        expected = (full_waves + (1 if remaining else 0)) * per_partition
+        assert cost == pytest.approx(expected)
+
+    def test_memory_io_cheaper(self, spec):
+        layout = layout_for(spec, stats_for(n=4_000_000, d=100), "binary")
+        assert io_cost(spec, layout, True) < io_cost(spec, layout, False)
+
+    def test_cpu_cost_formula4_scales_with_waves(self, spec):
+        small = layout_for(spec, stats_for(n=100_000, d=100), "binary")
+        big = layout_for(spec, stats_for(n=10_000_000, d=100), "binary")
+        cpu_unit = 1e-6
+        assert cpu_cost(spec, big, cpu_unit) > cpu_cost(spec, small, cpu_unit)
+
+    def test_network_cost_formula5(self, spec):
+        nbytes = spec.packet_bytes * 10
+        assert network_cost(spec, nbytes) == pytest.approx(
+            spec.transfer_s(nbytes)
+        )
+
+    @given(n=st.integers(min_value=1000, max_value=10**8))
+    @settings(max_examples=40, deadline=None)
+    def test_io_cost_monotone_in_size(self, n):
+        spec = ClusterSpec(jitter_sigma=0.0)
+        small = layout_for(spec, stats_for(n=n, d=20), "binary")
+        large = layout_for(spec, stats_for(n=2 * n, d=20), "binary")
+        assert io_cost(spec, large, False) >= io_cost(spec, small, False)
+
+    def test_cpu_per_unit_scales_with_nnz(self, spec):
+        dense = layout_for(spec, stats_for(d=100), "binary")
+        sparse = layout_for(
+            spec, stats_for(d=100, density=0.1, sparse=True), "binary"
+        )
+        assert compute_cpu_per_unit(spec, dense) > \
+            compute_cpu_per_unit(spec, sparse)
+        assert transform_cpu_per_unit(spec, dense) > \
+            transform_cpu_per_unit(spec, sparse)
+
+
+class TestPlanCosts:
+    def test_bgd_per_iteration_dominates_stochastic(self, spec):
+        model = CostModel(spec)
+        stats = stats_for(n=5_000_000, d=100)
+        bgd = sum(model.per_iteration_cost(GDPlan("bgd"), stats).values())
+        sgd = sum(model.per_iteration_cost(
+            GDPlan("sgd", "lazy", "shuffle"), stats).values())
+        # Both share fixed per-iteration overheads (loop plumbing, the
+        # sampling job), so the gap is bounded by the data-touch costs.
+        assert bgd > 5 * sgd
+
+    def test_bernoulli_costs_full_scan(self, spec):
+        model = CostModel(spec)
+        stats = stats_for(n=5_000_000, d=100)
+        bernoulli = model.per_iteration_cost(
+            GDPlan("mgd", "eager", "bernoulli"), stats
+        )["sample"]
+        shuffle = model.per_iteration_cost(
+            GDPlan("mgd", "eager", "shuffle"), stats
+        )["sample"]
+        assert bernoulli > 3 * shuffle
+
+    def test_sgd_bernoulli_includes_empty_retries(self, spec):
+        model = CostModel(spec)
+        stats = stats_for(n=5_000_000, d=100)
+        sgd_sample = model.per_iteration_cost(
+            GDPlan("sgd", "eager", "bernoulli"), stats
+        )["sample"]
+        mgd_sample = model.per_iteration_cost(
+            GDPlan("mgd", "eager", "bernoulli"), stats
+        )["sample"]
+        # Poisson(1) is empty 37% of the time -> expected 1.58 scans.
+        assert sgd_sample > 1.3 * mgd_sample
+
+    def test_lazy_plans_have_no_transform_one_time(self, spec):
+        model = CostModel(spec)
+        stats = stats_for(n=5_000_000, d=100)
+        eager = model.one_time_cost(GDPlan("sgd", "eager", "shuffle"), stats)
+        lazy = model.one_time_cost(GDPlan("sgd", "lazy", "shuffle"), stats)
+        assert "transform" in eager
+        assert "transform" not in lazy
+
+    def test_lazy_pays_transform_per_iteration(self, spec):
+        model = CostModel(spec)
+        stats = stats_for(n=5_000_000, d=100)
+        lazy = model.per_iteration_cost(GDPlan("sgd", "lazy", "shuffle"),
+                                        stats)
+        assert "transform" in lazy
+        eager = model.per_iteration_cost(GDPlan("sgd", "eager", "shuffle"),
+                                         stats)
+        assert "transform" not in eager
+
+    def test_random_access_costs_scale_with_batch(self, spec):
+        model = CostModel(spec)
+        stats = stats_for(n=5_000_000, d=100)
+        # Lazy plans sample the raw (uncached) text file, so every access
+        # pays a disk seek -- the regime where random-partition hurts.
+        small = model.per_iteration_cost(
+            GDPlan("mgd", "lazy", "random", batch_size=10), stats
+        )["sample"]
+        large = model.per_iteration_cost(
+            GDPlan("mgd", "lazy", "random", batch_size=1000), stats
+        )["sample"]
+        assert large > 20 * small
+
+    def test_estimate_composition(self, spec):
+        """Formula 7: total = one_time + T * per_iteration."""
+        model = CostModel(spec)
+        stats = stats_for()
+        plan = GDPlan("bgd")
+        one, per, total, breakdown = model.estimate(plan, stats, 100)
+        assert total == pytest.approx(one + 100 * per)
+        assert any(k.startswith("one_time:") for k in breakdown)
+        assert any(k.startswith("iter:") for k in breakdown)
+
+    @given(iterations=st.integers(min_value=1, max_value=100_000))
+    @settings(max_examples=30, deadline=None)
+    def test_total_monotone_in_iterations(self, iterations):
+        spec = ClusterSpec(jitter_sigma=0.0)
+        model = CostModel(spec)
+        stats = stats_for()
+        plan = GDPlan("mgd", "eager", "shuffle")
+        _, _, t1, _ = model.estimate(plan, stats, iterations)
+        _, _, t2, _ = model.estimate(plan, stats, iterations + 1)
+        assert t2 > t1
+
+    def test_cache_capacity_changes_bgd_cost(self):
+        stats = stats_for(n=50_000_000, d=100)  # ~40 GB binary
+        cached_spec = ClusterSpec(jitter_sigma=0.0)
+        tiny_cache = ClusterSpec(jitter_sigma=0.0,
+                                 cache_bytes=1024 ** 3)
+        fast = sum(CostModel(cached_spec).per_iteration_cost(
+            GDPlan("bgd"), stats).values())
+        slow = sum(CostModel(tiny_cache).per_iteration_cost(
+            GDPlan("bgd"), stats).values())
+        assert slow > fast
+
+    def test_update_network_only_when_distributed(self, spec):
+        model = CostModel(spec)
+        small = stats_for(n=1000, d=10)  # single partition
+        breakdown = model.per_iteration_cost(GDPlan("bgd"), small)
+        # local update: pure CPU, roughly d * update_per_dim
+        assert breakdown["update"] < 1e-3

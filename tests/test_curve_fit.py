@@ -1,0 +1,168 @@
+"""Unit tests + property tests for the error-sequence curve fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.curve_fit import (
+    MAX_ESTIMATED_ITERATIONS,
+    fit_error_sequence,
+    fit_exponential,
+    fit_inverse,
+    fit_power,
+)
+from repro.errors import EstimationError
+
+
+class TestInverseFit:
+    def test_recovers_exact_a(self):
+        a = 5.0
+        errors = a / np.arange(1, 50)
+        curve = fit_inverse(errors)
+        assert curve.params[0] == pytest.approx(a)
+        assert curve.r2 == pytest.approx(1.0)
+
+    def test_iterations_for_is_paper_formula(self):
+        # T(eps) = a / eps (Algorithm 1 line 10).
+        errors = 2.0 / np.arange(1, 30)
+        curve = fit_inverse(errors)
+        assert curve.iterations_for(0.01) == pytest.approx(200, abs=1)
+
+    def test_noise_tolerated(self):
+        rng = np.random.default_rng(0)
+        i = np.arange(1, 200)
+        errors = 3.0 / i * np.exp(rng.normal(0, 0.1, size=len(i)))
+        curve = fit_inverse(errors)
+        assert curve.params[0] == pytest.approx(3.0, rel=0.3)
+
+    @given(a=st.floats(min_value=0.01, max_value=1000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, a):
+        errors = a / np.arange(1, 40)
+        curve = fit_inverse(errors)
+        # error_at inverts iterations_for up to ceil-rounding.
+        eps = a / 17.3
+        T = curve.iterations_for(eps)
+        assert curve.error_at(T) <= eps * 1.01
+
+
+class TestPowerFit:
+    def test_recovers_exponent(self):
+        i = np.arange(1, 100)
+        errors = 4.0 / i ** 0.75
+        curve = fit_power(errors)
+        a, p = curve.params
+        assert a == pytest.approx(4.0, rel=0.01)
+        assert p == pytest.approx(0.75, rel=0.01)
+
+    def test_power_one_matches_inverse(self):
+        errors = 2.0 / np.arange(1, 60)
+        power = fit_power(errors)
+        inverse = fit_inverse(errors)
+        assert power.iterations_for(1e-3) == pytest.approx(
+            inverse.iterations_for(1e-3), rel=0.02
+        )
+
+    def test_increasing_sequence_rejected(self):
+        errors = np.arange(1, 20, dtype=float)
+        with pytest.raises(EstimationError):
+            fit_power(errors)
+
+    @given(
+        a=st.floats(min_value=0.1, max_value=100),
+        p=st.floats(min_value=0.2, max_value=2.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_recovery_property(self, a, p):
+        i = np.arange(1, 80)
+        errors = a / i ** p
+        curve = fit_power(errors)
+        assert curve.params[1] == pytest.approx(p, rel=0.05)
+
+
+class TestExponentialFit:
+    def test_recovers_rate(self):
+        i = np.arange(1, 60)
+        errors = 2.0 * 0.9 ** i
+        curve = fit_exponential(errors)
+        a, r = curve.params
+        assert r == pytest.approx(0.9, rel=0.01)
+
+    def test_iterations_for(self):
+        errors = 1.0 * 0.8 ** np.arange(1, 40)
+        curve = fit_exponential(errors)
+        T = curve.iterations_for(1e-4)
+        assert curve.error_at(T) <= 1e-4 * 1.05
+
+    def test_non_decaying_rejected(self):
+        errors = np.full(20, 3.0) * 1.01 ** np.arange(20)
+        with pytest.raises(EstimationError):
+            fit_exponential(errors)
+
+    def test_target_above_a_returns_one(self):
+        errors = 2.0 * 0.9 ** np.arange(1, 40)
+        curve = fit_exponential(errors)
+        assert curve.iterations_for(10.0) == 1
+
+
+class TestAutoSelection:
+    def test_picks_exponential_for_linear_convergence(self):
+        errors = 5.0 * 0.85 ** np.arange(1, 50)
+        curve = fit_error_sequence(errors, model="auto")
+        assert curve.model == "exponential"
+
+    def test_picks_power_family_for_sublinear(self):
+        errors = 5.0 / np.arange(1, 50) ** 0.6
+        curve = fit_error_sequence(errors, model="auto")
+        assert curve.model in ("power", "inverse")
+        assert curve.iterations_for(0.01) > 1000
+
+    def test_explicit_model_respected(self):
+        errors = 5.0 / np.arange(1, 50)
+        assert fit_error_sequence(errors, model="inverse").model == "inverse"
+
+    def test_unknown_model(self):
+        with pytest.raises(EstimationError):
+            fit_error_sequence([1, 0.5, 0.25], model="spline")
+
+
+class TestEdgeCases:
+    def test_too_few_points(self):
+        with pytest.raises(EstimationError):
+            fit_inverse([1.0, 0.5])
+
+    def test_nonpositive_errors_dropped(self):
+        errors = [5.0, 2.5, 0.0, 1.6, -1.0, 1.25, 1.0, 0.83]
+        curve = fit_inverse(errors)
+        assert curve.n_points == 6
+
+    def test_nan_errors_dropped(self):
+        errors = [5.0, np.nan, 2.5, 1.6, 1.25, np.inf, 1.0]
+        curve = fit_inverse(errors)
+        assert curve.n_points == 5
+
+    def test_estimate_capped(self):
+        errors = 1e6 / np.arange(1, 30)
+        curve = fit_inverse(errors)
+        assert curve.iterations_for(1e-12) == MAX_ESTIMATED_ITERATIONS
+
+    def test_tolerance_must_be_positive(self):
+        curve = fit_inverse(2.0 / np.arange(1, 20))
+        with pytest.raises(EstimationError):
+            curve.iterations_for(0.0)
+
+    def test_error_at_requires_valid_iteration(self):
+        curve = fit_inverse(2.0 / np.arange(1, 20))
+        with pytest.raises(EstimationError):
+            curve.error_at(0)
+
+    def test_describe_mentions_model(self):
+        curve = fit_inverse(2.0 / np.arange(1, 20))
+        assert "error(i)" in curve.describe()
+        curve = fit_power(2.0 / np.arange(1, 20) ** 0.5)
+        assert "^" in curve.describe()
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(EstimationError):
+            fit_inverse([1.0, 0.5, 0.25], iterations=[1, 2])

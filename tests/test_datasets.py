@@ -1,0 +1,113 @@
+"""Unit tests for the Table 2 dataset registry."""
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.cluster import ClusterSpec
+from repro.data.datasets import (
+    PAPER_ORDER,
+    REGISTRY,
+    generate,
+    load,
+    names,
+    svm_a_spec,
+    svm_b_spec,
+)
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        assert set(PAPER_ORDER) == set(REGISTRY)
+        assert names() == list(PAPER_ORDER)
+
+    def test_table2_shapes(self):
+        """The registry reproduces Table 2's columns exactly."""
+        expected = {
+            "adult": ("logreg", 100_827, 123, 0.11),
+            "covtype": ("logreg", 581_012, 54, 0.22),
+            "yearpred": ("linreg", 463_715, 90, 1.0),
+            "rcv1": ("logreg", 677_399, 47_236, 1.5e-3),
+            "higgs": ("svm", 11_000_000, 28, 0.92),
+            "svm1": ("svm", 5_516_800, 100, 1.0),
+            "svm2": ("svm", 44_134_400, 100, 1.0),
+            "svm3": ("svm", 88_268_800, 100, 1.0),
+        }
+        for name, (task, n, d, density) in expected.items():
+            spec = REGISTRY[name]
+            assert spec.task == task
+            assert spec.paper_n == n
+            assert spec.d == d
+            assert spec.density == density
+
+    def test_table2_sizes_via_row_text_bytes(self):
+        # Table 2: svm3 is 160 GB; the byte model must reproduce it.
+        stats = REGISTRY["svm3"].stats()
+        assert stats.text_bytes == pytest.approx(160 * 1024 ** 3, rel=0.01)
+        stats = REGISTRY["adult"].stats()
+        assert stats.text_bytes == pytest.approx(7 * 1024 ** 2, rel=0.01)
+
+    def test_physical_rows_scaled_down(self):
+        for name in PAPER_ORDER:
+            spec = REGISTRY[name]
+            assert spec.phys_n < spec.paper_n
+            assert spec.phys_n >= 32
+
+    def test_generate_physical_data(self):
+        spec = REGISTRY["adult"]
+        X, y = generate(spec, seed=0)
+        assert X.shape == (spec.phys_n, spec.d)
+        assert sp.issparse(X)
+
+    def test_generate_respects_phys_n_override(self):
+        X, y = generate(REGISTRY["adult"], seed=0, phys_n=123)
+        assert X.shape[0] == 123
+
+    def test_load_partitioned(self):
+        cluster = ClusterSpec()
+        ds = load("adult", cluster, seed=0)
+        assert ds.stats.n == 100_827
+        assert ds.representation == "text"
+        assert ds.n_partitions == 1  # 7 MB < one HDFS block
+
+    def test_rcv1_partition_count_matches_paper_layout(self):
+        # 1.2 GB / 128 MB blocks ~ 10 partitions.
+        ds = load("rcv1", ClusterSpec(), seed=0)
+        assert 9 <= ds.n_partitions <= 11
+
+    def test_svm3_exceeds_default_cache_as_text(self):
+        cluster = ClusterSpec()
+        ds = load("svm3", cluster, seed=0)
+        assert ds.total_bytes > cluster.cache_bytes
+
+    def test_rcv1_sorted_rows(self):
+        ds = load("rcv1", ClusterSpec(), seed=0)
+        assert np.all(np.diff(ds.y) >= 0)
+
+    def test_deterministic_per_seed(self):
+        a = load("adult", ClusterSpec(), seed=5)
+        b = load("adult", ClusterSpec(), seed=5)
+        np.testing.assert_array_equal(a.y, b.y)
+
+
+class TestSweepSpecs:
+    def test_svm_a_bytes_scale_with_points(self):
+        small = svm_a_spec(2_758_400)
+        big = svm_a_spec(88_268_800)
+        assert big.paper_bytes == pytest.approx(32 * small.paper_bytes,
+                                                rel=0.01)
+        assert big.paper_bytes == pytest.approx(160 * 1024 ** 3, rel=0.01)
+
+    def test_svm_b_physical_cap(self):
+        # Physical matrices stay laptop-sized even at 500K features.
+        spec = svm_b_spec(500_000)
+        assert spec.phys_n * spec.d <= 30_000_000
+
+    def test_svm_b_small_d(self):
+        spec = svm_b_spec(1000)
+        X, y = generate(spec, seed=0)
+        assert X.shape[1] == 1000
+
+    def test_sweep_specs_loadable(self):
+        ds = load(svm_a_spec(2_758_400), ClusterSpec(), seed=0)
+        assert ds.stats.n == 2_758_400

@@ -1,0 +1,60 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConstraintError,
+    DataFormatError,
+    EstimationError,
+    PlanError,
+    QueryError,
+    ReproError,
+    SimulatedOutOfMemory,
+    SimulatedPlatformError,
+    SimulatedTimeout,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_cls", [
+        QueryError, PlanError, ConstraintError, EstimationError,
+        SimulatedPlatformError, DataFormatError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_cls):
+        assert issubclass(exc_cls, ReproError)
+
+    def test_simulated_failures_group(self):
+        assert issubclass(SimulatedOutOfMemory, SimulatedPlatformError)
+        assert issubclass(SimulatedTimeout, SimulatedPlatformError)
+
+    def test_catch_all(self):
+        with pytest.raises(ReproError):
+            raise PlanError("nope")
+
+
+class TestMessages:
+    def test_query_error_position(self):
+        err = QueryError("bad token", line=3, column=7)
+        assert "line 3" in str(err)
+        assert "column 7" in str(err)
+        assert err.line == 3
+
+    def test_query_error_line_only(self):
+        err = QueryError("bad", line=2)
+        assert "line 2" in str(err)
+
+    def test_constraint_error_names_constraint(self):
+        err = ConstraintError("time", "needs 2h, budget 1h")
+        assert err.constraint == "time"
+        assert "time" in str(err)
+
+    def test_oom_carries_sizes(self):
+        err = SimulatedOutOfMemory("SystemML", 10, 5)
+        assert err.system == "SystemML"
+        assert err.needed_bytes == 10
+        assert "SystemML" in str(err)
+
+    def test_timeout_carries_times(self):
+        err = SimulatedTimeout("MLlib", 10800.0, 10000.0)
+        assert err.elapsed_s == 10800.0
+        assert "MLlib" in str(err)

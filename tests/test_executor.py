@@ -1,0 +1,153 @@
+"""Integration tests for the plan executor on the simulated cluster."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimulatedCluster
+from repro.core.executor import execute_plan
+from repro.core.plans import GDPlan, TrainingSpec
+from repro.errors import PlanError
+
+from conftest import make_dataset
+
+
+@pytest.fixture
+def dataset(spec):
+    return make_dataset(
+        n_phys=800, d=8, task="linreg", spec=spec, seed=4, noise=0.01,
+    )
+
+
+@pytest.fixture
+def training():
+    return TrainingSpec(task="linreg", step_size="constant:0.1",
+                        tolerance=1e-5, max_iter=2000, seed=1)
+
+
+class TestExecution:
+    def test_bgd_converges_with_real_math(self, engine, dataset, training):
+        result = execute_plan(engine, dataset, GDPlan("bgd"), training)
+        assert result.converged
+        # Weights actually solve the regression problem.
+        pred = dataset.X @ result.weights
+        mse = float(np.mean((pred - dataset.y) ** 2))
+        assert mse < 0.01
+
+    def test_simulated_time_positive_and_matches_clock(self, engine,
+                                                       dataset, training):
+        t0 = engine.clock
+        result = execute_plan(engine, dataset, GDPlan("bgd"), training)
+        assert result.sim_seconds == pytest.approx(engine.clock - t0)
+
+    def test_deltas_recorded_per_iteration(self, engine, dataset, training):
+        result = execute_plan(engine, dataset, GDPlan("bgd"), training)
+        assert len(result.deltas) == result.iterations
+
+    def test_phase_seconds_cover_plan_phases(self, engine, dataset, training):
+        result = execute_plan(
+            engine, dataset, GDPlan("sgd", "lazy", "shuffle"), training
+        )
+        assert "sample" in result.phase_seconds
+        assert "compute" in result.phase_seconds
+        assert "transform" in result.phase_seconds  # lazy per-iteration
+        assert "loop" in result.phase_seconds
+
+    def test_eager_charges_transform_once(self, engine, dataset, training):
+        result = execute_plan(
+            engine, dataset, GDPlan("mgd", "eager", "shuffle", 50), training
+        )
+        assert result.phase_seconds.get("transform", 0) > 0
+
+    def test_max_iter_cap(self, engine, dataset):
+        training = TrainingSpec(task="linreg", tolerance=1e-15, max_iter=7,
+                                seed=1)
+        result = execute_plan(engine, dataset, GDPlan("bgd"), training)
+        assert result.iterations == 7
+        assert not result.converged
+
+    def test_time_budget_stops_run(self, engine, dataset):
+        training = TrainingSpec(task="linreg", tolerance=1e-15, max_iter=5000,
+                                time_budget_s=0.5, seed=1)
+        result = execute_plan(engine, dataset, GDPlan("bgd"), training)
+        assert result.timed_out
+        assert result.iterations < 5000
+
+    def test_all_eleven_plans_execute(self, engine, dataset, training):
+        from repro.core.plan_space import enumerate_plans
+
+        for plan in enumerate_plans(batch_sizes={"mgd": 50}):
+            engine.reset()
+            result = execute_plan(engine, dataset, plan, training)
+            assert result.iterations >= 1
+            assert result.sim_seconds > 0
+
+    def test_lazy_bgd_rejected(self, engine, dataset, training):
+        plan = GDPlan("sgd", "lazy", "shuffle")
+        object.__setattr__(plan, "algorithm", "bgd")  # corrupt a plan
+        with pytest.raises(PlanError):
+            execute_plan(engine, dataset, plan, training)
+
+    def test_same_seed_same_result(self, spec, dataset, training):
+        r1 = execute_plan(SimulatedCluster(spec, seed=2), dataset,
+                          GDPlan("sgd", "eager", "random"), training)
+        r2 = execute_plan(SimulatedCluster(spec, seed=2), dataset,
+                          GDPlan("sgd", "eager", "random"), training)
+        np.testing.assert_array_equal(r1.weights, r2.weights)
+        assert r1.iterations == r2.iterations
+
+    def test_distributed_bgd_aggregates_over_network(self, spec, training):
+        ds = make_dataset(n_phys=1000, d=8, sim_n=1_000_000, spec=spec,
+                          task="linreg", noise=0.01, seed=4,
+                          block_bytes=4 * 1024 * 1024)
+        assert ds.n_partitions > 1
+        engine = SimulatedCluster(spec, seed=0)
+        result = execute_plan(engine, ds, GDPlan("bgd"), training)
+        assert result.metrics["update"]["network_bytes"] > 0
+
+    def test_local_bgd_no_network(self, engine, dataset, training):
+        assert dataset.n_partitions == 1
+        result = execute_plan(engine, dataset, GDPlan("bgd"), training)
+        assert result.metrics.get("update", {}).get("network_bytes", 0) == 0
+
+    def test_mix_plan_ships_weights_not_batches(self, spec, training):
+        """Data-local compute: network per iteration ~ 2 weight vectors,
+        far below the sampled batch's bytes."""
+        ds = make_dataset(n_phys=1000, d=8, sim_n=1_000_000, spec=spec,
+                          task="linreg", noise=0.01, seed=4,
+                          block_bytes=4 * 1024 * 1024)
+        engine = SimulatedCluster(spec, seed=0)
+        training_short = TrainingSpec(task="linreg", tolerance=1e-15,
+                                      max_iter=20, seed=1)
+        result = execute_plan(
+            engine, ds, GDPlan("mgd", "eager", "shuffle", 500),
+            training_short,
+        )
+        update_bytes = result.metrics["update"]["network_bytes"]
+        batch_bytes = 500 * ds.stats.bytes_per_row("binary")
+        assert update_bytes <= 20 * 3 * ds.stats.weight_vector_bytes
+        assert update_bytes < batch_bytes * 20
+
+
+class TestSVRGPlan:
+    def test_svrg_via_executor(self, engine, dataset):
+        training = TrainingSpec(task="linreg", tolerance=1e-5,
+                                max_iter=600, seed=1)
+        plan = GDPlan("svrg", "eager", "shuffle")
+        result = execute_plan(engine, dataset, plan, training)
+        assert result.iterations >= 1
+        # Anchor iterations perform full scans: compute phase must have
+        # processed more rows than iterations alone would (spot check).
+        assert result.metrics["compute"]["rows_processed"] > \
+            result.iterations
+
+    def test_svrg_reaches_low_loss(self, engine, dataset):
+        from repro.gd.gradients import LinearRegressionGradient
+
+        training = TrainingSpec(task="linreg", tolerance=1e-6,
+                                max_iter=800, seed=1)
+        result = execute_plan(
+            engine, dataset, GDPlan("svrg", "eager", "shuffle"), training
+        )
+        g = LinearRegressionGradient()
+        assert g.loss(result.weights, dataset.X, dataset.y) < \
+            g.loss(np.zeros(8), dataset.X, dataset.y) / 5

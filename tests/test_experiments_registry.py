@@ -1,0 +1,43 @@
+"""Tests for the experiment registry and the cheap experiments."""
+
+import pytest
+
+from repro.experiments import ExperimentContext
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {
+            "fig01", "fig06", "fig07", "fig08", "fig09", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15_16", "fig17", "fig18",
+            "table2", "table4",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_extensions_registered(self):
+        assert {"ext_space", "ext_curvefit", "ext_tuning"} <= set(EXPERIMENTS)
+
+    def test_descriptions_present(self):
+        for _, (runner, description) in EXPERIMENTS.items():
+            assert callable(runner)
+            assert description
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestCheapExperiments:
+    """Only experiments fast enough for the unit-test suite."""
+
+    def test_table2_runs(self):
+        ctx = ExperimentContext(quick=True)
+        (table,) = run_experiment("table2", ctx)
+        assert len(table.rows) == 8
+        assert table.row_for(name="svm1")["size"] == "10.0G"
+
+    def test_tables_always_returned_as_list(self):
+        ctx = ExperimentContext(quick=True)
+        tables = run_experiment("table2", ctx)
+        assert isinstance(tables, list)

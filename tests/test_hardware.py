@@ -1,0 +1,98 @@
+"""Unit tests for the cluster hardware spec."""
+
+import math
+
+import pytest
+
+from repro.cluster.hardware import ClusterSpec, laptop_scale_spec
+
+
+class TestClusterSpec:
+    def test_cap_is_nodes_times_slots(self):
+        spec = ClusterSpec(n_nodes=4, slots_per_node=4)
+        assert spec.cap == 16
+
+    def test_default_matches_paper_testbed(self):
+        spec = ClusterSpec()
+        # Four nodes, four parallel slots each (Section 8.1).
+        assert spec.n_nodes == 4
+        assert spec.cap == 16
+        assert spec.hdfs_block_bytes == 128 * 1024 * 1024
+
+    def test_pages_in_rounds_up(self):
+        spec = ClusterSpec()
+        assert spec.pages_in(1) == 1
+        assert spec.pages_in(spec.page_bytes) == 1
+        assert spec.pages_in(spec.page_bytes + 1) == 2
+
+    def test_packets_in_rounds_up(self):
+        spec = ClusterSpec()
+        assert spec.packets_in(1) == 1
+        assert spec.packets_in(spec.packet_bytes * 3) == 3
+        assert spec.packets_in(spec.packet_bytes * 3 + 1) == 4
+
+    def test_sequential_read_memory_cheaper_than_disk(self):
+        spec = ClusterSpec()
+        nbytes = 10 * spec.page_bytes
+        assert spec.sequential_read_s(nbytes, in_memory=True) < \
+            spec.sequential_read_s(nbytes, in_memory=False)
+
+    def test_transfer_scales_with_bytes(self):
+        spec = ClusterSpec()
+        assert spec.transfer_s(spec.packet_bytes * 10) > \
+            spec.transfer_s(spec.packet_bytes)
+
+    def test_waves(self):
+        spec = ClusterSpec(n_nodes=2, slots_per_node=5)
+        assert spec.waves(20) == pytest.approx(2.0)
+        assert spec.waves(5) == pytest.approx(0.5)
+
+    def test_with_overrides_returns_new_spec(self):
+        spec = ClusterSpec()
+        other = spec.with_overrides(cache_bytes=123)
+        assert other.cache_bytes == 123
+        assert spec.cache_bytes != 123
+        assert other.page_bytes == spec.page_bytes
+
+    def test_spec_is_frozen(self):
+        spec = ClusterSpec()
+        with pytest.raises(Exception):
+            spec.cache_bytes = 0
+
+    def test_laptop_scale_spec(self):
+        spec = laptop_scale_spec()
+        assert spec.cache_bytes < ClusterSpec().cache_bytes
+        spec2 = laptop_scale_spec(n_nodes=2)
+        assert spec2.n_nodes == 2
+
+    def test_random_read_includes_seek(self):
+        spec = ClusterSpec()
+        one_page = spec.random_read_s(100, in_memory=False)
+        assert one_page >= spec.seek_disk_s
+
+
+class TestCostHelpers:
+    def test_partition_read_waves_match_manual_computation(self):
+        spec = ClusterSpec(jitter_sigma=0.0)
+        nbytes = 3 * spec.page_bytes
+        expected = spec.seek_disk_s + 3 * spec.page_io_disk_s
+        assert spec.sequential_read_s(nbytes, in_memory=False) == \
+            pytest.approx(expected)
+
+    def test_transfer_counts_packets(self):
+        spec = ClusterSpec()
+        n_packets = 7
+        expected = n_packets * (
+            spec.packet_bytes * spec.network_byte_s + spec.packet_latency_s
+        )
+        assert spec.transfer_s(n_packets * spec.packet_bytes) == \
+            pytest.approx(expected)
+
+    def test_zero_byte_transfer_is_one_packet(self):
+        spec = ClusterSpec()
+        assert spec.packets_in(0) == 1
+
+    def test_waves_fraction_under_capacity(self):
+        spec = ClusterSpec()
+        assert spec.waves(1) == pytest.approx(1 / spec.cap)
+        assert math.isclose(spec.waves(spec.cap), 1.0)

@@ -1,0 +1,126 @@
+"""End-to-end integration tests crossing every layer of the system.
+
+Each test exercises language -> optimizer -> executor -> simulated
+cluster with real convergence checks, plus the cross-cutting invariants
+(engine accounting vs result accounting, baseline-vs-ml4all consistency
+of the learned models).
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import ML4all
+from repro.baselines import MLlibBaseline
+from repro.cluster import ClusterSpec, SimulatedCluster
+from repro.core import (
+    GDPlan,
+    SpeculationSettings,
+    SpeculativeEstimator,
+    TrainingSpec,
+    execute_plan,
+)
+from repro.core.optimizer import GDOptimizer
+from repro.data import load
+
+SPEC = ClusterSpec(jitter_sigma=0.0)
+FAST = SpeculationSettings(sample_size=300, time_budget_s=0.4,
+                           max_speculation_iters=400)
+
+
+class TestFullPipeline:
+    def test_declarative_to_converged_model(self):
+        system = ML4all(cluster_spec=SPEC, seed=11, speculation=FAST)
+        session = system.query(
+            "M = run regression on yearpred having epsilon 0.01, "
+            "max iter 500;"
+        )
+        model = session.results["M"]
+        assert model.result.converged
+        ds = system.load_dataset("yearpred")
+        # The learned regressor genuinely fits the data (clearly better
+        # than the zero predictor, whose MSE equals var(y)).
+        assert model.mse(ds.X, ds.y) < np.var(ds.y) / 2
+
+    def test_constraint_violation_propagates_to_query(self):
+        from repro.errors import ConstraintError
+
+        system = ML4all(cluster_spec=SPEC, seed=11, speculation=FAST)
+        with pytest.raises(ConstraintError):
+            # One simulated microsecond is never enough.
+            system.train("svm1", epsilon=1e-3, time_budget=1e-6)
+
+    def test_identical_math_across_systems(self):
+        """ML4all's BGD and MLlib's BGD learn the same weights (the paper
+        configures identical parameters everywhere; only execution
+        strategies differ)."""
+        ds = load("adult", SPEC, seed=3)
+        training = TrainingSpec(task="logreg", tolerance=1e-2,
+                                max_iter=100, seed=5)
+        ml4all = execute_plan(SimulatedCluster(SPEC, seed=1), ds,
+                              GDPlan("bgd"), training)
+        mllib = MLlibBaseline().train(SimulatedCluster(SPEC, seed=1), ds,
+                                      training, "bgd")
+        assert mllib.iterations == ml4all.iterations
+        np.testing.assert_allclose(mllib.weights, ml4all.weights,
+                                   rtol=1e-10)
+
+    def test_result_accounting_matches_engine(self):
+        ds = load("covtype", SPEC, seed=3)
+        engine = SimulatedCluster(SPEC, seed=1)
+        training = TrainingSpec(task="logreg", tolerance=1e-2,
+                                max_iter=200, seed=5)
+        result = execute_plan(engine, ds, GDPlan("mgd", "eager", "shuffle"),
+                              training)
+        assert sum(result.phase_seconds.values()) == \
+            pytest.approx(result.sim_seconds, rel=1e-6)
+        assert result.sim_seconds == pytest.approx(engine.clock)
+
+    def test_optimizer_report_consistent_with_execution(self):
+        ds = load("adult", SPEC, seed=3)
+        engine = SimulatedCluster(SPEC, seed=1)
+        optimizer = GDOptimizer(
+            engine, estimator=SpeculativeEstimator(FAST, seed=2)
+        )
+        training = TrainingSpec(task="logreg", tolerance=1e-2,
+                                max_iter=1000, seed=5)
+        report, result = optimizer.train(ds, training)
+        # The executed plan is the report's chosen plan and its realised
+        # per-iteration cost is near the model's estimate.
+        assert result.plan == report.chosen_plan
+        est_per_iter = report.chosen.per_iteration_s
+        real_per_iter = result.sim_seconds / max(result.iterations, 1)
+        assert real_per_iter == pytest.approx(est_per_iter, rel=0.6)
+
+    def test_two_tasks_on_same_engine_accumulate_clock(self):
+        system = ML4all(cluster_spec=SPEC, seed=11, speculation=FAST)
+        m1 = system.train("adult", algorithm="sgd", sampler="shuffle",
+                          transform="lazy", epsilon=0.05, max_iter=100)
+        t_after_first = system.engine.clock
+        m2 = system.train("adult", algorithm="sgd", sampler="shuffle",
+                          transform="lazy", epsilon=0.05, max_iter=100)
+        assert system.engine.clock > t_after_first
+        assert m1.result.sim_seconds > 0
+        assert m2.result.sim_seconds > 0
+
+    def test_cache_warm_across_runs(self):
+        """A second eager run on the same engine reads from cache."""
+        ds = load("covtype", SPEC, seed=3)
+        engine = SimulatedCluster(SPEC, seed=1)
+        training = TrainingSpec(task="logreg", tolerance=1e-12, max_iter=5,
+                                seed=5)
+        first = execute_plan(engine, ds, GDPlan("bgd"), training)
+        second = execute_plan(engine, ds, GDPlan("bgd"), training)
+        assert second.sim_seconds < first.sim_seconds
+
+    def test_svm3_partial_cache_behaviour(self):
+        """svm3's text form exceeds the cluster cache; its binary form
+        fits -- eager BGD becomes memory-resident after transform."""
+        ds = load("svm3", SPEC, seed=3)
+        assert ds.total_bytes > SPEC.cache_bytes
+        assert ds.as_binary().total_bytes < SPEC.cache_bytes
+        engine = SimulatedCluster(SPEC, seed=1)
+        training = TrainingSpec(task="svm", tolerance=1e-12, max_iter=3,
+                                seed=5)
+        result = execute_plan(engine, ds, GDPlan("bgd"), training)
+        assert result.iterations == 3
+        assert engine.cache.cached_fraction(ds.as_binary()) > 0.99

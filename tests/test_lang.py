@@ -1,0 +1,186 @@
+"""Unit tests for the declarative language: lexer, parser, AST."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.lang import ast
+from repro.lang.lexer import DURATION, KEYWORD, NUMBER, WORD, parse_duration, tokenize
+from repro.lang.parser import parse
+
+
+class TestLexer:
+    def test_simple_query_tokens(self):
+        tokens = tokenize("run classification on data.txt;")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == [KEYWORD, WORD, KEYWORD, WORD, "SYMBOL"]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("RUN Classification ON x;")
+        assert tokens[0].is_keyword("run")
+        assert tokens[2].is_keyword("on")
+
+    def test_durations(self):
+        tokens = tokenize("1h30m 45m 90s 2h")
+        assert all(t.kind == DURATION for t in tokens[:-1])
+
+    def test_numbers(self):
+        tokens = tokenize("0.01 1000 1e-4 .5")
+        assert all(t.kind == NUMBER for t in tokens[:-1])
+
+    def test_paths(self):
+        tokens = tokenize("/data/train.txt ../rel/file.csv data_1.txt")
+        assert all(t.kind == WORD for t in tokens[:-1])
+
+    def test_positions_tracked(self):
+        tokens = tokenize("run\n  classification")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[1].column == 3
+
+    def test_unexpected_character(self):
+        with pytest.raises(QueryError) as err:
+            tokenize("run @ x")
+        assert "line 1" in str(err.value)
+
+    def test_parse_duration(self):
+        assert parse_duration("1h30m") == 5400
+        assert parse_duration("45m") == 2700
+        assert parse_duration("90s") == 90
+        assert parse_duration("2h") == 7200
+        assert parse_duration("1h30m15s") == 5415
+
+    def test_parse_duration_invalid(self):
+        with pytest.raises(QueryError):
+            parse_duration("soon")
+
+
+class TestParserRun:
+    def test_minimal_query_q1(self):
+        (stmt,) = parse("run classification on training_data.txt;")
+        assert isinstance(stmt, ast.RunStatement)
+        assert stmt.task == "classification"
+        assert stmt.sources[0].path == "training_data.txt"
+        assert stmt.having == ast.Constraints()
+
+    def test_assignment(self):
+        (stmt,) = parse("Q1 = run classification on data.txt;")
+        assert stmt.result_name == "Q1"
+
+    def test_having_clause_q2(self):
+        (stmt,) = parse(
+            "run classification on data.txt "
+            "having time 1h30m, epsilon 0.01, max iter 1000;"
+        )
+        assert stmt.having.time_s == 5400
+        assert stmt.having.epsilon == 0.01
+        assert stmt.having.max_iter == 1000
+
+    def test_column_specs_q2(self):
+        (stmt,) = parse(
+            "run classification on input_data.txt:2, input_data.txt:4-20;"
+        )
+        label, features = stmt.sources
+        assert label.columns == ast.ColumnSpec(2)
+        assert features.columns == ast.ColumnSpec(4, 20)
+
+    def test_using_clause_q3(self):
+        (stmt,) = parse(
+            "run classification on input_data.txt using algorithm SGD, "
+            "convergence cnvg(), step 1, sampler my_sampler();"
+        )
+        assert stmt.using.algorithm == "sgd"
+        assert stmt.using.convergence == "cnvg"
+        assert stmt.using.step == 1
+        assert stmt.using.sampler == "my_sampler"
+
+    def test_using_batch(self):
+        (stmt,) = parse("run svm on x using batch 5000;")
+        assert stmt.using.batch == 5000
+
+    def test_gradient_function_task(self):
+        (stmt,) = parse("run hinge() on data.txt;")
+        assert stmt.task == "hinge"
+
+    def test_libsvm_parser_wrapper(self):
+        (stmt,) = parse("run classification on libsvm(training.txt);")
+        assert stmt.sources[0].parser == "libsvm"
+        assert stmt.sources[0].path == "training.txt"
+
+    def test_having_and_using_together(self):
+        (stmt,) = parse(
+            "run svm on d having epsilon 0.1 using algorithm bgd;"
+        )
+        assert stmt.having.epsilon == 0.1
+        assert stmt.using.algorithm == "bgd"
+
+    def test_time_in_plain_seconds(self):
+        (stmt,) = parse("run svm on d having time 90;")
+        assert stmt.having.time_s == 90
+
+    def test_multiple_statements(self):
+        stmts = parse(
+            "Q1 = run classification on a.txt; persist Q1 on model.txt;"
+        )
+        assert len(stmts) == 2
+        assert isinstance(stmts[1], ast.PersistStatement)
+
+
+class TestParserErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(QueryError):
+            parse("run classification on data.txt")
+
+    def test_missing_dataset(self):
+        with pytest.raises(QueryError):
+            parse("run classification on ;")
+
+    def test_empty_query(self):
+        with pytest.raises(QueryError):
+            parse("   ")
+
+    def test_bad_having_item(self):
+        with pytest.raises(QueryError):
+            parse("run svm on d having accuracy 0.9;")
+
+    def test_bad_using_item(self):
+        with pytest.raises(QueryError):
+            parse("run svm on d using optimizer adam;")
+
+    def test_negative_epsilon(self):
+        with pytest.raises(QueryError):
+            parse("run svm on d having epsilon 0;")
+
+    def test_zero_max_iter(self):
+        with pytest.raises(QueryError):
+            parse("run svm on d having max iter 0;")
+
+    def test_backwards_column_range(self):
+        with pytest.raises(QueryError):
+            parse("run svm on d:20-4;")
+
+    def test_error_mentions_position(self):
+        with pytest.raises(QueryError) as err:
+            parse("run svm on d having max banana 3;")
+        assert "line 1" in str(err.value)
+
+    def test_assignment_to_persist_rejected(self):
+        with pytest.raises(QueryError):
+            parse("X = persist Q1 on f.txt;")
+
+
+class TestPersistPredict:
+    def test_persist(self):
+        (stmt,) = parse("persist Q1 on my_model.txt;")
+        assert stmt.name == "Q1"
+        assert stmt.path == "my_model.txt"
+
+    def test_predict(self):
+        (stmt,) = parse("result = predict on test_data with my_model.txt;")
+        assert isinstance(stmt, ast.PredictStatement)
+        assert stmt.result_name == "result"
+        assert stmt.source.path == "test_data"
+        assert stmt.model == "my_model.txt"
+
+    def test_predict_without_assignment(self):
+        (stmt,) = parse("predict on test with m;")
+        assert stmt.result_name is None

@@ -1,0 +1,118 @@
+"""Unit tests for LIBSVM-format IO."""
+
+import io
+
+import numpy as np
+import pytest
+from scipy import sparse as sp
+
+from repro.data.libsvm import parse_libsvm_line, read_libsvm, write_libsvm
+from repro.errors import DataFormatError
+
+
+class TestParseLine:
+    def test_basic_line(self):
+        # The exact data unit from Figure 3(a).
+        label, idx, vals = parse_libsvm_line("+1 2:0.1 4:0.4 10:0.3")
+        assert label == 1.0
+        assert idx == [1, 3, 9]  # converted to 0-based
+        assert vals == [0.1, 0.4, 0.3]
+
+    def test_negative_label(self):
+        label, _, _ = parse_libsvm_line("-1 3:0.3")
+        assert label == -1.0
+
+    def test_empty_features(self):
+        label, idx, vals = parse_libsvm_line("1")
+        assert label == 1.0
+        assert idx == []
+
+    def test_trailing_comment(self):
+        label, idx, _ = parse_libsvm_line("1 1:2.0 # a comment")
+        assert idx == [0]
+
+    def test_unsorted_indices_normalised(self):
+        _, idx, vals = parse_libsvm_line("1 5:5.0 2:2.0")
+        assert idx == [1, 4]
+        assert vals == [2.0, 5.0]
+
+    def test_bad_label(self):
+        with pytest.raises(DataFormatError):
+            parse_libsvm_line("spam 1:1")
+
+    def test_bad_entry(self):
+        with pytest.raises(DataFormatError):
+            parse_libsvm_line("1 notanentry")
+
+    def test_zero_index_rejected(self):
+        with pytest.raises(DataFormatError):
+            parse_libsvm_line("1 0:1.0")
+
+    def test_empty_line_rejected(self):
+        with pytest.raises(DataFormatError):
+            parse_libsvm_line("   ")
+
+
+class TestReadWrite:
+    def test_read_from_lines(self):
+        text = "+1 1:1.0 3:2.0\n-1 2:0.5\n"
+        X, y = read_libsvm(io.StringIO(text))
+        assert X.shape == (2, 3)
+        np.testing.assert_array_equal(y, [1.0, -1.0])
+        assert X[0, 0] == 1.0
+        assert X[0, 2] == 2.0
+        assert X[1, 1] == 0.5
+
+    def test_blank_and_comment_lines_skipped(self):
+        text = "# header\n\n+1 1:1.0\n\n-1 1:2.0\n"
+        X, y = read_libsvm(io.StringIO(text))
+        assert X.shape[0] == 2
+
+    def test_n_features_override(self):
+        X, _ = read_libsvm(io.StringIO("1 2:1.0\n"), n_features=10)
+        assert X.shape == (1, 10)
+
+    def test_n_features_too_small(self):
+        with pytest.raises(DataFormatError):
+            read_libsvm(io.StringIO("1 5:1.0\n"), n_features=3)
+
+    def test_empty_input(self):
+        with pytest.raises(DataFormatError):
+            read_libsvm(io.StringIO(""))
+
+    def test_roundtrip_dense_matrix(self, tmp_path):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(20, 8))
+        X[np.abs(X) < 0.5] = 0.0
+        y = np.where(rng.random(20) < 0.5, 1.0, -1.0)
+        path = str(tmp_path / "data.txt")
+        write_libsvm(path, X, y, precision=12)
+        X2, y2 = read_libsvm(path, n_features=8)
+        np.testing.assert_allclose(X2.toarray(), X, atol=1e-9)
+        np.testing.assert_array_equal(y2, y)
+
+    def test_roundtrip_sparse_matrix(self, tmp_path):
+        X = sp.random(30, 15, density=0.2, format="csr",
+                      random_state=np.random.RandomState(1))
+        y = np.arange(30, dtype=float)
+        path = str(tmp_path / "sparse.txt")
+        write_libsvm(path, X, y, precision=12)
+        X2, y2 = read_libsvm(path, n_features=15)
+        np.testing.assert_allclose(X2.toarray(), X.toarray(), atol=1e-9)
+        np.testing.assert_array_equal(y2, y)
+
+    def test_write_mismatched_shapes(self):
+        with pytest.raises(DataFormatError):
+            write_libsvm(io.StringIO(), np.zeros((3, 2)), np.zeros(4))
+
+    def test_write_integer_labels_formatted_plain(self):
+        buf = io.StringIO()
+        write_libsvm(buf, np.array([[1.5]]), np.array([1.0]))
+        assert buf.getvalue().startswith("1 ")
+
+    def test_read_file_path(self, tmp_path):
+        path = str(tmp_path / "f.txt")
+        with open(path, "w") as f:
+            f.write("1 1:3.0\n")
+        X, y = read_libsvm(path)
+        assert X[0, 0] == 3.0

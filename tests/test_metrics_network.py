@@ -1,0 +1,89 @@
+"""Unit tests for metrics recording and network cost helpers."""
+
+import pytest
+
+from repro.cluster import ClusterSpec
+from repro.cluster.metrics import MetricsRecorder, PhaseMetrics
+from repro.cluster.network import broadcast, reduce_to_driver, tree_aggregate
+
+
+class TestMetrics:
+    def test_phase_created_on_access(self):
+        recorder = MetricsRecorder()
+        recorder.phase("compute").pages_disk += 5
+        assert recorder.phases["compute"].pages_disk == 5
+
+    def test_record_time(self):
+        recorder = MetricsRecorder()
+        recorder.record_time("sample", 1.5)
+        recorder.record_time("sample", 0.5)
+        assert recorder.phase("sample").sim_seconds == pytest.approx(2.0)
+
+    def test_totals(self):
+        recorder = MetricsRecorder()
+        recorder.record_time("a", 1.0)
+        recorder.record_time("b", 2.0)
+        recorder.phase("a").jobs += 3
+        recorder.phase("b").network_bytes += 100
+        assert recorder.total_seconds == pytest.approx(3.0)
+        assert recorder.total_jobs == 3
+        assert recorder.total_network_bytes == 100
+
+    def test_snapshot_is_plain_dict(self):
+        recorder = MetricsRecorder()
+        recorder.record_time("x", 1.0)
+        snap = recorder.snapshot()
+        assert snap["x"]["sim_seconds"] == 1.0
+        snap["x"]["sim_seconds"] = 99
+        assert recorder.phase("x").sim_seconds == 1.0
+
+    def test_merge(self):
+        a = PhaseMetrics(sim_seconds=1.0, pages_disk=2, jobs=1)
+        b = PhaseMetrics(sim_seconds=0.5, pages_disk=3, seeks=7)
+        a.merge(b)
+        assert a.sim_seconds == 1.5
+        assert a.pages_disk == 5
+        assert a.seeks == 7
+        assert a.jobs == 1
+
+    def test_summary_includes_all_phases(self):
+        recorder = MetricsRecorder()
+        recorder.record_time("alpha", 1.0)
+        recorder.record_time("beta", 2.0)
+        text = recorder.summary()
+        assert "alpha" in text and "beta" in text
+
+
+class TestNetworkHelpers:
+    @pytest.fixture
+    def spec(self):
+        return ClusterSpec(jitter_sigma=0.0)
+
+    def test_reduce_to_driver_counts_all_partials(self, spec):
+        seconds, nbytes = reduce_to_driver(spec, 16, 800)
+        assert nbytes == 16 * 800
+        assert seconds == pytest.approx(spec.transfer_s(16 * 800))
+
+    def test_reduce_zero_partials(self, spec):
+        assert reduce_to_driver(spec, 0, 800) == (0.0, 0)
+
+    def test_tree_aggregate_adds_barriers(self, spec):
+        flat_s, _ = reduce_to_driver(spec, 64, 8000)
+        tree_s, _ = tree_aggregate(spec, 64, 8000, depth=2)
+        assert tree_s > flat_s
+
+    def test_tree_aggregate_single_partial_costs_nothing(self, spec):
+        seconds, nbytes = tree_aggregate(spec, 1, 800)
+        assert seconds == 0.0
+        assert nbytes == 0
+
+    def test_tree_levels_shrink(self, spec):
+        # 64 partials, depth 2 -> scale 8 -> level sizes 64, 8.
+        _, nbytes = tree_aggregate(spec, 64, 100, depth=2)
+        assert nbytes == (64 + 8) * 100
+
+    def test_broadcast_scales_with_nodes(self, spec):
+        two, _ = broadcast(spec.with_overrides(n_nodes=2), 2, 1000)
+        single, _ = broadcast(spec, 1, 1000)
+        assert single == 0.0
+        assert two > 0

@@ -1,0 +1,239 @@
+"""Unit tests for the seven GD operators and reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.core.context import Context
+from repro.core.operators import GDOperators
+from repro.core.reference_ops import (
+    DefaultStage,
+    FixedSizeSample,
+    GradientCompute,
+    L1Converge,
+    ParseTransform,
+    SVRGCompute,
+    SVRGStage,
+    SVRGUpdate,
+    ToleranceLoop,
+    WeightUpdate,
+    default_operators,
+    svrg_operators,
+)
+from repro.errors import PlanError
+from repro.gd.gradients import LinearRegressionGradient, LogisticGradient
+
+
+@pytest.fixture
+def context():
+    ctx = Context()
+    DefaultStage(d=3, step_size="constant:0.5", tolerance=1e-3,
+                 max_iter=10).stage(ctx)
+    return ctx
+
+
+class TestContext:
+    def test_put_get(self):
+        ctx = Context()
+        ctx.put("weights", [1, 2])
+        assert ctx.get("weights") == [1, 2]
+        assert ctx.get("missing") is None
+        assert ctx.get("missing", 7) == 7
+
+    def test_require_raises(self):
+        ctx = Context()
+        with pytest.raises(PlanError):
+            ctx.require("weights")
+
+    def test_contains_and_keys(self):
+        ctx = Context({"a": 1})
+        assert "a" in ctx
+        assert "b" not in ctx
+        assert set(ctx.keys()) == {"a"}
+
+    def test_as_dict_is_copy(self):
+        ctx = Context({"a": 1})
+        d = ctx.as_dict()
+        d["a"] = 2
+        assert ctx.get("a") == 1
+
+
+class TestStage:
+    def test_initialises_conventional_keys(self, context):
+        # Listing 4: weights zeroed, step set, iteration counter zeroed.
+        np.testing.assert_array_equal(context.require("weights"), np.zeros(3))
+        assert context.require("iter") == 0
+        assert context.require("tolerance") == 1e-3
+        assert context.require("max_iter") == 10
+        assert callable(context.require("step"))
+
+    def test_passes_data_through(self):
+        ctx = Context()
+        stage = DefaultStage(d=2)
+        sample = np.ones((5, 2))
+        out = stage.stage(ctx, data_sample=sample)
+        assert out is sample
+
+
+class TestTransform:
+    def test_identity_by_default(self, context):
+        t = ParseTransform()
+        X = np.ones((4, 3))
+        y = np.ones(4)
+        Xt, yt = t.transform(X, y, context)
+        np.testing.assert_array_equal(Xt, X)
+
+    def test_feature_scaling(self, context):
+        t = ParseTransform(feature_scale=2.0)
+        X = np.ones((4, 3))
+        Xt, _ = t.transform(X, np.ones(4), context)
+        np.testing.assert_array_equal(Xt, 2 * X)
+
+    def test_invalid_scale(self):
+        with pytest.raises(PlanError):
+            ParseTransform(feature_scale=0.0)
+
+
+class TestComputeUpdate:
+    def test_compute_emits_sum_partial(self, context):
+        g = LinearRegressionGradient()
+        compute = GradientCompute(g)
+        X = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        y = np.array([1.0, 2.0])
+        partial, count = compute.compute(X, y, context)
+        assert count == 2
+        np.testing.assert_allclose(partial, g.gradient(np.zeros(3), X, y) * 2)
+
+    def test_combine_adds_partials(self, context):
+        g = LinearRegressionGradient()
+        compute = GradientCompute(g)
+        X = np.eye(3)
+        y = np.array([1.0, 2.0, 3.0])
+        full = compute.compute(X, y, context)
+        a = compute.compute(X[:1], y[:1], context)
+        b = compute.compute(X[1:], y[1:], context)
+        combined = compute.combine(a, b)
+        np.testing.assert_allclose(combined[0], full[0])
+        assert combined[1] == full[1]
+
+    def test_update_applies_step(self, context):
+        context.put("iter", 1)
+        update = WeightUpdate()
+        grad_sum = np.array([2.0, 0.0, 0.0])
+        w_new = update.update((grad_sum, 2), context)
+        # w - 0.5 * mean_grad = 0 - 0.5 * [1,0,0]
+        np.testing.assert_allclose(w_new, [-0.5, 0.0, 0.0])
+        np.testing.assert_allclose(context.require("weights"), w_new)
+
+    def test_update_rejects_empty_aggregate(self, context):
+        context.put("iter", 1)
+        with pytest.raises(PlanError):
+            WeightUpdate().update((np.zeros(3), 0), context)
+
+
+class TestSampleConvergeLoop:
+    def test_sample_size(self, context):
+        assert FixedSizeSample(100).sample_size(context) == 100
+        with pytest.raises(PlanError):
+            FixedSizeSample(0)
+
+    def test_converge_l1_between_successive_updates(self, context):
+        converge = L1Converge()
+        first = converge.converge(np.zeros(3), context)
+        assert first == float("inf")
+        delta = converge.converge(np.array([1.0, -1.0, 0.0]), context)
+        assert delta == pytest.approx(2.0)
+
+    def test_loop_stops_on_tolerance(self, context):
+        loop = ToleranceLoop()
+        context.put("iter", 1)
+        assert loop.should_continue(1.0, context)
+        assert not loop.should_continue(1e-4, context)
+
+    def test_loop_stops_on_max_iter(self, context):
+        loop = ToleranceLoop()
+        context.put("iter", 10)
+        assert not loop.should_continue(1.0, context)
+
+
+class TestBundles:
+    def test_default_operators_with_sample(self):
+        ops = default_operators(d=4, gradient=LogisticGradient(),
+                                batch_size=10)
+        assert ops.sample is not None
+        assert len(ops.operators()) == 7
+
+    def test_default_operators_bgd_without_sample(self):
+        ops = default_operators(d=4, gradient=LogisticGradient())
+        assert ops.sample is None
+        assert len(ops.operators()) == 6
+
+    def test_bundle_repr(self):
+        ops = default_operators(d=2, gradient=LogisticGradient())
+        assert "compute" in repr(ops)
+
+
+class TestSVRGOperators:
+    def test_anchor_iteration_emits_plain_gradient(self):
+        ctx = Context()
+        SVRGStage(d=2, step_size="constant:0.1").stage(ctx)
+        ctx.put("iter", 1)  # (1 % m) - 1 == 0 -> anchor
+        compute = SVRGCompute(LinearRegressionGradient(), update_frequency=5)
+        X = np.array([[1.0, 0.0]])
+        y = np.array([2.0])
+        grad_sum, grad_bar, count, is_anchor = compute.compute(X, y, ctx)
+        assert is_anchor
+        assert count == 1
+        np.testing.assert_array_equal(grad_bar, np.zeros(2))
+
+    def test_stochastic_iteration_emits_pair(self):
+        ctx = Context()
+        SVRGStage(d=2, step_size="constant:0.1").stage(ctx)
+        ctx.put("iter", 2)
+        compute = SVRGCompute(LinearRegressionGradient(), update_frequency=5)
+        X = np.array([[1.0, 0.0]])
+        y = np.array([2.0])
+        out = compute.compute(X, y, ctx)
+        assert not out[3]
+
+    def test_update_anchor_sets_mu(self):
+        ctx = Context()
+        SVRGStage(d=2, step_size="constant:0.1").stage(ctx)
+        ctx.put("iter", 1)
+        update = SVRGUpdate()
+        mu_partial = np.array([2.0, 0.0])
+        update.update((mu_partial, np.zeros(2), 1, True), ctx)
+        np.testing.assert_allclose(ctx.require("mu"), [2.0, 0.0])
+
+    def test_svrg_bundle_has_anchor_marker(self):
+        ops = svrg_operators(d=3, gradient=LinearRegressionGradient(),
+                             update_frequency=7)
+        assert ops.anchor_every == 7
+
+    def test_bad_frequency(self):
+        with pytest.raises(PlanError):
+            SVRGCompute(LinearRegressionGradient(), update_frequency=1)
+
+
+class TestEndToEndOperatorLoop:
+    def test_manual_loop_converges(self):
+        """Drive the seven operators by hand, mirroring Figure 3(a)."""
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        w_star = np.array([1.0, -1.0, 0.5])
+        y = X @ w_star
+        ops = default_operators(
+            d=3, gradient=LinearRegressionGradient(),
+            step_size="constant:0.1", tolerance=1e-6, max_iter=3000,
+        )
+        ctx = Context()
+        ops.stage.stage(ctx)
+        X, y = ops.transform.transform(X, y, ctx)
+        ops.converge.converge(ctx.require("weights"), ctx)
+        for i in range(1, 3001):
+            ctx.put("iter", i)
+            partial = ops.compute.compute(X, y, ctx)
+            w = ops.update.update(partial, ctx)
+            delta = ops.converge.converge(w, ctx)
+            if not ops.loop.should_continue(delta, ctx):
+                break
+        np.testing.assert_allclose(ctx.require("weights"), w_star, atol=1e-3)

@@ -1,0 +1,136 @@
+"""Integration tests for the cost-based optimizer."""
+
+import pytest
+
+from repro.core.executor import execute_plan
+from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
+from repro.core.optimizer import GDOptimizer
+from repro.core.plan_space import enumerate_plans
+from repro.core.plans import TrainingSpec
+from repro.errors import ConstraintError
+
+from conftest import make_dataset
+
+
+@pytest.fixture
+def dataset(spec):
+    return make_dataset(
+        n_phys=2000, d=20, task="logreg", spec=spec, seed=3,
+        separability=1.2, hard_fraction=0.3, noise_scale=0.3,
+        label_noise=0.02,
+    )
+
+
+@pytest.fixture
+def estimator():
+    return SpeculativeEstimator(
+        SpeculationSettings(sample_size=400, time_budget_s=0.5,
+                            max_speculation_iters=800),
+        seed=5,
+    )
+
+
+@pytest.fixture
+def optimizer(engine, estimator):
+    return GDOptimizer(engine, estimator=estimator)
+
+
+class TestOptimize:
+    def test_costs_all_eleven_plans(self, optimizer, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-2, seed=1)
+        report = optimizer.optimize(dataset, training)
+        assert len(report.candidates) == 11
+        labels = {str(c.plan) for c in report.candidates}
+        assert "BGD" in labels
+        assert "SGD-lazy-shuffle" in labels
+
+    def test_chosen_is_cheapest_feasible(self, optimizer, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-2, seed=1)
+        report = optimizer.optimize(dataset, training)
+        feasible = [c for c in report.candidates if c.feasible]
+        assert report.chosen.total_s == min(c.total_s for c in feasible)
+
+    def test_fixed_iterations_skips_speculation(self, optimizer, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-2, seed=1)
+        report = optimizer.optimize(dataset, training, fixed_iterations=500)
+        assert report.iteration_estimates is None
+        assert all(c.estimated_iterations == 500 for c in report.candidates)
+        # "optimization time of less than 100 msec when just the number
+        # of iterations is given" -- generous CI margin.
+        assert report.optimizer_wall_s < 1.0
+
+    def test_speculation_populates_estimates(self, optimizer, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-2, seed=1)
+        report = optimizer.optimize(dataset, training)
+        assert set(report.iteration_estimates) == {"bgd", "mgd", "sgd"}
+        assert report.speculation_sim_s > 0
+
+    def test_time_constraint_filters_plans(self, optimizer, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-2,
+                                time_budget_s=1e9, seed=1)
+        report = optimizer.optimize(dataset, training)
+        assert all(c.feasible for c in report.candidates)
+
+    def test_impossible_time_constraint_raises(self, optimizer, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-2,
+                                time_budget_s=1e-9, seed=1)
+        with pytest.raises(ConstraintError) as err:
+            optimizer.optimize(dataset, training)
+        # Appendix A: the system names the constraint to revisit.
+        assert "time" in str(err.value)
+
+    def test_estimates_capped_by_max_iter(self, optimizer, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-6, max_iter=50,
+                                seed=1)
+        report = optimizer.optimize(dataset, training)
+        assert all(c.estimated_iterations <= 50 for c in report.candidates)
+
+    def test_restricted_algorithm_set(self, engine, estimator, dataset):
+        optimizer = GDOptimizer(engine, estimator=estimator,
+                                algorithms=("bgd",))
+        training = TrainingSpec(task="logreg", tolerance=1e-2, seed=1)
+        report = optimizer.optimize(dataset, training)
+        assert len(report.candidates) == 1
+        assert str(report.chosen_plan) == "BGD"
+
+    def test_report_summary_renders(self, optimizer, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-2, seed=1)
+        report = optimizer.optimize(dataset, training)
+        text = report.summary()
+        assert "chosen plan" in text
+        assert "candidates" in text
+
+    def test_ranking_sorted(self, optimizer, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-2, seed=1)
+        report = optimizer.optimize(dataset, training)
+        ranked = report.ranking()
+        totals = [c.total_s for c in ranked if c.feasible]
+        assert totals == sorted(totals)
+
+
+class TestTrain:
+    def test_train_executes_chosen_plan(self, optimizer, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-2,
+                                max_iter=2000, seed=1)
+        report, result = optimizer.train(dataset, training)
+        assert result.plan == report.chosen_plan
+        assert result.iterations >= 1
+
+    def test_optimizer_avoids_worst_plan(self, spec, engine, estimator,
+                                         dataset):
+        """The database-optimizer property: never pick the worst plan."""
+        from repro.cluster import SimulatedCluster
+
+        training = TrainingSpec(task="logreg", tolerance=1e-2,
+                                max_iter=1500, seed=1)
+        times = {}
+        for plan in enumerate_plans(batch_sizes={"mgd": 100}):
+            e = SimulatedCluster(spec, seed=9)
+            times[plan.label] = execute_plan(e, dataset, plan,
+                                             training).sim_seconds
+        optimizer = GDOptimizer(engine, estimator=estimator,
+                                batch_sizes={"mgd": 100})
+        report, result = optimizer.train(dataset, training)
+        worst = max(times.values())
+        best = min(times.values())
+        assert result.sim_seconds < worst * 0.6 or worst < best * 1.5

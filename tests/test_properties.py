@@ -1,0 +1,154 @@
+"""Cross-module property-based tests on core invariants.
+
+These exercise the relationships that make the cost-based optimizer
+sound: cost monotonicity in data size and iterations, estimator
+consistency under tolerance tightening, sampler uniformity, and the
+executor's accounting identities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, SimulatedCluster, make_sampler
+from repro.cluster.storage import DatasetStats
+from repro.core.cost_model import CostModel, layout_for
+from repro.core.curve_fit import fit_error_sequence
+from repro.core.plan_space import enumerate_plans
+from repro.core.plans import GDPlan
+
+from conftest import make_dataset
+
+SPEC = ClusterSpec(jitter_sigma=0.0)
+
+
+class TestCostMonotonicity:
+    @given(
+        n=st.integers(min_value=6_000_000, max_value=50_000_000),
+        # factor >= 2.5 so wave growth dominates the <=1-partition
+        # rounding jitter of the HDFS block layout.
+        factor=st.floats(min_value=2.5, max_value=10.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bgd_cost_monotone_in_cardinality_above_cap(self, n, factor):
+        """Once the dataset spans more partitions than parallel slots,
+        more data means more waves and a higher per-iteration cost.
+        (Below the cap, extra partitions *add parallelism*, so total time
+        can legitimately drop as data grows -- real Spark behaviour.)"""
+        model = CostModel(SPEC)
+        small = DatasetStats("a", "svm", n=n, d=50)
+        large = DatasetStats("a", "svm", n=int(n * factor), d=50)
+        assert layout_for(SPEC, small, "binary").p >= SPEC.cap
+        plan = GDPlan("bgd")
+        cost_small = sum(model.per_iteration_cost(plan, small).values())
+        cost_large = sum(model.per_iteration_cost(plan, large).values())
+        assert cost_large >= cost_small * 0.999
+
+    @given(d=st.integers(min_value=2, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_update_cost_monotone_in_dimensionality(self, d):
+        model = CostModel(SPEC)
+        lo = DatasetStats("a", "svm", n=100_000, d=d)
+        hi = DatasetStats("a", "svm", n=100_000, d=2 * d)
+        plan = GDPlan("bgd")
+        assert model.per_iteration_cost(plan, hi)["update"] >= \
+            model.per_iteration_cost(plan, lo)["update"]
+
+    @given(n=st.integers(min_value=10_000, max_value=10_000_000))
+    @settings(max_examples=20, deadline=None)
+    def test_sgd_per_iteration_nearly_size_independent(self, n):
+        """Section 2: SGD's per-iteration cost is O(1) in dataset size."""
+        model = CostModel(SPEC)
+        plan = GDPlan("sgd", "lazy", "shuffle")
+        small = DatasetStats("a", "svm", n=n, d=50)
+        large = DatasetStats("a", "svm", n=100 * n, d=50)
+        c_small = sum(model.per_iteration_cost(plan, small).values())
+        c_large = sum(model.per_iteration_cost(plan, large).values())
+        assert c_large <= c_small * 3  # amortised shuffle may differ a bit
+
+    @given(data_seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_every_plan_has_positive_cost(self, data_seed):
+        model = CostModel(SPEC)
+        stats = DatasetStats("a", "svm", n=1_000_000 + data_seed, d=30)
+        for plan in enumerate_plans():
+            one, per, total, _ = model.estimate(plan, stats, 10)
+            assert per > 0
+            assert total >= one >= 0
+
+
+class TestEstimatorProperties:
+    @given(
+        a=st.floats(min_value=0.5, max_value=50),
+        p=st.floats(min_value=0.4, max_value=1.6),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_tighter_tolerance_never_fewer_iterations(self, a, p):
+        errors = a / np.arange(1, 60) ** p
+        curve = fit_error_sequence(errors, model="power")
+        tolerances = [0.1, 0.05, 0.01, 0.005, 0.001]
+        estimates = [curve.iterations_for(t) for t in tolerances]
+        assert estimates == sorted(estimates)
+
+    @given(scale=st.floats(min_value=0.1, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_fit_scale_equivariance(self, scale):
+        """Scaling the error sequence scales a, not the exponent."""
+        base = 2.0 / np.arange(1, 50) ** 0.8
+        c1 = fit_error_sequence(base, model="power")
+        c2 = fit_error_sequence(base * scale, model="power")
+        assert c2.params[1] == pytest.approx(c1.params[1], rel=1e-6)
+        assert c2.params[0] == pytest.approx(c1.params[0] * scale, rel=1e-6)
+
+
+class TestSamplerProperties:
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_bernoulli_indices_always_valid(self, seed):
+        ds = make_dataset(n_phys=97, d=4, sim_n=9_700, spec=SPEC)
+        engine = SimulatedCluster(SPEC, seed=seed)
+        sampler = make_sampler("bernoulli", engine, ds, 50)
+        for _ in range(5):
+            draw = sampler.draw()
+            assert len(draw.indices) >= 1
+            assert draw.indices.min() >= 0
+            assert draw.indices.max() < 97
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=10, deadline=None)
+    def test_random_partition_roughly_uniform_over_rows(self, seed):
+        ds = make_dataset(n_phys=400, d=4, sim_n=400_000, spec=SPEC,
+                          block_bytes=64 * 1024)
+        engine = SimulatedCluster(SPEC, seed=seed)
+        sampler = make_sampler("random", engine, ds, 20)
+        counts = np.zeros(400)
+        for _ in range(60):
+            counts[sampler.draw().indices] += 1
+        # Every quartile of the row space gets sampled.
+        quartiles = counts.reshape(4, 100).sum(axis=1)
+        assert np.all(quartiles > 0)
+
+    @given(batch=st.integers(min_value=1, max_value=300))
+    @settings(max_examples=15, deadline=None)
+    def test_shuffle_sim_accounting(self, batch):
+        ds = make_dataset(n_phys=300, d=4, sim_n=30_000, spec=SPEC)
+        engine = SimulatedCluster(SPEC, seed=1)
+        sampler = make_sampler("shuffle", engine, ds, batch)
+        draw = sampler.draw()
+        assert 1 <= draw.sim_size <= max(batch, 1)
+        assert len(draw.indices) <= 300
+
+
+class TestLayoutInvariants:
+    @given(
+        n=st.integers(min_value=100, max_value=100_000_000),
+        d=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_partitions_hold_all_units(self, n, d):
+        stats = DatasetStats("a", "svm", n=n, d=min(d, 1000))
+        layout = layout_for(SPEC, stats, "binary")
+        assert layout.p >= 1
+        assert layout.k * layout.p >= layout.n
+        assert layout.partition_bytes * layout.p >= layout.bytes_total

@@ -1,0 +1,99 @@
+"""Unit tests for experiment tables and the experiment context."""
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.experiments.report import Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        experiment="Figure X",
+        title="demo",
+        columns=["dataset", "time_s", "winner"],
+        rows=[
+            {"dataset": "adult", "time_s": 1.5, "winner": "sgd"},
+            {"dataset": "covtype", "time_s": 12000.0, "winner": "bgd"},
+            {"dataset": "rcv1", "time_s": None, "winner": "sgd"},
+        ],
+        notes=["a note"],
+    )
+
+
+class TestTable:
+    def test_render_contains_all_cells(self, table):
+        text = table.render()
+        assert "Figure X" in text
+        assert "adult" in text
+        assert "1.50" in text
+        assert "12,000" in text
+        assert "a note" in text
+
+    def test_none_rendered_as_dash(self, table):
+        assert "-" in table.render()
+
+    def test_markdown_structure(self, table):
+        md = table.to_markdown()
+        assert md.startswith("### Figure X")
+        assert "| dataset | time_s | winner |" in md
+        separator_rows = [line for line in md.splitlines()
+                          if line.startswith("|---")]
+        assert len(separator_rows) == 1
+
+    def test_column_accessor(self, table):
+        assert table.column("winner") == ["sgd", "bgd", "sgd"]
+
+    def test_row_for(self, table):
+        row = table.row_for(dataset="covtype")
+        assert row["winner"] == "bgd"
+
+    def test_row_for_missing(self, table):
+        with pytest.raises(KeyError):
+            table.row_for(dataset="higgs")
+
+    def test_small_float_formatting(self):
+        table = Table("T", "t", ["v"], [{"v": 0.000123}])
+        assert "0.000123" in table.render()
+
+    def test_empty_rows_render(self):
+        table = Table("T", "t", ["a", "b"], [])
+        assert "T" in table.render()
+
+
+class TestExperimentContext:
+    def test_quick_subset(self):
+        ctx = ExperimentContext(quick=True)
+        assert "adult" in ctx.datasets
+        assert len(ctx.datasets) < 8
+
+    def test_full_covers_paper_order(self):
+        ctx = ExperimentContext(quick=False)
+        assert len(ctx.datasets) == 8
+
+    def test_dataset_cache_reuses_objects(self):
+        ctx = ExperimentContext(quick=True)
+        a = ctx.dataset("adult")
+        b = ctx.dataset("adult")
+        assert a is b
+
+    def test_engines_are_fresh(self):
+        ctx = ExperimentContext(quick=True)
+        e1 = ctx.engine()
+        e2 = ctx.engine()
+        assert e1 is not e2
+        e1.charge(1.0, "x")
+        assert e2.clock == 0.0
+
+    def test_tolerances(self):
+        ctx = ExperimentContext()
+        assert ctx.tolerance("yearpred") == 0.1
+        assert ctx.tolerance("rcv1") == 0.01
+        assert ctx.tolerance("adult") == 0.001
+        assert ctx.tolerance("unknown") == 0.001
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        assert not ExperimentContext.from_env().quick
+        monkeypatch.setenv("REPRO_FULL", "0")
+        assert ExperimentContext.from_env().quick

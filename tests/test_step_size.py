@@ -1,0 +1,83 @@
+"""Unit tests for step-size schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.gd.step_size import (
+    ConstantStep,
+    InverseSqrtStep,
+    InverseSquaredStep,
+    InverseStep,
+    make_step_size,
+)
+
+
+class TestSchedules:
+    def test_constant(self):
+        step = ConstantStep(0.5)
+        assert step(1) == step(100) == 0.5
+
+    def test_inverse_sqrt_matches_mllib_formula(self):
+        step = InverseSqrtStep(beta=2.0)
+        assert step(1) == pytest.approx(2.0)
+        assert step(4) == pytest.approx(1.0)
+        assert step(100) == pytest.approx(0.2)
+
+    def test_inverse(self):
+        step = InverseStep(beta=1.0)
+        assert step(10) == pytest.approx(0.1)
+
+    def test_inverse_squared(self):
+        step = InverseSquaredStep(beta=1.0)
+        assert step(10) == pytest.approx(0.01)
+
+    @pytest.mark.parametrize("cls", [
+        ConstantStep, InverseSqrtStep, InverseStep, InverseSquaredStep,
+    ])
+    def test_nonpositive_beta_rejected(self, cls):
+        with pytest.raises(PlanError):
+            cls(0.0)
+        with pytest.raises(PlanError):
+            cls(-1.0)
+
+    @given(i=st.integers(min_value=1, max_value=10**9))
+    @settings(max_examples=50, deadline=None)
+    def test_schedules_ordered(self, i):
+        """For beta=1: constant >= 1/sqrt(i) >= 1/i >= 1/i^2."""
+        c = ConstantStep(1.0)(i)
+        s = InverseSqrtStep(1.0)(i)
+        inv = InverseStep(1.0)(i)
+        sq = InverseSquaredStep(1.0)(i)
+        assert c >= s >= inv >= sq > 0
+
+
+class TestFactory:
+    def test_number_means_mllib_schedule(self):
+        step = make_step_size(2.0)
+        assert isinstance(step, InverseSqrtStep)
+        assert step.beta == 2.0
+
+    def test_passthrough(self):
+        step = ConstantStep(1.0)
+        assert make_step_size(step) is step
+
+    def test_names(self):
+        assert isinstance(make_step_size("constant"), ConstantStep)
+        assert isinstance(make_step_size("1/i"), InverseStep)
+        assert isinstance(make_step_size("1/i^2"), InverseSquaredStep)
+        assert isinstance(make_step_size("inv_sqrt"), InverseSqrtStep)
+
+    def test_name_with_beta(self):
+        step = make_step_size("1/i:0.5")
+        assert isinstance(step, InverseStep)
+        assert step(1) == pytest.approx(0.5)
+
+    def test_unknown_name(self):
+        with pytest.raises(PlanError):
+            make_step_size("cosine")
+
+    def test_unbuildable_type(self):
+        with pytest.raises(PlanError):
+            make_step_size([1, 2])

@@ -1,0 +1,146 @@
+"""Unit tests for the partitioned storage layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterSpec, PartitionedDataset
+from repro.cluster.storage import (
+    DatasetStats,
+    binary_bytes_per_row,
+    text_bytes_per_row,
+)
+from repro.errors import PlanError
+
+from conftest import make_dataset
+
+
+class TestDatasetStats:
+    def test_dense_binary_bytes(self):
+        stats = DatasetStats("x", "svm", n=100, d=10)
+        # 10 doubles + label per row
+        assert stats.binary_bytes == 100 * (8 + 80)
+
+    def test_sparse_binary_bytes_use_density(self):
+        stats = DatasetStats("x", "logreg", n=100, d=1000, density=0.01,
+                             is_sparse=True)
+        # 10 nnz * 12 bytes + 8-byte label
+        assert stats.binary_bytes == 100 * (8 + 10 * 12)
+
+    def test_text_larger_than_binary_for_dense(self):
+        stats = DatasetStats("x", "svm", n=1000, d=50)
+        assert stats.text_bytes != stats.binary_bytes
+
+    def test_row_overrides_respected(self):
+        stats = DatasetStats("x", "svm", n=10, d=5, row_text_bytes=100.0,
+                             row_binary_bytes=40.0)
+        assert stats.text_bytes == 1000
+        assert stats.binary_bytes == 400
+
+    def test_bytes_for_unknown_representation(self):
+        stats = DatasetStats("x", "svm", n=10, d=5)
+        with pytest.raises(PlanError):
+            stats.bytes_for("parquet")
+
+    def test_nnz_per_row(self):
+        dense = DatasetStats("x", "svm", n=10, d=5)
+        assert dense.nnz_per_row == 5
+        sparse = DatasetStats("x", "svm", n=10, d=100, density=0.2,
+                              is_sparse=True)
+        assert sparse.nnz_per_row == pytest.approx(20)
+
+    def test_weight_vector_bytes(self):
+        stats = DatasetStats("x", "svm", n=10, d=7)
+        assert stats.weight_vector_bytes == 56
+
+
+class TestPartitionedDataset:
+    def test_single_partition_for_small_data(self):
+        ds = make_dataset(n_phys=100, d=5)
+        assert ds.n_partitions == 1
+
+    def test_partition_count_follows_block_size(self):
+        spec = ClusterSpec(jitter_sigma=0.0)
+        ds = make_dataset(n_phys=1000, d=5, spec=spec, sim_n=1000,
+                          block_bytes=1000)
+        expected = -(-ds.total_bytes // 1000)  # ceil division
+        assert ds.n_partitions == min(expected, 1000)
+
+    def test_partitions_cover_all_physical_rows(self):
+        ds = make_dataset(n_phys=997, d=3, block_bytes=2048)
+        lo = ds.partitions[0].phys_lo
+        assert lo == 0
+        for prev, part in zip(ds.partitions, ds.partitions[1:]):
+            assert part.phys_lo == prev.phys_hi
+        assert ds.partitions[-1].phys_hi == 997
+
+    def test_partitions_cover_all_simulated_rows(self):
+        ds = make_dataset(n_phys=100, d=3, sim_n=100_000, block_bytes=4096)
+        assert sum(p.sim_rows for p in ds.partitions) == 100_000
+
+    def test_sim_replication(self):
+        ds = make_dataset(n_phys=100, d=3, sim_n=5000)
+        assert ds.sim_replication == pytest.approx(50.0)
+
+    def test_as_binary_shares_physical_arrays(self):
+        ds = make_dataset()
+        binary = ds.as_binary()
+        assert binary.X is ds.X
+        assert binary.representation == "binary"
+        assert binary.as_binary() is binary
+
+    def test_binary_changes_total_bytes(self):
+        ds = make_dataset(n_phys=500, d=40)
+        assert ds.as_binary().total_bytes != ds.total_bytes
+
+    def test_empty_dataset_rejected(self):
+        stats = DatasetStats("x", "svm", n=1, d=2)
+        with pytest.raises(PlanError):
+            PartitionedDataset(np.zeros((0, 2)), np.zeros(0), stats)
+
+    def test_mismatched_labels_rejected(self):
+        stats = DatasetStats("x", "svm", n=10, d=2)
+        with pytest.raises(PlanError):
+            PartitionedDataset(np.zeros((10, 2)), np.zeros(9), stats)
+
+    def test_sim_smaller_than_physical_rejected(self):
+        stats = DatasetStats("x", "svm", n=5, d=2)
+        with pytest.raises(PlanError):
+            PartitionedDataset(np.zeros((10, 2)), np.zeros(10), stats)
+
+    def test_partition_rows_returns_physical_indices(self):
+        ds = make_dataset(n_phys=100, d=3, block_bytes=1024)
+        idx = ds.partition_rows(0)
+        part = ds.partitions[0]
+        assert idx[0] == part.phys_lo
+        assert idx[-1] == part.phys_hi - 1
+
+    def test_describe_mentions_name_and_partitions(self):
+        ds = make_dataset()
+        text = ds.describe()
+        assert "test" in text
+        assert "partitions" in text
+
+
+class TestByteModelProperties:
+    @given(
+        d=st.integers(min_value=1, max_value=10_000),
+        density=st.floats(min_value=0.001, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bytes_per_row_positive(self, d, density):
+        assert text_bytes_per_row(d, density, True) > 0
+        assert text_bytes_per_row(d, density, False) > 0
+        assert binary_bytes_per_row(d, density, True) > 0
+        assert binary_bytes_per_row(d, density, False) > 0
+
+    @given(
+        n=st.integers(min_value=1, max_value=10_000_000),
+        d=st.integers(min_value=1, max_value=1000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stats_bytes_scale_with_n(self, n, d):
+        small = DatasetStats("x", "svm", n=n, d=d)
+        large = DatasetStats("x", "svm", n=n * 2, d=d)
+        assert large.binary_bytes == 2 * small.binary_bytes

@@ -1,0 +1,136 @@
+"""Unit tests for the synthetic data generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import sparse as sp
+
+from repro.data.synth import make_classification, make_regression
+from repro.errors import DataFormatError
+
+
+class TestClassification:
+    def test_shapes_and_labels(self):
+        X, y, w_star = make_classification(100, 10,
+                                           rng=np.random.default_rng(0))
+        assert X.shape == (100, 10)
+        assert set(np.unique(y)) <= {-1.0, 1.0}
+        assert w_star.shape == (10,)
+        assert np.linalg.norm(w_star) == pytest.approx(1.0)
+
+    def test_sparse_output(self):
+        X, y, _ = make_classification(200, 50, density=0.1, sparse=True,
+                                      rng=np.random.default_rng(0))
+        assert sp.issparse(X)
+        assert X.nnz < 200 * 50 * 0.3
+
+    def test_margin_mixture(self):
+        X, y, w_star = make_classification(
+            2000, 20, separability=2.0, hard_fraction=0.3, label_noise=0.0,
+            rng=np.random.default_rng(1),
+        )
+        margins = y * (X @ w_star)
+        # Easy mass at >= 2.0, hard mass near 0.
+        easy = (margins >= 1.9).mean()
+        hard = (np.abs(margins) < 1.0).mean()
+        assert easy > 0.5
+        assert 0.15 < hard < 0.45
+
+    def test_hard_fraction_zero_fully_separable(self):
+        X, y, w_star = make_classification(
+            500, 10, separability=2.0, hard_fraction=0.0,
+            rng=np.random.default_rng(1),
+        )
+        margins = y * (X @ w_star)
+        assert margins.min() > 1.5
+
+    def test_label_noise_flips(self):
+        X, y, w_star = make_classification(
+            5000, 10, separability=2.0, hard_fraction=0.0, label_noise=0.1,
+            rng=np.random.default_rng(2),
+        )
+        margins = y * (X @ w_star)
+        flipped = (margins < 0).mean()
+        assert 0.05 < flipped < 0.15
+
+    def test_feature_scale(self):
+        rng1, rng2 = np.random.default_rng(3), np.random.default_rng(3)
+        X1, _, _ = make_classification(50, 5, rng=rng1)
+        X2, _, _ = make_classification(50, 5, feature_scale=2.0, rng=rng2)
+        np.testing.assert_allclose(np.asarray(X2), 2 * np.asarray(X1))
+
+    def test_sorted_row_order_groups_labels(self):
+        _, y, _ = make_classification(400, 5, row_order="sorted",
+                                      rng=np.random.default_rng(4))
+        # After a stable sort by label, y is non-decreasing.
+        assert np.all(np.diff(y) >= 0)
+
+    def test_shuffled_order_mixes_labels(self):
+        _, y, _ = make_classification(400, 5, row_order="shuffled",
+                                      rng=np.random.default_rng(4))
+        changes = np.sum(np.diff(y) != 0)
+        assert changes > 50
+
+    def test_sparse_margin_mixture_preserves_pattern(self):
+        X, _, _ = make_classification(
+            300, 40, density=0.1, sparse=True, separability=2.0,
+            rng=np.random.default_rng(5),
+        )
+        # Density unchanged by the margin adjustment (pattern preserved).
+        density = X.nnz / (300 * 40)
+        assert density == pytest.approx(0.1, abs=0.03)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DataFormatError):
+            make_classification(0, 5, rng=rng)
+        with pytest.raises(DataFormatError):
+            make_classification(10, 5, density=0.0, rng=rng)
+        with pytest.raises(DataFormatError):
+            make_classification(10, 5, label_noise=0.7, rng=rng)
+        with pytest.raises(DataFormatError):
+            make_classification(10, 5, hard_fraction=1.5, rng=rng)
+        with pytest.raises(DataFormatError):
+            make_classification(10, 5, row_order="spiral", rng=rng)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_given_rng_seed(self, seed):
+        X1, y1, w1 = make_classification(30, 4,
+                                         rng=np.random.default_rng(seed))
+        X2, y2, w2 = make_classification(30, 4,
+                                         rng=np.random.default_rng(seed))
+        np.testing.assert_array_equal(np.asarray(X1), np.asarray(X2))
+        np.testing.assert_array_equal(y1, y2)
+
+
+class TestRegression:
+    def test_shapes(self):
+        X, y, w_star = make_regression(100, 8, rng=np.random.default_rng(0))
+        assert X.shape == (100, 8)
+        assert y.shape == (100,)
+
+    def test_noise_controls_residuals(self):
+        X, y, w_star = make_regression(2000, 8, noise=0.01,
+                                       rng=np.random.default_rng(1))
+        residuals = y - X @ w_star
+        assert np.std(residuals) < 0.05 * np.std(y)
+
+    def test_feature_scale_scales_targets_too(self):
+        X1, y1, _ = make_regression(50, 4, rng=np.random.default_rng(2))
+        X2, y2, _ = make_regression(50, 4, feature_scale=3.0,
+                                    rng=np.random.default_rng(2))
+        np.testing.assert_allclose(y2, 3 * y1)
+
+    def test_sparse_regression(self):
+        X, y, _ = make_regression(100, 30, density=0.2, sparse=True,
+                                  rng=np.random.default_rng(3))
+        assert sp.issparse(X)
+
+    def test_validation(self):
+        with pytest.raises(DataFormatError):
+            make_regression(0, 3, rng=np.random.default_rng(0))
+        with pytest.raises(DataFormatError):
+            make_regression(10, 3, row_order="byhash",
+                            rng=np.random.default_rng(0))

@@ -1,0 +1,114 @@
+"""Tests for the cost-based hyperparameter tuner (the paper's extension)."""
+
+import pytest
+
+from repro.cluster import SimulatedCluster
+from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
+from repro.core.plans import TrainingSpec
+from repro.core.tuning import (
+    CostBasedTuner,
+    DEFAULT_STEP_CANDIDATES,
+    TuningCandidate,
+)
+from repro.errors import PlanError
+
+from conftest import make_dataset
+
+
+@pytest.fixture
+def dataset(spec):
+    return make_dataset(n_phys=1500, d=10, task="linreg", spec=spec,
+                        seed=6, noise=0.05)
+
+
+@pytest.fixture
+def tuner(spec):
+    engine = SimulatedCluster(spec, seed=0)
+    estimator = SpeculativeEstimator(
+        SpeculationSettings(sample_size=400, time_budget_s=0.5,
+                            max_speculation_iters=600),
+        seed=3,
+    )
+    return CostBasedTuner(engine, estimator=estimator)
+
+
+@pytest.fixture
+def training():
+    return TrainingSpec(task="linreg", tolerance=1e-3, max_iter=2000,
+                        seed=3)
+
+
+class TestStepSizeTuning:
+    def test_returns_report_over_all_candidates(self, tuner, dataset,
+                                                training):
+        report = tuner.tune_step_size(dataset, training, algorithm="bgd")
+        assert report.parameter == "step_size"
+        assert len(report.candidates) == len(DEFAULT_STEP_CANDIDATES)
+        assert report.best.feasible
+
+    def test_best_minimises_estimated_total(self, tuner, dataset, training):
+        report = tuner.tune_step_size(dataset, training, algorithm="bgd")
+        feasible = [c for c in report.candidates if c.feasible]
+        assert report.best.estimated_total_s == min(
+            c.estimated_total_s for c in feasible
+        )
+
+    def test_prefers_faster_schedule_over_crawling_one(self, tuner, dataset,
+                                                       training):
+        # 1/i^2 effectively freezes after a few iterations on this task
+        # (bounded total movement); a constant step converges.  The tuner
+        # must never pick the frozen schedule.
+        report = tuner.tune_step_size(
+            dataset, training, algorithm="bgd",
+            candidates=("constant:0.2", "1/i^2:0.2"),
+        )
+        assert str(report.best.setting) == "constant:0.2"
+
+    def test_rejected_candidates_reported_not_fatal(self, tuner, dataset):
+        # An absurd tolerance forces fits; rejected entries are recorded.
+        training = TrainingSpec(task="linreg", tolerance=1e-3, max_iter=500,
+                                seed=3)
+        report = tuner.tune_step_size(
+            dataset, training, algorithm="bgd",
+            candidates=("constant:0.1", "1/i^2:1e-9"),
+        )
+        assert report.best.feasible
+        assert any(isinstance(c, TuningCandidate) for c in report.candidates)
+
+    def test_empty_candidates_rejected(self, tuner, dataset, training):
+        with pytest.raises(PlanError):
+            tuner.tune_step_size(dataset, training, candidates=())
+
+    def test_invalid_candidate_name_raises(self, tuner, dataset, training):
+        with pytest.raises(PlanError):
+            tuner.tune_step_size(dataset, training,
+                                 candidates=("warp-speed",))
+
+    def test_stochastic_algorithm_gets_stochastic_plan(self, tuner, dataset,
+                                                       training):
+        report = tuner.tune_step_size(dataset, training, algorithm="sgd",
+                                      candidates=("inv_sqrt:1",))
+        assert report.best.plan.is_stochastic
+
+    def test_summary_renders(self, tuner, dataset, training):
+        report = tuner.tune_step_size(dataset, training, algorithm="bgd")
+        text = report.summary()
+        assert "tuned step_size" in text
+        assert "est." in text
+
+
+class TestBatchSizeTuning:
+    def test_returns_report(self, tuner, dataset, training):
+        report = tuner.tune_batch_size(dataset, training,
+                                       candidates=(50, 500))
+        assert report.parameter == "batch_size"
+        assert report.best.setting in (50, 500)
+
+    def test_batch_plans_carry_batch_size(self, tuner, dataset, training):
+        report = tuner.tune_batch_size(dataset, training,
+                                       candidates=(64,))
+        assert report.candidates[0].plan.effective_batch_size == 64
+
+    def test_empty_candidates(self, tuner, dataset, training):
+        with pytest.raises(PlanError):
+            tuner.tune_batch_size(dataset, training, candidates=())
