@@ -1,0 +1,192 @@
+"""Minimal stand-ins for the ``wheel`` package, for offline editable installs.
+
+The environment this repo is developed in has no network access and no
+``wheel`` distribution, but setuptools' PEP 660 editable builds hard-import
+``wheel.wheelfile.WheelFile`` and resolve a ``bdist_wheel`` command.  This
+module provides just enough of both for ``pip install -e .
+--no-build-isolation`` to succeed: a RECORD-writing ZipFile subclass and a
+pure-Python ``bdist_wheel`` that only knows how to tag and describe a
+wheel, not build one.
+
+``setup.py`` calls :func:`ensure_wheel_modules` before ``setup()``; when
+the real ``wheel`` package is importable the stubs stay completely inert.
+"""
+
+from __future__ import annotations
+
+import base64
+import email
+import hashlib
+import os
+import shutil
+import sys
+import types
+import zipfile
+
+from distutils.core import Command
+
+_GENERATOR = "ml4all-repro offline wheel stub"
+
+
+class WheelFile(zipfile.ZipFile):
+    """A write-mode ZipFile that appends a PEP 376-style RECORD on close."""
+
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        super().__init__(file, mode, compression=compression)
+        stem = "-".join(os.path.basename(str(file)).split("-")[:2])
+        self._record_name = f"{stem}.dist-info/RECORD"
+        self._record = [] if mode in ("w", "x", "a") else None
+
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+        if self._record is not None:
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo):
+                arcname = zinfo_or_arcname.filename
+            else:
+                arcname = zinfo_or_arcname
+            payload = data.encode("utf-8") if isinstance(data, str) else data
+            self._record.append((arcname, payload))
+
+    def write(self, filename, arcname=None, *args, **kwargs):
+        super().write(filename, arcname, *args, **kwargs)
+        if self._record is not None:
+            with open(filename, "rb") as handle:
+                payload = handle.read()
+            name = filename if arcname is None else arcname
+            self._record.append((str(name).replace(os.sep, "/"), payload))
+
+    def write_files(self, base_dir):
+        """Add every file under ``base_dir`` (the unpacked wheel tree)."""
+        for root, dirs, files in os.walk(base_dir):
+            dirs.sort()
+            for name in sorted(files):
+                full = os.path.join(root, name)
+                arcname = os.path.relpath(full, base_dir).replace(os.sep, "/")
+                self.write(full, arcname)
+
+    def close(self):
+        if self.fp is not None and self._record is not None:
+            lines = []
+            for arcname, payload in self._record:
+                digest = base64.urlsafe_b64encode(
+                    hashlib.sha256(payload).digest()
+                ).rstrip(b"=").decode("ascii")
+                lines.append(f"{arcname},sha256={digest},{len(payload)}")
+            lines.append(f"{self._record_name},,")
+            self._record = None
+            super().writestr(self._record_name, "\n".join(lines) + "\n")
+        super().close()
+
+
+class bdist_wheel(Command):
+    """Tag/metadata subset of the real bdist_wheel command.
+
+    setuptools' ``editable_wheel`` only calls :meth:`get_tag` and
+    :meth:`write_wheelfile`; building a full (non-editable) wheel still
+    requires the real ``wheel`` package.
+    """
+
+    description = "offline stand-in for wheel's bdist_wheel"
+    user_options = []
+
+    def initialize_options(self):
+        self.dist_dir = None
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    def get_tag(self):
+        return ("py3", "none", "any")
+
+    def write_wheelfile(self, wheelfile_base, generator=_GENERATOR):
+        path = os.path.join(wheelfile_base, "WHEEL")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                "Wheel-Version: 1.0\n"
+                f"Generator: {generator}\n"
+                "Root-Is-Purelib: true\n"
+                f"Tag: {'-'.join(self.get_tag())}\n"
+            )
+
+    def run(self):
+        raise RuntimeError(
+            "building a distributable wheel needs the real 'wheel' "
+            "package; this offline stub only supports editable installs"
+        )
+
+    # setuptools' dist_info command delegates the egg-info -> dist-info
+    # conversion to bdist_wheel.
+    def egg2dist(self, egginfo_path, distinfo_path):
+        egginfo_path = str(egginfo_path)
+        distinfo_path = str(distinfo_path)
+        if os.path.isdir(distinfo_path):
+            shutil.rmtree(distinfo_path)
+        os.makedirs(distinfo_path)
+
+        with open(os.path.join(egginfo_path, "PKG-INFO"),
+                  encoding="utf-8") as handle:
+            message = email.message_from_file(handle)
+        requires_path = os.path.join(egginfo_path, "requires.txt")
+        if os.path.exists(requires_path):
+            with open(requires_path, encoding="utf-8") as handle:
+                for requirement in _requires_dist(handle.read()):
+                    message["Requires-Dist"] = requirement
+        with open(os.path.join(distinfo_path, "METADATA"), "w",
+                  encoding="utf-8") as handle:
+            handle.write(message.as_string())
+
+        for name in ("entry_points.txt", "top_level.txt"):
+            source = os.path.join(egginfo_path, name)
+            if os.path.exists(source):
+                shutil.copy2(source, os.path.join(distinfo_path, name))
+
+
+def _requires_dist(requires_txt):
+    """Translate egg-info requires.txt sections into Requires-Dist values."""
+    extra = marker = None
+    for raw in requires_txt.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            extra, _, marker = line[1:-1].partition(":")
+            extra = extra.strip() or None
+            marker = marker.strip() or None
+            continue
+        conditions = []
+        if extra:
+            conditions.append(f'extra == "{extra}"')
+        if marker:
+            conditions.append(f"({marker})")
+        if conditions:
+            yield f"{line} ; {' and '.join(conditions)}"
+        else:
+            yield line
+
+
+def ensure_wheel_modules() -> dict:
+    """Register the stubs under the ``wheel`` module names if needed.
+
+    Returns the ``cmdclass`` mapping to pass to ``setup()`` (empty when
+    the real ``wheel`` package is available).
+    """
+    try:
+        import wheel.wheelfile  # noqa: F401  (real package present)
+
+        return {}
+    except ImportError:
+        pass
+
+    wheel_mod = types.ModuleType("wheel")
+    wheel_mod.__version__ = "0.0.0+offline.stub"
+    wheelfile_mod = types.ModuleType("wheel.wheelfile")
+    wheelfile_mod.WheelFile = WheelFile
+    bdist_mod = types.ModuleType("wheel.bdist_wheel")
+    bdist_mod.bdist_wheel = bdist_wheel
+    wheel_mod.wheelfile = wheelfile_mod
+    wheel_mod.bdist_wheel = bdist_mod
+    sys.modules["wheel"] = wheel_mod
+    sys.modules["wheel.wheelfile"] = wheelfile_mod
+    sys.modules["wheel.bdist_wheel"] = bdist_mod
+    return {"bdist_wheel": bdist_wheel}

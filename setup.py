@@ -1,11 +1,19 @@
 """Setup shim.
 
-The offline environment lacks the ``wheel`` package, so PEP 517 editable
-installs fail; this shim lets ``pip install -e . --no-build-isolation``
-fall back to the legacy setuptools path.  All metadata lives in
-pyproject.toml.
+All metadata lives in pyproject.toml.  The offline environment lacks the
+``wheel`` package, which setuptools' PEP 660 editable builds require (the
+``bdist_wheel`` command and ``wheel.wheelfile.WheelFile``); the
+``_offline_build`` module registers minimal stand-ins when -- and only
+when -- the real package is missing, so ``pip install -e .
+--no-build-isolation`` works both offline and in normal environments.
 """
+
+import os
+import sys
 
 from setuptools import setup
 
-setup()
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from _offline_build import ensure_wheel_modules  # noqa: E402
+
+setup(cmdclass=ensure_wheel_modules())

@@ -1,27 +1,90 @@
-"""Command-line entry point: run declarative ML4all queries.
+"""Command-line entry point: queries, batch optimization, and serving.
+
+Legacy one-shot queries (unchanged):
 
     python -m repro "run classification on adult having epsilon 0.01;"
     python -m repro --file queries.ml4all
     echo "run svm on svm1;" | python -m repro -
 
-Each query's optimizer decision and execution summary are printed; named
-results persist across statements within one invocation.
+Batch mode -- many optimize() requests through the plan-cached
+:class:`~repro.service.OptimizerService`:
+
+    python -m repro batch requests.txt --workers 8
+
+Serve mode -- a line-oriented request loop on stdin (one response per
+request; repeated workloads hit the warm plan cache):
+
+    printf 'adult epsilon=0.01\\nadult epsilon=0.01\\n' | python -m repro serve
+
+Request lines are ``<dataset> [key=value ...]`` with the keys of
+:meth:`ML4all.optimize` (``task``, ``epsilon``, ``max_iter``,
+``time_budget``, ``algorithm``, ``batch``, ``step``, ``convergence``,
+``l2``, ``fixed_iterations``, ``seed``).  Blank lines and ``#`` comments
+are skipped.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.api import ML4all
 from repro.errors import ReproError
+
+#: Request-line keys coerced to int / float; the rest stay strings.
+_INT_KEYS = {"max_iter", "batch", "fixed_iterations", "seed"}
+_FLOAT_KEYS = {"epsilon", "time_budget", "step", "l2"}
+_STR_KEYS = {"task", "algorithm", "convergence"}
+_ALL_KEYS = _INT_KEYS | _FLOAT_KEYS | _STR_KEYS
+
+
+def parse_request_line(line) -> dict:
+    """Parse one ``<dataset> key=value ...`` request line."""
+    tokens = line.split()
+    if not tokens or "=" in tokens[0]:
+        raise ReproError(
+            f"request line must start with a dataset reference: {line!r}"
+        )
+    request = {"dataset": tokens[0]}
+    for token in tokens[1:]:
+        key, sep, value = token.partition("=")
+        if not sep or not key or not value:
+            raise ReproError(f"expected key=value, got {token!r}")
+        if key not in _ALL_KEYS:
+            raise ReproError(
+                f"unknown request key {key!r}; expected one of "
+                f"{sorted(_ALL_KEYS)}"
+            )
+        try:
+            if key in _INT_KEYS:
+                request[key] = int(value)
+            elif key in _FLOAT_KEYS:
+                request[key] = float(value)
+            else:
+                request[key] = value
+        except ValueError:
+            raise ReproError(
+                f"invalid value for {key}: {value!r}"
+            ) from None
+    return request
+
+
+def iter_request_lines(handle):
+    """Yield parsed request dicts from a line stream, skipping comments."""
+    for line in handle:
+        line = line.split("#", 1)[0].strip()
+        if line:
+            yield parse_request_line(line)
 
 
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run ML4all declarative queries on the simulated "
-                    "cluster.",
+                    "cluster.  Subcommands: 'batch FILE' optimizes many "
+                    "requests through the plan cache; 'serve' answers "
+                    "request lines from stdin.",
     )
     parser.add_argument(
         "query", nargs="?",
@@ -33,8 +96,92 @@ def build_parser():
     return parser
 
 
-def main(argv=None):
-    args = build_parser().parse_args(argv)
+def _service_parser(prog, description):
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    parser.add_argument("--seed", type=int, default=7,
+                        help="RNG seed (default 7)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="max concurrent optimize() computations")
+    parser.add_argument("--cache-size", type=int, default=256,
+                        help="plan cache capacity (default 256)")
+    return parser
+
+
+def batch_main(argv) -> int:
+    parser = _service_parser(
+        "python -m repro batch",
+        "Run a file of optimize() requests through the OptimizerService.",
+    )
+    parser.add_argument("requests", help="request file, or '-' for stdin")
+    parser.add_argument("--repeat", type=int, default=1,
+                        help="serve the request list N times (default 1; "
+                             ">1 demonstrates the warm plan cache)")
+    args = parser.parse_args(argv)
+
+    try:
+        if args.requests == "-":
+            requests = list(iter_request_lines(sys.stdin))
+        else:
+            with open(args.requests) as handle:
+                requests = list(iter_request_lines(handle))
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if not requests:
+        print("error: no requests found", file=sys.stderr)
+        return 2
+    requests = requests * max(1, args.repeat)
+
+    system = ML4all(seed=args.seed)
+    system.service(cache_size=args.cache_size)
+    start = time.perf_counter()
+    try:
+        results = system.optimize_many(requests, max_workers=args.workers)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    elapsed = time.perf_counter() - start
+
+    for request, result in zip(requests, results):
+        print(f"{request['dataset']}: {result.summary()}")
+    rate = len(results) / elapsed if elapsed > 0 else float("inf")
+    print(f"{len(results)} requests in {elapsed:.3f}s "
+          f"({rate:.1f} optimize/s)")
+    print(system.service().stats_summary())
+    return 0
+
+
+def serve_main(argv) -> int:
+    parser = _service_parser(
+        "python -m repro serve",
+        "Answer optimize() request lines from stdin until EOF.",
+    )
+    args = parser.parse_args(argv)
+
+    system = ML4all(seed=args.seed)
+    service = system.service(cache_size=args.cache_size)
+    served = failed = 0
+    for line in sys.stdin:
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line in ("quit", "exit"):
+            break
+        try:
+            request = parse_request_line(line)
+            (result,) = system.optimize_many([request])
+        except ReproError as exc:
+            failed += 1
+            print(f"error: {exc}", file=sys.stderr)
+            continue
+        served += 1
+        print(f"{request['dataset']}: {result.summary()}")
+        sys.stdout.flush()
+    print(service.stats_summary())
+    return 0 if failed == 0 or served > 0 else 1
+
+
+def query_main(args) -> int:
     if args.file:
         with open(args.file) as handle:
             text = handle.read()
@@ -64,6 +211,15 @@ def main(argv=None):
     else:
         print(result)
     return 0
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    return query_main(build_parser().parse_args(argv))
 
 
 if __name__ == "__main__":

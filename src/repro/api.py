@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 
 import numpy as np
 
@@ -115,6 +116,12 @@ class ML4all:
         self.engine = SimulatedCluster(self.spec, seed=seed)
         self.speculation = speculation or SpeculationSettings()
         self.algorithms = tuple(algorithms)
+        self._service = None
+        self._service_lock = threading.Lock()
+        #: (name, task) -> PartitionedDataset, so batch/serve request
+        #: streams resolve each registry reference (and hash its content)
+        #: once per system, not once per request line.
+        self._dataset_memo = {}
 
     # ------------------------------------------------------------------
     # datasets
@@ -204,6 +211,106 @@ class ML4all:
         algorithms = (algorithm,) if algorithm else None
         return self._optimizer(algorithms, batch).optimize(
             dataset, training, fixed_iterations=fixed_iterations
+        )
+
+    # ------------------------------------------------------------------
+    # concurrent serving
+    # ------------------------------------------------------------------
+    def service(self, cache_size=None, speculation_workers=None):
+        """The shared :class:`~repro.service.OptimizerService` facade.
+
+        Created lazily with this system's cluster spec, seed, speculation
+        settings and algorithm set; repeated calls return the same
+        service (and therefore the same warm plan cache).  Configuration
+        arguments only apply on the call that creates the service; later
+        calls that pass conflicting values get a warning, not a rebuild.
+        """
+        import warnings
+
+        with self._service_lock:
+            if self._service is None:
+                from repro.service import OptimizerService
+
+                self._service = OptimizerService(
+                    spec=self.spec,
+                    seed=self.seed,
+                    speculation=self.speculation,
+                    algorithms=self.algorithms,
+                    cache_size=256 if cache_size is None else cache_size,
+                    speculation_workers=(
+                        "auto" if speculation_workers is None
+                        else speculation_workers
+                    ),
+                )
+                return self._service
+            service = self._service
+        if cache_size is not None and cache_size != service.cache.maxsize:
+            warnings.warn(
+                "service() already created with cache_size="
+                f"{service.cache.maxsize}; ignoring {cache_size}",
+                stacklevel=2,
+            )
+        if (speculation_workers is not None
+                and speculation_workers != service.speculation_workers):
+            warnings.warn(
+                "service() already created with speculation_workers="
+                f"{service.speculation_workers}; ignoring "
+                f"{speculation_workers}",
+                stacklevel=2,
+            )
+        return service
+
+    def optimize_many(self, requests, max_workers=None, **shared):
+        """Serve a batch of optimize() requests through the plan cache.
+
+        Each request is either a dataset reference (registry name, path,
+        PartitionedDataset, ``(X, y)`` pair) or a dict of
+        :meth:`optimize` keyword arguments (``dataset`` plus ``task``,
+        ``epsilon``, ``max_iter``, ``algorithm``, ``batch``, ...).
+        ``shared`` supplies defaults merged into every request.  Returns
+        one :class:`~repro.service.ServiceResult` per request, in order.
+        """
+        normalized = []
+        for request in requests:
+            kwargs = dict(shared)
+            if isinstance(request, dict):
+                kwargs.update(request)
+            else:
+                kwargs["dataset"] = request
+            # Resolve each named dataset reference once per system --
+            # repeated registry names (within one batch or across serve
+            # request lines) must not regenerate the arrays or recompute
+            # the content digest per request.
+            ref = kwargs.get("dataset")
+            if isinstance(ref, str):
+                key = (ref, kwargs.get("task"))
+                if key not in self._dataset_memo:
+                    self._dataset_memo[key] = self.load_dataset(
+                        ref, task=kwargs.get("task")
+                    )
+                kwargs["dataset"] = self._dataset_memo[key]
+            normalized.append(self._service_request(**kwargs))
+        return self.service().optimize_many(
+            normalized, max_workers=max_workers
+        )
+
+    def _service_request(self, dataset, task=None, epsilon=None,
+                         max_iter=None, time_budget=None, algorithm=None,
+                         batch=None, step=None, convergence=None, l2=0.0,
+                         fixed_iterations=None, seed=None):
+        from repro.service import ServiceRequest
+
+        dataset = self.load_dataset(dataset, task=task)
+        training = self._training_spec(
+            dataset, task, epsilon, max_iter, time_budget, step,
+            convergence, l2, seed,
+        )
+        return ServiceRequest(
+            dataset=dataset,
+            training=training,
+            fixed_iterations=fixed_iterations,
+            algorithms=(algorithm,) if algorithm else None,
+            batch_sizes={"mgd": batch} if batch is not None else None,
         )
 
     def train(self, dataset, task=None, epsilon=None, max_iter=None,

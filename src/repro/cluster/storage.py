@@ -21,6 +21,7 @@ same row-order skew as the paper's storage layout.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import itertools
 import math
 
@@ -174,6 +175,7 @@ class PartitionedDataset:
         self.representation = representation
         self.partitions = self._build_partitions()
         self._binary_form = None
+        self._content_digest = None
 
     # ------------------------------------------------------------------
     @property
@@ -248,6 +250,26 @@ class PartitionedDataset:
                 representation="binary",
             )
         return self._binary_form
+
+    def content_digest(self) -> str:
+        """Digest of the physical arrays (memoized).
+
+        Distinguishes datasets whose *statistics* coincide but whose
+        data differ -- anything data-dependent (e.g. speculative
+        iteration estimates) must key on this, not just on ``stats``.
+        """
+        if self._content_digest is None:
+            digest = hashlib.sha256()
+            if sp.issparse(self.X):
+                csr = self.X.tocsr()
+                digest.update(csr.data.tobytes())
+                digest.update(csr.indices.tobytes())
+                digest.update(csr.indptr.tobytes())
+            else:
+                digest.update(np.ascontiguousarray(self.X).tobytes())
+            digest.update(np.ascontiguousarray(self.y).tobytes())
+            self._content_digest = digest.hexdigest()
+        return self._content_digest
 
     def describe(self) -> str:
         return (

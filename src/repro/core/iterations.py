@@ -19,7 +19,9 @@ BGD runs over the entire D'."
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -64,11 +66,25 @@ class SpeculationSettings:
 
 
 class SpeculativeEstimator:
-    """Runs Algorithm 1 for each GD algorithm on a shared sample D'."""
+    """Runs Algorithm 1 for each GD algorithm on a shared sample D'.
 
-    def __init__(self, settings=None, seed=0):
+    ``max_workers`` controls how many per-algorithm speculative trials
+    run concurrently in :meth:`estimate_all`.  The trials are
+    independent -- each draws its own RNG from the fixed seed and shares
+    the same pre-drawn D' -- so results match the sequential order
+    *provided every trial terminates by tolerance or iteration cap*;
+    when the wall-clock ``time_budget_s`` is what stops a trial, thread
+    contention can shave iterations off it relative to a sequential run.
+    The default (``1``) therefore keeps the legacy sequential,
+    fully-reproducible behavior; pass ``"auto"`` for one thread per
+    algorithm up to the CPU count (what the serving layer uses), or an
+    explicit thread count.
+    """
+
+    def __init__(self, settings=None, seed=0, max_workers=1):
         self.settings = settings or SpeculationSettings()
         self.seed = seed
+        self.max_workers = max_workers
 
     # ------------------------------------------------------------------
     def take_sample(self, X, y, rng=None):
@@ -181,14 +197,23 @@ class SpeculativeEstimator:
         step_size=1.0,
         batch_sizes=None,
         convergence="l1",
+        max_workers=None,
     ) -> dict:
-        """Run Algorithm 1 for every algorithm on one shared sample D'."""
+        """Run Algorithm 1 for every algorithm on one shared sample D'.
+
+        Trials run concurrently in a thread pool (numpy releases the GIL
+        for the underlying BLAS work); each algorithm seeds its own RNG
+        from ``self.seed`` inside :meth:`estimate`, so the estimates do
+        not depend on scheduling order (see the class docstring for the
+        wall-budget caveat).
+        """
+        algorithms = tuple(algorithms)
         batch_sizes = batch_sizes or {}
         rng = np.random.default_rng(self.seed)
         sample = self.take_sample(X, y, rng)
-        out = {}
-        for algorithm in algorithms:
-            out[algorithm] = self.estimate(
+
+        def speculate(algorithm):
+            return self.estimate(
                 X,
                 y,
                 gradient,
@@ -199,4 +224,15 @@ class SpeculativeEstimator:
                 convergence=convergence,
                 sample=sample,
             )
-        return out
+
+        workers = max_workers if max_workers is not None else self.max_workers
+        if workers == "auto":
+            workers = min(len(algorithms), os.cpu_count() or 1)
+        workers = max(1, min(int(workers), len(algorithms) or 1))
+        if workers == 1 or len(algorithms) <= 1:
+            return {alg: speculate(alg) for alg in algorithms}
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="speculate"
+        ) as pool:
+            futures = {alg: pool.submit(speculate, alg) for alg in algorithms}
+            return {alg: futures[alg].result() for alg in algorithms}

@@ -78,27 +78,29 @@ class GDOptimizer:
             # measures ~4s of the 4.6-8s optimization overhead here).
             speculation_sim_s = self._charge_speculation(dataset)
 
-        candidates = []
-        for plan in enumerate_plans(self.algorithms, self.batch_sizes):
-            iterations = iters_for[plan.algorithm]
-            one_time, per_iter, total, breakdown = self.cost_model.estimate(
-                plan, dataset.stats, iterations
+        # Cost the whole plan space in one vectorized pass (the batch
+        # path ranks identically to per-plan estimate() calls).
+        plans = enumerate_plans(self.algorithms, self.batch_sizes)
+        iterations = [iters_for[plan.algorithm] for plan in plans]
+        batch = self.cost_model.estimate_batch(
+            plans, dataset.stats, iterations
+        )
+        if training.time_budget_s is None:
+            feasible_mask = [True] * len(plans)
+        else:
+            feasible_mask = (batch.total_s <= training.time_budget_s).tolist()
+        candidates = [
+            PlanCostEstimate(
+                plan=plan,
+                estimated_iterations=iterations[i],
+                one_time_s=float(batch.one_time_s[i]),
+                per_iteration_s=float(batch.per_iteration_s[i]),
+                total_s=float(batch.total_s[i]),
+                breakdown=batch.breakdown(i),
+                feasible=feasible_mask[i],
             )
-            feasible = (
-                training.time_budget_s is None
-                or total <= training.time_budget_s
-            )
-            candidates.append(
-                PlanCostEstimate(
-                    plan=plan,
-                    estimated_iterations=iterations,
-                    one_time_s=one_time,
-                    per_iteration_s=per_iter,
-                    total_s=total,
-                    breakdown=breakdown,
-                    feasible=feasible,
-                )
-            )
+            for i, plan in enumerate(plans)
+        ]
 
         feasible = [c for c in candidates if c.feasible]
         if not feasible:

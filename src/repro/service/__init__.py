@@ -1,0 +1,26 @@
+"""Concurrent optimizer serving layer (plan cache + request coalescing).
+
+The one-shot :class:`~repro.core.optimizer.GDOptimizer` answers a single
+query; this package turns it into a component that serves *many* users:
+:class:`OptimizerService` caches optimization reports per workload
+fingerprint, coalesces concurrent identical requests, and fans a batch of
+requests over a thread pool.
+"""
+
+from repro.service.cache import CacheStats, PlanCache
+from repro.service.fingerprint import freeze, workload_fingerprint
+from repro.service.service import (
+    OptimizerService,
+    ServiceRequest,
+    ServiceResult,
+)
+
+__all__ = [
+    "CacheStats",
+    "PlanCache",
+    "freeze",
+    "workload_fingerprint",
+    "OptimizerService",
+    "ServiceRequest",
+    "ServiceResult",
+]

@@ -1,0 +1,96 @@
+"""Thread-safe LRU cache for optimization reports.
+
+A deliberately small, dependency-free LRU: the service stores one
+:class:`~repro.core.result.OptimizationReport` per workload fingerprint.
+Reports are immutable for the service's purposes (callers only read
+them), so hits can hand back the cached object directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from collections import OrderedDict
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Counters snapshot of one :class:`PlanCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+    maxsize: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"plan cache: {self.size}/{self.maxsize} entries, "
+            f"{self.hits} hits / {self.misses} misses "
+            f"({self.hit_rate:.0%} hit rate), {self.evictions} evictions"
+        )
+
+
+class PlanCache:
+    """LRU mapping workload fingerprint -> cached value (thread-safe)."""
+
+    def __init__(self, maxsize=256):
+        if maxsize < 1:
+            raise ValueError("cache maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key, default=None):
+        """Look up ``key``, refreshing its recency; counts a hit/miss."""
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._evictions += 1
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._data),
+                maxsize=self.maxsize,
+            )

@@ -1,0 +1,75 @@
+"""Workload fingerprints for the optimizer plan cache.
+
+The cost model's view of a workload is fully determined by the dataset
+*statistics* (Table 1 quantities), the training spec and the cluster
+spec -- not by the physical arrays.  Two optimize() calls whose
+``(DatasetStats, TrainingSpec, ClusterSpec)`` triples match therefore
+walk the exact same search space, and with a fixed iteration count they
+reach the exact same decision, so the second call can be answered from
+a cache keyed by a digest of that triple.  When speculation runs, the
+T(epsilon) estimates come from GD trials on the *actual* data; the
+service then mixes the dataset's content digest into the key (see
+:meth:`OptimizerService.fingerprint`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+
+
+def freeze(value):
+    """Deterministic, hashable canonical form of a config value.
+
+    Dataclasses become ``(class name, sorted (field, value) pairs)``;
+    mappings and sequences recurse; plain objects (e.g. step-size
+    schedules) become ``(class name, sorted instance attributes)`` and
+    functions/classes their qualified name -- never the default
+    ``repr``, whose embedded memory address would make equal configs
+    fingerprint differently (and, worse, recycled addresses make
+    *different* configs collide).
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = dataclasses.asdict(value)
+        return (
+            type(value).__name__,
+            tuple(sorted((k, freeze(v)) for k, v in fields.items())),
+        )
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = tuple(freeze(v) for v in value)
+        return tuple(sorted(items, key=repr)) if isinstance(
+            value, (set, frozenset)
+        ) else items
+    if callable(value) and hasattr(value, "__qualname__"):
+        # Functions and classes: identity is the qualified name.
+        return (getattr(value, "__module__", ""), value.__qualname__)
+    state = getattr(value, "__dict__", None)
+    if state is not None and type(value).__repr__ is object.__repr__:
+        # Plain objects without a meaningful repr: canonicalize their
+        # attribute state (covers the StepSize schedule classes).
+        return (
+            type(value).__name__,
+            tuple(sorted((k, freeze(v)) for k, v in state.items())),
+        )
+    return repr(value)
+
+
+def workload_fingerprint(stats, training, spec, **extra) -> str:
+    """Digest of one optimization workload.
+
+    ``stats``/``training``/``spec`` are the cache identity mandated by
+    the cost model; ``extra`` lets callers mix in anything else that
+    changes the optimizer's answer (algorithm set, batch-size overrides,
+    fixed iteration counts, speculation settings, seeds).
+    """
+    payload = (
+        freeze(stats),
+        freeze(training),
+        freeze(spec),
+        tuple(sorted((k, freeze(v)) for k, v in extra.items())),
+    )
+    return hashlib.sha256(repr(payload).encode()).hexdigest()

@@ -1,0 +1,289 @@
+"""The concurrent optimizer service.
+
+:class:`OptimizerService` sits above :class:`~repro.core.optimizer.GDOptimizer`
+and turns the one-shot optimizer into a serving component: many callers,
+many workloads, repeated queries.  Three mechanisms make the hot path
+cheap:
+
+* a **plan cache** (:mod:`repro.service.cache`) keyed by a fingerprint of
+  ``(DatasetStats, TrainingSpec, ClusterSpec)`` plus the service's own
+  configuration, so a repeated workload skips re-speculation and
+  re-costing entirely;
+* **request coalescing** -- concurrent requests for the same fingerprint
+  share one computation instead of racing to duplicate it;
+* the **vectorized cost model** and **parallel speculation** underneath
+  (:meth:`CostModel.estimate_batch`,
+  :meth:`SpeculativeEstimator.estimate_all` with
+  ``speculation_workers="auto"``; plain ``SpeculativeEstimator`` use
+  elsewhere stays sequential and fully reproducible).
+
+Each computed request runs on a fresh :class:`SimulatedCluster` so the
+simulated clock of one caller never leaks into another -- the service
+object itself holds no per-request mutable state outside the cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.cluster import ClusterSpec, SimulatedCluster
+from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
+from repro.core.optimizer import GDOptimizer
+from repro.gd.registry import CORE_ALGORITHMS
+from repro.service.cache import PlanCache
+from repro.service.fingerprint import workload_fingerprint
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceRequest:
+    """One optimize() request: a dataset plus its training spec.
+
+    ``algorithms`` / ``batch_sizes`` optionally override the service's
+    search-space configuration for this request only (e.g. pinning a
+    single GD algorithm); they participate in the cache fingerprint.
+    """
+
+    dataset: object
+    training: object
+    fixed_iterations: int | None = None
+    algorithms: tuple | None = None
+    batch_sizes: object = None
+
+
+@dataclasses.dataclass
+class ServiceResult:
+    """Outcome of one service request."""
+
+    #: The (possibly cached) OptimizationReport.
+    report: object
+    #: Workload fingerprint the plan cache was keyed on.
+    fingerprint: str
+    #: True when the report came out of the plan cache.
+    cache_hit: bool
+    #: True when the request piggybacked on a concurrent identical one.
+    coalesced: bool
+    #: Wall seconds this request spent inside the service.
+    wall_s: float
+
+    @property
+    def chosen_plan(self):
+        return self.report.chosen_plan
+
+    def summary(self) -> str:
+        source = "cache" if self.cache_hit else (
+            "coalesced" if self.coalesced else "computed"
+        )
+        return (
+            f"{self.report.chosen_plan} "
+            f"(est. {self.report.chosen.total_s:.2f}s simulated) "
+            f"[{source}, {self.wall_s * 1e3:.1f} ms]"
+        )
+
+
+class OptimizerService:
+    """Concurrent, caching facade over the cost-based GD optimizer."""
+
+    def __init__(
+        self,
+        spec=None,
+        seed=0,
+        speculation=None,
+        algorithms=CORE_ALGORITHMS,
+        batch_sizes=None,
+        cache_size=256,
+        speculation_workers="auto",
+    ):
+        self.spec = spec or ClusterSpec()
+        self.seed = seed
+        self.speculation = speculation or SpeculationSettings()
+        self.algorithms = tuple(algorithms)
+        self.batch_sizes = dict(batch_sizes or {})
+        self.speculation_workers = speculation_workers
+        self.cache = PlanCache(cache_size)
+        self._inflight = {}
+        self._inflight_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self.requests = 0
+        self.computed = 0
+        self.coalesced = 0
+
+    # ------------------------------------------------------------------
+    def fingerprint(self, dataset, training, fixed_iterations=None,
+                    algorithms=None, batch_sizes=None) -> str:
+        """Cache key of one workload under this service's configuration.
+
+        With ``fixed_iterations`` the optimizer's answer depends only on
+        ``(DatasetStats, TrainingSpec, ClusterSpec)``; without it,
+        speculation runs GD on the *actual* data, so the physical
+        content digest joins the key -- two datasets with coinciding
+        statistics but different data must not share a report.
+        """
+        return workload_fingerprint(
+            dataset.stats,
+            training,
+            self.spec,
+            data_digest=(
+                None if fixed_iterations is not None
+                else dataset.content_digest()
+            ),
+            representation=dataset.representation,
+            algorithms=(
+                self.algorithms if algorithms is None else tuple(algorithms)
+            ),
+            batch_sizes=(
+                self.batch_sizes if batch_sizes is None else dict(batch_sizes)
+            ),
+            fixed_iterations=fixed_iterations,
+            speculation=self.speculation,
+            speculation_workers=self.speculation_workers,
+            seed=self.seed,
+        )
+
+    def _make_optimizer(self, algorithms=None, batch_sizes=None) -> GDOptimizer:
+        """A fresh optimizer (and simulated cluster) for one computation."""
+        engine = SimulatedCluster(self.spec, seed=self.seed)
+        estimator = SpeculativeEstimator(
+            self.speculation,
+            seed=self.seed,
+            max_workers=self.speculation_workers,
+        )
+        return GDOptimizer(
+            engine,
+            estimator=estimator,
+            algorithms=self.algorithms if algorithms is None else algorithms,
+            batch_sizes=(
+                self.batch_sizes if batch_sizes is None else batch_sizes
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def optimize(self, dataset, training, fixed_iterations=None,
+                 algorithms=None, batch_sizes=None) -> ServiceResult:
+        """Answer one optimize() request, from cache when possible.
+
+        Identical concurrent requests coalesce onto a single computation;
+        everyone gets the same report object.
+        """
+        start = time.perf_counter()
+        with self._counter_lock:
+            self.requests += 1
+        key = self.fingerprint(
+            dataset, training, fixed_iterations, algorithms, batch_sizes
+        )
+
+        report = self.cache.get(key)
+        if report is not None:
+            return ServiceResult(
+                report=report,
+                fingerprint=key,
+                cache_hit=True,
+                coalesced=False,
+                wall_s=time.perf_counter() - start,
+            )
+
+        with self._inflight_lock:
+            future = self._inflight.get(key)
+            owner = future is None
+            if owner:
+                future = Future()
+                self._inflight[key] = future
+
+        if not owner:
+            report = future.result()
+            with self._counter_lock:
+                self.coalesced += 1
+            return ServiceResult(
+                report=report,
+                fingerprint=key,
+                cache_hit=False,
+                coalesced=True,
+                wall_s=time.perf_counter() - start,
+            )
+
+        try:
+            report = self._make_optimizer(algorithms, batch_sizes).optimize(
+                dataset, training, fixed_iterations=fixed_iterations
+            )
+        except BaseException as exc:
+            # Waiters coalesced onto this computation see the same error.
+            future.set_exception(exc)
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            raise
+        # Populate the cache *before* dropping the in-flight entry, so a
+        # concurrent identical request always finds one of the two.
+        self.cache.put(key, report)
+        future.set_result(report)
+        with self._inflight_lock:
+            self._inflight.pop(key, None)
+        with self._counter_lock:
+            self.computed += 1
+        return ServiceResult(
+            report=report,
+            fingerprint=key,
+            cache_hit=False,
+            coalesced=False,
+            wall_s=time.perf_counter() - start,
+        )
+
+    # ------------------------------------------------------------------
+    def optimize_many(self, requests, max_workers=None) -> list:
+        """Serve a batch of requests concurrently; order is preserved.
+
+        ``requests`` is an iterable of :class:`ServiceRequest`,
+        ``(dataset, training)`` pairs, or
+        ``(dataset, training, fixed_iterations)`` triples.
+        """
+        normalized = [self._normalize(r) for r in requests]
+        if not normalized:
+            return []
+        if max_workers is None:
+            max_workers = min(8, len(normalized))
+        max_workers = max(1, min(max_workers, len(normalized)))
+        if max_workers == 1 or len(normalized) == 1:
+            return [
+                self.optimize(r.dataset, r.training, r.fixed_iterations,
+                              r.algorithms, r.batch_sizes)
+                for r in normalized
+            ]
+        with ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="optimize"
+        ) as pool:
+            futures = [
+                pool.submit(
+                    self.optimize, r.dataset, r.training, r.fixed_iterations,
+                    r.algorithms, r.batch_sizes,
+                )
+                for r in normalized
+            ]
+            return [f.result() for f in futures]
+
+    @staticmethod
+    def _normalize(request) -> ServiceRequest:
+        if isinstance(request, ServiceRequest):
+            return request
+        if isinstance(request, tuple):
+            if len(request) == 2:
+                return ServiceRequest(request[0], request[1])
+            if len(request) == 3:
+                return ServiceRequest(*request)
+        raise TypeError(
+            "optimize_many() takes ServiceRequest instances, "
+            "(dataset, training) pairs or "
+            "(dataset, training, fixed_iterations) triples; "
+            f"got {request!r}"
+        )
+
+    # ------------------------------------------------------------------
+    def cache_stats(self):
+        return self.cache.stats()
+
+    def stats_summary(self) -> str:
+        stats = self.cache.stats()
+        return (
+            f"{stats.summary()}; {self.requests} requests "
+            f"({self.computed} computed, {self.coalesced} coalesced)"
+        )

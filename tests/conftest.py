@@ -1,11 +1,16 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+``make_dataset`` lives in ``support.py`` (not here) so test modules can
+import it without racing ``benchmarks/conftest.py`` for the top-level
+``conftest`` module name when pytest runs from the repo root.
+"""
 
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterSpec, PartitionedDataset, SimulatedCluster
-from repro.cluster.storage import DatasetStats
-from repro.data import make_classification, make_regression
+from repro.cluster import ClusterSpec, SimulatedCluster
+
+from support import make_dataset
 
 
 @pytest.fixture
@@ -22,45 +27,6 @@ def engine(spec):
 @pytest.fixture
 def rng():
     return np.random.default_rng(42)
-
-
-def make_dataset(
-    n_phys=200,
-    d=10,
-    sim_n=None,
-    spec=None,
-    task="logreg",
-    representation="text",
-    seed=0,
-    sparse=False,
-    block_bytes=None,
-    **gen_kwargs,
-):
-    """Build a small PartitionedDataset for tests.
-
-    ``sim_n`` (default: n_phys) sets the simulated row count;
-    ``block_bytes`` optionally overrides the HDFS block size so tests can
-    force a specific partition count.
-    """
-    spec = spec or ClusterSpec(jitter_sigma=0.0)
-    if block_bytes is not None:
-        spec = spec.with_overrides(hdfs_block_bytes=block_bytes)
-    rng = np.random.default_rng(seed)
-    if task == "linreg":
-        X, y, _ = make_regression(n_phys, d, sparse=sparse, rng=rng, **gen_kwargs)
-    else:
-        X, y, _ = make_classification(
-            n_phys, d, sparse=sparse, rng=rng, **gen_kwargs
-        )
-    stats = DatasetStats(
-        name="test",
-        task=task,
-        n=sim_n or n_phys,
-        d=d,
-        density=gen_kwargs.get("density", 1.0),
-        is_sparse=sparse,
-    )
-    return PartitionedDataset(X, y, stats, spec, representation=representation)
 
 
 @pytest.fixture

@@ -1,0 +1,55 @@
+"""Importable test helpers.
+
+Lives outside ``conftest.py`` so test modules can ``from support import
+make_dataset`` regardless of which ``conftest`` module pytest registered
+first (running from the repo root used to import ``benchmarks/conftest.py``
+under the top-level name ``conftest``, breaking every ``from conftest
+import ...`` in this directory).  Named ``support`` -- not ``_helpers``
+-- so it can never race ``benchmarks/_helpers.py`` for a top-level
+module name either.
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterSpec, PartitionedDataset
+from repro.cluster.storage import DatasetStats
+from repro.data import make_classification, make_regression
+
+
+def make_dataset(
+    n_phys=200,
+    d=10,
+    sim_n=None,
+    spec=None,
+    task="logreg",
+    representation="text",
+    seed=0,
+    sparse=False,
+    block_bytes=None,
+    **gen_kwargs,
+):
+    """Build a small PartitionedDataset for tests.
+
+    ``sim_n`` (default: n_phys) sets the simulated row count;
+    ``block_bytes`` optionally overrides the HDFS block size so tests can
+    force a specific partition count.
+    """
+    spec = spec or ClusterSpec(jitter_sigma=0.0)
+    if block_bytes is not None:
+        spec = spec.with_overrides(hdfs_block_bytes=block_bytes)
+    rng = np.random.default_rng(seed)
+    if task == "linreg":
+        X, y, _ = make_regression(n_phys, d, sparse=sparse, rng=rng, **gen_kwargs)
+    else:
+        X, y, _ = make_classification(
+            n_phys, d, sparse=sparse, rng=rng, **gen_kwargs
+        )
+    stats = DatasetStats(
+        name="test",
+        task=task,
+        n=sim_n or n_phys,
+        d=d,
+        density=gen_kwargs.get("density", 1.0),
+        is_sparse=sparse,
+    )
+    return PartitionedDataset(X, y, stats, spec, representation=representation)

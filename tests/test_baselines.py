@@ -12,7 +12,7 @@ from repro.baselines import (
 from repro.cluster import ClusterSpec, SimulatedCluster
 from repro.core.plans import GDPlan, TrainingSpec
 
-from conftest import make_dataset
+from support import make_dataset
 
 
 @pytest.fixture

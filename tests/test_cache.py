@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import CacheManager
 
-from conftest import make_dataset
+from support import make_dataset
 
 
 class TestCacheManager:

@@ -1,11 +1,13 @@
 """Tests for the python -m repro command-line interface."""
 
+import io
 import subprocess
 import sys
 
 import pytest
 
-from repro.__main__ import main
+from repro.__main__ import main, parse_request_line
+from repro.errors import ReproError
 
 
 class TestCLIMain:
@@ -39,6 +41,101 @@ class TestCLIMain:
         code = main(["run svm on svm1 having max iter 100 using "
                      "algorithm sgd, sampler shuffle();"])
         assert code == 0
+
+
+class TestRequestLineParsing:
+    def test_dataset_plus_typed_values(self):
+        request = parse_request_line(
+            "adult epsilon=0.01 max_iter=200 algorithm=sgd"
+        )
+        assert request == {
+            "dataset": "adult",
+            "epsilon": 0.01,
+            "max_iter": 200,
+            "algorithm": "sgd",
+        }
+
+    def test_missing_dataset_raises(self):
+        with pytest.raises(ReproError):
+            parse_request_line("epsilon=0.01")
+
+    def test_malformed_pair_raises(self):
+        with pytest.raises(ReproError):
+            parse_request_line("adult epsilon")
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ReproError) as err:
+            parse_request_line("adult foo=bar")
+        assert "epsilon" in str(err.value)  # names the valid keys
+
+    def test_bad_value_raises(self):
+        with pytest.raises(ReproError):
+            parse_request_line("adult epsilon=notanumber")
+
+
+class TestCLIBatch:
+    def test_batch_file(self, tmp_path, capsys):
+        path = tmp_path / "requests.txt"
+        path.write_text(
+            "adult epsilon=0.05 max_iter=200 fixed_iterations=80\n"
+            "# a comment line\n"
+            "adult epsilon=0.05 max_iter=200 fixed_iterations=80\n"
+        )
+        assert main(["batch", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert out.count("adult:") == 2
+        assert "plan cache" in out
+        assert "optimize/s" in out
+
+    def test_batch_repeat_warms_cache(self, tmp_path, capsys):
+        path = tmp_path / "requests.txt"
+        path.write_text("adult epsilon=0.05 fixed_iterations=50\n")
+        assert main(["batch", str(path), "--repeat", "3",
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "[cache" in out
+
+    def test_batch_empty_file(self, tmp_path, capsys):
+        path = tmp_path / "requests.txt"
+        path.write_text("# nothing here\n")
+        assert main(["batch", str(path)]) == 2
+        assert "no requests" in capsys.readouterr().err
+
+    def test_batch_unknown_dataset(self, tmp_path, capsys):
+        path = tmp_path / "requests.txt"
+        path.write_text("no-such-dataset\n")
+        assert main(["batch", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCLIServe:
+    def test_serve_loop(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            sys, "stdin",
+            io.StringIO(
+                "adult epsilon=0.05 fixed_iterations=50\n"
+                "adult epsilon=0.05 fixed_iterations=50\n"
+                "quit\n"
+            ),
+        )
+        assert main(["serve"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("adult:") == 2
+        assert "[cache" in out          # second request hit the cache
+        assert "plan cache" in out
+
+    def test_serve_recovers_from_bad_request(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            sys, "stdin",
+            io.StringIO(
+                "bogus-dataset\n"
+                "adult epsilon=0.05 fixed_iterations=50\n"
+            ),
+        )
+        assert main(["serve"]) == 0
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert "adult:" in captured.out
 
 
 @pytest.mark.slow

@@ -200,3 +200,93 @@ class TestPlanCosts:
         breakdown = model.per_iteration_cost(GDPlan("bgd"), small)
         # local update: pure CPU, roughly d * update_per_dim
         assert breakdown["update"] < 1e-3
+
+
+class TestEstimateBatch:
+    """The vectorized path must rank exactly like per-plan estimate()."""
+
+    def plans(self):
+        from repro.core.plan_space import enumerate_plans
+
+        return enumerate_plans(batch_sizes={"mgd": 100})
+
+    def assert_parity(self, spec, stats, iterations=None):
+        model = CostModel(spec)
+        plans = self.plans()
+        iters = iterations or [7 + 3 * i for i in range(len(plans))]
+        batch = model.estimate_batch(plans, stats, iters)
+        for i, plan in enumerate(plans):
+            one, per, total, breakdown = model.estimate(plan, stats, iters[i])
+            assert batch.one_time_s[i] == one
+            assert batch.per_iteration_s[i] == per
+            assert batch.total_s[i] == total
+            assert batch.breakdown(i) == breakdown
+        loop_ranking = sorted(range(len(plans)),
+                              key=lambda i: model.estimate(
+                                  plans[i], stats, iters[i])[2])
+        batch_ranking = sorted(range(len(plans)),
+                               key=lambda i: batch.total_s[i])
+        assert loop_ranking == batch_ranking
+
+    def test_parity_dense(self, spec):
+        self.assert_parity(spec, stats_for(n=100_000, d=50))
+
+    def test_parity_optimizer_scenario(self, spec):
+        # The tests/test_optimizer.py dataset shape (2000 x 20 logreg).
+        self.assert_parity(
+            spec, DatasetStats("test", "logreg", n=2000, d=20)
+        )
+
+    def test_parity_large_distributed(self, spec):
+        self.assert_parity(spec, stats_for(n=50_000_000, d=100))
+
+    def test_parity_sparse(self, spec):
+        self.assert_parity(
+            spec, stats_for(n=10_000_000, d=50_000, density=1e-3,
+                            sparse=True)
+        )
+
+    def test_parity_tiny_cache(self):
+        self.assert_parity(
+            ClusterSpec(jitter_sigma=0.0, cache_bytes=1024),
+            stats_for(n=5_000_000, d=200),
+        )
+
+    def test_parity_single_node(self):
+        self.assert_parity(
+            ClusterSpec(jitter_sigma=0.0, n_nodes=1, slots_per_node=1),
+            stats_for(n=100_000, d=50),
+        )
+
+    @given(
+        n=st.integers(min_value=1000, max_value=100_000_000),
+        d=st.integers(min_value=1, max_value=10_000),
+        iters=st.integers(min_value=1, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_parity_property(self, n, d, iters):
+        spec = ClusterSpec(jitter_sigma=0.0)
+        model = CostModel(spec)
+        stats = stats_for(n=n, d=d)
+        plans = self.plans()
+        batch = model.estimate_batch(plans, stats, [iters] * len(plans))
+        for i, plan in enumerate(plans):
+            assert batch.total_s[i] == model.estimate(plan, stats, iters)[2]
+
+    def test_empty_batch(self, spec):
+        batch = CostModel(spec).estimate_batch([], stats_for(), [])
+        assert len(batch) == 0
+
+    def test_iteration_count_mismatch_raises(self, spec):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            CostModel(spec).estimate_batch(self.plans(), stats_for(), [1, 2])
+
+    def test_argmin_is_cheapest(self, spec):
+        model = CostModel(spec)
+        plans = self.plans()
+        batch = model.estimate_batch(plans, stats_for(),
+                                     [100] * len(plans))
+        best = batch.argmin()
+        assert batch.total_s[best] == min(batch.total_s)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import ClusterSpec, SimulatedCluster
 
-from conftest import make_dataset
+from support import make_dataset
 
 
 @pytest.fixture

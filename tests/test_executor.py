@@ -8,7 +8,7 @@ from repro.core.executor import execute_plan
 from repro.core.plans import GDPlan, TrainingSpec
 from repro.errors import PlanError
 
-from conftest import make_dataset
+from support import make_dataset
 
 
 @pytest.fixture

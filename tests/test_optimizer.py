@@ -9,7 +9,7 @@ from repro.core.plan_space import enumerate_plans
 from repro.core.plans import TrainingSpec
 from repro.errors import ConstraintError
 
-from conftest import make_dataset
+from support import make_dataset
 
 
 @pytest.fixture

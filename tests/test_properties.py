@@ -18,7 +18,7 @@ from repro.core.curve_fit import fit_error_sequence
 from repro.core.plan_space import enumerate_plans
 from repro.core.plans import GDPlan
 
-from conftest import make_dataset
+from support import make_dataset
 
 SPEC = ClusterSpec(jitter_sigma=0.0)
 

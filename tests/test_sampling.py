@@ -7,7 +7,7 @@ from repro.cluster import SimulatedCluster, make_sampler
 from repro.cluster.sampling import SAMPLER_NAMES
 from repro.errors import PlanError
 
-from conftest import make_dataset
+from support import make_dataset
 
 
 @pytest.fixture

@@ -13,7 +13,7 @@ from repro.cluster.storage import (
 )
 from repro.errors import PlanError
 
-from conftest import make_dataset
+from support import make_dataset
 
 
 class TestDatasetStats:

@@ -12,7 +12,7 @@ from repro.core.tuning import (
 )
 from repro.errors import PlanError
 
-from conftest import make_dataset
+from support import make_dataset
 
 
 @pytest.fixture
