@@ -1,4 +1,4 @@
-"""Command-line entry point: queries, batch optimization, and serving.
+"""Command-line entry point: queries, batch/serve modes, calibration.
 
 Legacy one-shot queries (unchanged):
 
@@ -15,6 +15,18 @@ Serve mode -- a line-oriented request loop on stdin (one response per
 request; repeated workloads hit the warm plan cache):
 
     printf 'adult epsilon=0.01\\nadult epsilon=0.01\\n' | python -m repro serve
+
+Both batch and serve accept ``--train`` (execute each chosen plan on a
+per-request engine clone), ``--adaptive`` (train under the adaptive
+runtime: telemetry, mid-flight re-optimization, calibration; implies
+``--train``) and ``--calibration PATH`` (persist learned correction
+factors so a restarted server starts calibrated).
+
+Calibrate mode -- run one workload repeatedly under the adaptive
+runtime and persist what the traces taught the calibration store:
+
+    python -m repro calibrate adult --epsilon 0.01 --runs 3 \\
+        --store calibration.json
 
 Request lines are ``<dataset> [key=value ...]`` with the keys of
 :meth:`ML4all.optimize` (``task``, ``epsilon``, ``max_iter``,
@@ -104,7 +116,39 @@ def _service_parser(prog, description):
                         help="max concurrent optimize() computations")
     parser.add_argument("--cache-size", type=int, default=256,
                         help="plan cache capacity (default 256)")
+    parser.add_argument("--train", action="store_true",
+                        help="execute each chosen plan on a per-request "
+                             "engine clone (not just optimize)")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="train under the adaptive runtime: telemetry, "
+                             "mid-flight re-optimization, calibration "
+                             "(implies --train)")
+    parser.add_argument("--calibration", metavar="PATH", default=None,
+                        help="load/persist the calibration store at PATH "
+                             "(a restarted server starts calibrated)")
     return parser
+
+
+def _train_and_report(system, requests, args):
+    """Train-mode request loop shared by batch and serve."""
+    results = system.train_many(
+        requests, max_workers=args.workers, adaptive=args.adaptive
+    )
+    lines = []
+    for request, result in zip(requests, results):
+        lines.append(f"{request['dataset']}: {result.summary()}")
+        if result.trace is not None and result.trace.switches:
+            for switch in result.trace.switches:
+                lines.append(
+                    f"  switched {switch.from_plan} -> {switch.to_plan} "
+                    f"at iteration {switch.iteration}: {switch.reason}"
+                )
+    return results, lines
+
+
+def _save_calibration(system, args):
+    if args.calibration:
+        system.save_calibration(args.calibration)
 
 
 def batch_main(argv) -> int:
@@ -132,22 +176,32 @@ def batch_main(argv) -> int:
         return 2
     requests = requests * max(1, args.repeat)
 
-    system = ML4all(seed=args.seed)
+    system = ML4all(seed=args.seed, calibration_path=args.calibration)
     system.service(cache_size=args.cache_size)
+    train_mode = args.train or args.adaptive
     start = time.perf_counter()
     try:
-        results = system.optimize_many(requests, max_workers=args.workers)
+        if train_mode:
+            results, lines = _train_and_report(system, requests, args)
+        else:
+            results = system.optimize_many(requests, max_workers=args.workers)
+            lines = [
+                f"{request['dataset']}: {result.summary()}"
+                for request, result in zip(requests, results)
+            ]
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     elapsed = time.perf_counter() - start
 
-    for request, result in zip(requests, results):
-        print(f"{request['dataset']}: {result.summary()}")
+    for line in lines:
+        print(line)
     rate = len(results) / elapsed if elapsed > 0 else float("inf")
+    verb = "train" if train_mode else "optimize"
     print(f"{len(results)} requests in {elapsed:.3f}s "
-          f"({rate:.1f} optimize/s)")
+          f"({rate:.1f} {verb}/s)")
     print(system.service().stats_summary())
+    _save_calibration(system, args)
     return 0
 
 
@@ -158,8 +212,9 @@ def serve_main(argv) -> int:
     )
     args = parser.parse_args(argv)
 
-    system = ML4all(seed=args.seed)
+    system = ML4all(seed=args.seed, calibration_path=args.calibration)
     service = system.service(cache_size=args.cache_size)
+    train_mode = args.train or args.adaptive
     served = failed = 0
     for line in sys.stdin:
         line = line.split("#", 1)[0].strip()
@@ -169,16 +224,112 @@ def serve_main(argv) -> int:
             break
         try:
             request = parse_request_line(line)
-            (result,) = system.optimize_many([request])
+            if train_mode:
+                _, lines = _train_and_report(system, [request], args)
+            else:
+                (result,) = system.optimize_many([request])
+                lines = [f"{request['dataset']}: {result.summary()}"]
         except ReproError as exc:
             failed += 1
             print(f"error: {exc}", file=sys.stderr)
             continue
         served += 1
-        print(f"{request['dataset']}: {result.summary()}")
+        for out in lines:
+            print(out)
         sys.stdout.flush()
     print(service.stats_summary())
+    _save_calibration(system, args)
     return 0 if failed == 0 or served > 0 else 1
+
+
+def calibrate_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro calibrate",
+        description="Run one workload repeatedly under the adaptive "
+                    "runtime and persist the learned cost/iteration "
+                    "correction factors.",
+    )
+    parser.add_argument("dataset", help="registry name or dataset file")
+    parser.add_argument("--task", default=None)
+    parser.add_argument("--epsilon", type=float, default=0.01)
+    parser.add_argument("--max-iter", type=int, default=1000)
+    parser.add_argument("--runs", type=int, default=3,
+                        help="adaptive training runs (default 3)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--store", metavar="PATH", default=None,
+                        help="calibration store JSON: loaded when present, "
+                             "saved afterwards")
+    parser.add_argument("--perturb", action="append", default=[],
+                        metavar="ALG=FACTOR",
+                        help="deliberately mis-scale the cost model for one "
+                             "algorithm (repeatable; shows calibration "
+                             "correcting a known fault)")
+    args = parser.parse_args(argv)
+
+    from repro.gd.registry import ALGORITHMS
+
+    factors = {}
+    for item in args.perturb:
+        alg, sep, value = item.partition("=")
+        try:
+            if not sep:
+                raise ValueError(item)
+            factors[alg] = float(value)
+        except ValueError:
+            print(f"error: --perturb expects ALG=FACTOR, got {item!r}",
+                  file=sys.stderr)
+            return 2
+        if alg not in ALGORITHMS:
+            # A typo here would silently calibrate an unperturbed model.
+            print(f"error: --perturb names unknown algorithm {alg!r}; "
+                  f"expected one of {sorted(ALGORITHMS)}", file=sys.stderr)
+            return 2
+
+    from repro.cluster import SimulatedCluster
+    from repro.core.iterations import SpeculativeEstimator
+    from repro.core.optimizer import GDOptimizer
+    from repro.runtime import AdaptiveTrainer, PerturbedCostModel
+
+    system = ML4all(seed=args.seed, calibration_path=args.store)
+    try:
+        dataset = system.load_dataset(args.dataset, task=args.task)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print("before:", system.calibration.summary())
+
+    for run in range(max(1, args.runs)):
+        engine = SimulatedCluster(system.spec, seed=args.seed + run)
+        optimizer = GDOptimizer(
+            engine,
+            estimator=SpeculativeEstimator(
+                system.speculation, seed=args.seed
+            ),
+            cost_model=(
+                PerturbedCostModel(system.spec, factors) if factors else None
+            ),
+            calibration=system.calibration,
+        )
+        trainer = AdaptiveTrainer(optimizer, calibration=system.calibration)
+        training = system._training_spec(
+            dataset, args.task, args.epsilon, args.max_iter, None, None,
+            None, 0.0, args.seed + run,
+        )
+        try:
+            outcome = trainer.train(dataset, training)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(f"run {run + 1}: {outcome.trace.summary()}")
+        for switch in outcome.trace.switches:
+            print(f"  switched {switch.from_plan} -> {switch.to_plan} "
+                  f"at iteration {switch.iteration}: {switch.reason}")
+
+    print("after:", system.calibration.summary())
+    if args.store:
+        system.save_calibration(args.store)
+        print(f"calibration store saved to {args.store}")
+    return 0
 
 
 def query_main(args) -> int:
@@ -219,6 +370,8 @@ def main(argv=None):
         return batch_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "calibrate":
+        return calibrate_main(argv[1:])
     return query_main(build_parser().parse_args(argv))
 
 

@@ -48,6 +48,15 @@ class TrainedModel:
     #: TrainResult of the executed plan.
     result: object
     l2: float = 0.0
+    #: ExecutionTrace of the run (adaptive training only).
+    trace: object = None
+    #: AdaptiveResult when trained with ``adaptive=True``.
+    adaptive: object = None
+
+    @property
+    def switched(self) -> bool:
+        """True when the adaptive runtime switched plans mid-flight."""
+        return self.trace is not None and bool(self.trace.switches)
 
     def _gradient(self):
         from repro.gd.gradients import task_gradient
@@ -110,12 +119,16 @@ class ML4all:
         seed=0,
         speculation=None,
         algorithms=CORE_ALGORITHMS,
+        calibration_path=None,
     ):
         self.spec = cluster_spec or ClusterSpec()
         self.seed = seed
         self.engine = SimulatedCluster(self.spec, seed=seed)
         self.speculation = speculation or SpeculationSettings()
         self.algorithms = tuple(algorithms)
+        self.calibration_path = calibration_path
+        self._calibration = None
+        self._calibration_lock = threading.Lock()
         self._service = None
         self._service_lock = threading.Lock()
         #: (name, task) -> PartitionedDataset, so batch/serve request
@@ -188,6 +201,28 @@ class ML4all:
             seed=self.seed if seed is None else seed,
         )
 
+    @property
+    def calibration(self):
+        """This system's :class:`CalibrationStore` (created lazily).
+
+        Loaded from ``calibration_path`` when one was given and exists;
+        in-memory otherwise.  Empty stores are the identity, so sharing
+        it with every optimizer is behaviour-preserving until adaptive
+        traces populate it.
+        """
+        with self._calibration_lock:
+            if self._calibration is None:
+                from repro.runtime import CalibrationStore
+
+                self._calibration = CalibrationStore.open(
+                    self.calibration_path
+                )
+            return self._calibration
+
+    def save_calibration(self, path=None):
+        """Persist the calibration store (to ``path`` or its own path)."""
+        return self.calibration.save(path)
+
     def _optimizer(self, algorithms=None, batch=None):
         batch_sizes = {}
         if batch is not None:
@@ -197,6 +232,7 @@ class ML4all:
             estimator=SpeculativeEstimator(self.speculation, seed=self.seed),
             algorithms=algorithms or self.algorithms,
             batch_sizes=batch_sizes,
+            calibration=self.calibration,
         )
 
     def optimize(self, dataset, task=None, epsilon=None, max_iter=None,
@@ -241,6 +277,9 @@ class ML4all:
                         "auto" if speculation_workers is None
                         else speculation_workers
                     ),
+                    # The facade and its service learn from the same
+                    # traces and serve the same corrected estimates.
+                    calibration=self.calibration,
                 )
                 return self._service
             service = self._service
@@ -270,6 +309,19 @@ class ML4all:
         ``shared`` supplies defaults merged into every request.  Returns
         one :class:`~repro.service.ServiceResult` per request, in order.
         """
+        return self.service().optimize_many(
+            self._normalize_requests(requests, shared),
+            max_workers=max_workers,
+        )
+
+    def _normalize_requests(self, requests, shared) -> list:
+        """Request dicts / dataset refs -> ServiceRequest instances.
+
+        Resolves each named dataset reference once per system --
+        repeated registry names (within one batch or across serve
+        request lines) must not regenerate the arrays or recompute the
+        content digest per request.
+        """
         normalized = []
         for request in requests:
             kwargs = dict(shared)
@@ -277,10 +329,6 @@ class ML4all:
                 kwargs.update(request)
             else:
                 kwargs["dataset"] = request
-            # Resolve each named dataset reference once per system --
-            # repeated registry names (within one batch or across serve
-            # request lines) must not regenerate the arrays or recompute
-            # the content digest per request.
             ref = kwargs.get("dataset")
             if isinstance(ref, str):
                 key = (ref, kwargs.get("task"))
@@ -290,8 +338,23 @@ class ML4all:
                     )
                 kwargs["dataset"] = self._dataset_memo[key]
             normalized.append(self._service_request(**kwargs))
-        return self.service().optimize_many(
-            normalized, max_workers=max_workers
+        return normalized
+
+    def train_many(self, requests, max_workers=None, adaptive=False,
+                   adaptive_settings=None, **shared):
+        """Serve a batch of train() requests through the service layer.
+
+        Request forms match :meth:`optimize_many`.  Each request
+        executes on its own simulated-cluster clone; with
+        ``adaptive=True`` every run is monitored, may switch plans
+        mid-flight, and feeds the shared calibration store.  Returns one
+        :class:`~repro.service.TrainServiceResult` per request.
+        """
+        return self.service().train_many(
+            self._normalize_requests(requests, shared),
+            max_workers=max_workers,
+            adaptive=adaptive,
+            adaptive_settings=adaptive_settings,
         )
 
     def _service_request(self, dataset, task=None, epsilon=None,
@@ -316,7 +379,8 @@ class ML4all:
     def train(self, dataset, task=None, epsilon=None, max_iter=None,
               time_budget=None, algorithm=None, sampler=None,
               transform=None, batch=None, step=None, convergence=None,
-              l2=0.0, fixed_iterations=None, seed=None, operators=None):
+              l2=0.0, fixed_iterations=None, seed=None, operators=None,
+              adaptive=False, adaptive_settings=None):
         """Train a model, optimizing the plan unless it is fully pinned.
 
         When ``algorithm`` (and optionally ``sampler`` / ``transform``)
@@ -325,14 +389,31 @@ class ML4all:
         GD variant while still letting ML4all pick sampling/transform
         (Section 8.4: "we used ML4all just to find the best plan given a
         GD algorithm").
+
+        ``adaptive=True`` trains under the adaptive runtime
+        (:mod:`repro.runtime`): execution telemetry, a convergence/cost
+        monitor that can re-run plan selection mid-flight and switch
+        plans without losing model state, and an execution trace folded
+        into this system's calibration store so later optimizations use
+        corrected estimates.  The returned model carries ``trace`` and
+        ``adaptive``.  With ``adaptive=False`` (the default) the
+        behaviour is bit-identical to the one-shot path.
         """
         dataset = self.load_dataset(dataset, task=task)
         training = self._training_spec(
             dataset, task, epsilon, max_iter, time_budget, step,
             convergence, l2, seed,
         )
+        trace = None
+        adaptive_result = None
 
         if algorithm is not None and sampler is not None:
+            if adaptive:
+                raise PlanError(
+                    "adaptive training needs the optimizer in the loop; "
+                    "it cannot run with a fully pinned plan "
+                    "(algorithm + sampler)"
+                )
             plan = GDPlan(
                 algorithm,
                 transform_mode=transform or "eager",
@@ -342,6 +423,21 @@ class ML4all:
             result = execute_plan(self.engine, dataset, plan, training,
                                   operators)
             report = None
+        elif adaptive:
+            from repro.runtime import AdaptiveTrainer
+
+            algorithms = (algorithm,) if algorithm else None
+            trainer = AdaptiveTrainer(
+                self._optimizer(algorithms, batch),
+                settings=adaptive_settings,
+                calibration=self.calibration,
+            )
+            adaptive_result = trainer.train(
+                dataset, training, fixed_iterations=fixed_iterations
+            )
+            report = adaptive_result.report
+            result = adaptive_result.result
+            trace = adaptive_result.trace
         else:
             algorithms = (algorithm,) if algorithm else None
             optimizer = self._optimizer(algorithms, batch)
@@ -355,6 +451,8 @@ class ML4all:
             report=report,
             result=result,
             l2=l2,
+            trace=trace,
+            adaptive=adaptive_result,
         )
 
     def execute_plan(self, dataset, plan, task=None, operators=None, **training_kwargs):

@@ -38,13 +38,32 @@ from repro.gd.registry import updater_for
 
 
 class PlanExecutor:
-    """Executes one GD plan on the simulated cluster."""
+    """Executes one GD plan on the simulated cluster.
 
-    def __init__(self, engine, dataset, plan, training, operators=None):
+    ``monitor`` is an optional execution observer (duck-typed; see
+    :mod:`repro.runtime.telemetry`): after every iteration the executor
+    calls ``monitor.on_iteration(iteration, delta, clock)``.  A truthy
+    return value requests a *graceful stop* -- the loop exits with
+    ``TrainResult.stopped_by_monitor`` set, keeping the current model
+    state, which is how the adaptive runtime switches plans mid-flight.
+    With ``monitor=None`` (the default) behaviour is bit-identical to
+    the unobserved executor.
+
+    ``initial_weights`` seeds the model vector after Stage runs, so a
+    follow-up plan can resume from where a stopped one left off.
+    """
+
+    def __init__(self, engine, dataset, plan, training, operators=None,
+                 monitor=None, initial_weights=None):
         self.engine = engine
         self.dataset = dataset
         self.plan = plan
         self.training = training
+        self.monitor = monitor
+        self.initial_weights = (
+            None if initial_weights is None
+            else np.array(initial_weights, dtype=float, copy=True)
+        )
         d = dataset.stats.d
         if operators is None and plan.algorithm == "svrg":
             from repro.core.reference_ops import svrg_operators
@@ -82,6 +101,14 @@ class PlanExecutor:
         # Stage: driver-local initialisation (Listing 4).
         self.ops.stage.stage(context)
         engine.local_op("stage")
+        if self.initial_weights is not None:
+            staged = context.require("weights")
+            if staged.shape != self.initial_weights.shape:
+                raise PlanError(
+                    f"initial_weights shape {self.initial_weights.shape} does "
+                    f"not match the staged model shape {staged.shape}"
+                )
+            context.put("weights", self.initial_weights)
 
         # ---- preparation: eager vs lazy transformation ----------------
         if plan.transform_mode == "eager":
@@ -126,6 +153,7 @@ class PlanExecutor:
         deltas = []
         converged = False
         timed_out = False
+        stopped_by_monitor = False
         iterations = 0
 
         for i in range(1, training.max_iter + 1):
@@ -156,6 +184,13 @@ class PlanExecutor:
             deltas.append(delta)
             iterations = i
 
+            # The monitor observes every iteration (telemetry); its stop
+            # request is honoured only after the plan's own exit checks,
+            # so convergence always wins over a mid-flight switch.
+            stop_requested = (
+                self.monitor is not None
+                and bool(self.monitor.on_iteration(i, delta, engine.clock))
+            )
             if delta < training.tolerance:
                 converged = True
                 break
@@ -166,6 +201,9 @@ class PlanExecutor:
                 and engine.clock - t0 > training.time_budget_s
             ):
                 timed_out = True
+                break
+            if stop_requested:
+                stopped_by_monitor = True
                 break
 
         phase_seconds = {
@@ -183,6 +221,7 @@ class PlanExecutor:
             phase_seconds=phase_seconds,
             metrics=engine.metrics.snapshot(),
             timed_out=timed_out,
+            stopped_by_monitor=stopped_by_monitor,
         )
 
     # ------------------------------------------------------------------
@@ -269,6 +308,10 @@ class PlanExecutor:
         return self.ops.compute.compute(Xb, yb, context)
 
 
-def execute_plan(engine, dataset, plan, training, operators=None) -> TrainResult:
+def execute_plan(engine, dataset, plan, training, operators=None,
+                 monitor=None, initial_weights=None) -> TrainResult:
     """Convenience wrapper: build a :class:`PlanExecutor` and run it."""
-    return PlanExecutor(engine, dataset, plan, training, operators).run()
+    return PlanExecutor(
+        engine, dataset, plan, training, operators,
+        monitor=monitor, initial_weights=initial_weights,
+    ).run()

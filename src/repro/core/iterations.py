@@ -21,12 +21,13 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 import numpy as np
 
 from repro.core.curve_fit import FittedCurve, fit_error_sequence
-from repro.errors import EstimationError
+from repro.errors import EstimationError, ReproError
 from repro.gd import registry as gd_registry
 
 
@@ -77,8 +78,14 @@ class SpeculativeEstimator:
     contention can shave iterations off it relative to a sequential run.
     The default (``1``) therefore keeps the legacy sequential,
     fully-reproducible behavior; pass ``"auto"`` for one thread per
-    algorithm up to the CPU count (what the serving layer uses), or an
-    explicit thread count.
+    algorithm up to the CPU count (what the serving layer uses), an
+    explicit thread count, or ``"process"`` for a process pool.
+
+    ``"process"`` sidesteps the GIL entirely (the thread pool only helps
+    while numpy's BLAS work releases it), at the price of pickling the
+    sample and the gradient to the workers.  When anything in the
+    payload cannot be pickled (e.g. a closure-based custom gradient),
+    :meth:`estimate_all` transparently falls back to the thread pool.
     """
 
     def __init__(self, settings=None, seed=0, max_workers=1):
@@ -226,9 +233,22 @@ class SpeculativeEstimator:
             )
 
         workers = max_workers if max_workers is not None else self.max_workers
-        if workers == "auto":
+        use_processes = workers == "process"
+        if workers in ("auto", "process"):
             workers = min(len(algorithms), os.cpu_count() or 1)
         workers = max(1, min(int(workers), len(algorithms) or 1))
+        if use_processes and len(algorithms) > 1:
+            try:
+                return self._estimate_all_processes(
+                    workers, algorithms, sample, gradient, target_tolerance,
+                    step_size, batch_sizes, convergence,
+                )
+            except ReproError:
+                raise
+            except Exception:
+                # Unpicklable payload (closure gradients, exotic step
+                # schedules) or a broken pool: threads still work.
+                pass
         if workers == 1 or len(algorithms) <= 1:
             return {alg: speculate(alg) for alg in algorithms}
         with ThreadPoolExecutor(
@@ -236,3 +256,48 @@ class SpeculativeEstimator:
         ) as pool:
             futures = {alg: pool.submit(speculate, alg) for alg in algorithms}
             return {alg: futures[alg].result() for alg in algorithms}
+
+    def _estimate_all_processes(
+        self, workers, algorithms, sample, gradient, target_tolerance,
+        step_size, batch_sizes, convergence,
+    ) -> dict:
+        """Fan the speculative trials over a process pool."""
+        payloads = [
+            (
+                self.settings, self.seed, sample, gradient, alg,
+                target_tolerance, step_size, batch_sizes.get(alg),
+                convergence,
+            )
+            for alg in algorithms
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_speculate_in_process, payload)
+                for payload in payloads
+            ]
+            try:
+                results = [future.result() for future in futures]
+            except BrokenProcessPool:
+                for future in futures:
+                    future.cancel()
+                raise
+        return dict(zip(algorithms, results))
+
+
+def _speculate_in_process(payload) -> IterationsEstimate:
+    """Process-pool worker: one speculative trial, fully reconstructed.
+
+    Module-level (picklable) on purpose.  The estimator is rebuilt from
+    its settings/seed; the pre-drawn sample D' travels with the payload
+    so every worker speculates on the same data, exactly like the
+    thread/sequential paths.
+    """
+    (settings, seed, sample, gradient, algorithm, target_tolerance,
+     step_size, batch_size, convergence) = payload
+    estimator = SpeculativeEstimator(settings, seed=seed)
+    Xs, ys = sample
+    return estimator.estimate(
+        Xs, ys, gradient, algorithm, target_tolerance,
+        step_size=step_size, batch_size=batch_size,
+        convergence=convergence, sample=sample,
+    )

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
+
 from repro.core.cost_model import CostModel
 from repro.core.executor import execute_plan
 from repro.core.iterations import SpeculativeEstimator
@@ -38,45 +40,76 @@ class GDOptimizer:
         estimator=None,
         algorithms=CORE_ALGORITHMS,
         batch_sizes=None,
+        cost_model=None,
+        calibration=None,
     ):
         self.engine = engine
         self.estimator = estimator or SpeculativeEstimator()
         self.algorithms = tuple(algorithms)
         self.batch_sizes = dict(batch_sizes or {})
-        self.cost_model = CostModel(engine.spec)
+        self.cost_model = cost_model or CostModel(engine.spec)
+        #: Optional :class:`~repro.runtime.calibration.CalibrationStore`.
+        #: When set, learned per-(algorithm, cluster) correction factors
+        #: scale the cost model's per-iteration estimates and the
+        #: speculative iteration counts; an empty store is the identity.
+        self.calibration = calibration
 
     # ------------------------------------------------------------------
-    def optimize(self, dataset, training, fixed_iterations=None) -> OptimizationReport:
+    def optimize(self, dataset, training, fixed_iterations=None,
+                 iteration_estimates=None) -> OptimizationReport:
         """Choose the best plan; returns the full :class:`OptimizationReport`.
 
         ``fixed_iterations`` short-circuits speculation with a known
         iteration count (the "run for exactly N iterations" query shape;
         the paper reports sub-100 ms optimization time for it).
+
+        ``iteration_estimates`` short-circuits speculation with
+        *precomputed* per-algorithm :class:`IterationsEstimate` results
+        (e.g. the serving layer re-costing a cached workload after the
+        calibration store learned new correction factors -- calibrated
+        estimates without re-speculation).
         """
         start = time.perf_counter()
         speculation_sim_s = 0.0
+        speculated = False
 
         if fixed_iterations is not None:
             iteration_estimates = None
             iters_for = {alg: int(fixed_iterations) for alg in self.algorithms}
         else:
-            iteration_estimates = self.estimator.estimate_all(
-                dataset.X,
-                dataset.y,
-                training.gradient(),
-                target_tolerance=training.tolerance,
-                algorithms=self.algorithms,
-                step_size=training.step_size,
-                batch_sizes=self.batch_sizes,
-                convergence=training.convergence,
-            )
+            if iteration_estimates is None:
+                iteration_estimates = self.estimator.estimate_all(
+                    dataset.X,
+                    dataset.y,
+                    training.gradient(),
+                    target_tolerance=training.tolerance,
+                    algorithms=self.algorithms,
+                    step_size=training.step_size,
+                    batch_sizes=self.batch_sizes,
+                    convergence=training.convergence,
+                )
+                # Collecting D' is one Spark job over the input (the paper
+                # measures ~4s of the 4.6-8s optimization overhead here).
+                speculation_sim_s = self._charge_speculation(dataset)
+            speculated = True
             iters_for = {
                 alg: min(est.estimated_iterations, training.max_iter)
                 for alg, est in iteration_estimates.items()
             }
-            # Collecting D' is one Spark job over the input (the paper
-            # measures ~4s of the 4.6-8s optimization overhead here).
-            speculation_sim_s = self._charge_speculation(dataset)
+
+        corrections = self._corrections()
+        if corrections and speculated:
+            # Learned iteration corrections apply only to speculative
+            # estimates; a user-fixed count is a constraint, not a guess.
+            iters_for = {
+                alg: min(
+                    max(1, int(round(
+                        count * corrections[alg].iterations_factor
+                    ))),
+                    training.max_iter,
+                )
+                for alg, count in iters_for.items()
+            }
 
         # Cost the whole plan space in one vectorized pass (the batch
         # path ranks identically to per-plan estimate() calls).
@@ -85,22 +118,37 @@ class GDOptimizer:
         batch = self.cost_model.estimate_batch(
             plans, dataset.stats, iterations
         )
+        cost_factors = np.ones(len(plans))
+        if corrections:
+            cost_factors = np.array([
+                corrections[plan.algorithm].cost_factor for plan in plans
+            ])
+        per_iteration_s = batch.per_iteration_s * cost_factors
+        total_s = batch.one_time_s + batch.iterations * per_iteration_s
         if training.time_budget_s is None:
             feasible_mask = [True] * len(plans)
         else:
-            feasible_mask = (batch.total_s <= training.time_budget_s).tolist()
-        candidates = [
-            PlanCostEstimate(
+            feasible_mask = (total_s <= training.time_budget_s).tolist()
+        candidates = []
+        for i, plan in enumerate(plans):
+            breakdown = batch.breakdown(i)
+            if cost_factors[i] != 1.0:
+                breakdown["calibration:cost_factor"] = float(cost_factors[i])
+            if corrections and speculated:
+                iter_factor = corrections[plan.algorithm].iterations_factor
+                if iter_factor != 1.0:
+                    breakdown["calibration:iterations_factor"] = float(
+                        iter_factor
+                    )
+            candidates.append(PlanCostEstimate(
                 plan=plan,
                 estimated_iterations=iterations[i],
                 one_time_s=float(batch.one_time_s[i]),
-                per_iteration_s=float(batch.per_iteration_s[i]),
-                total_s=float(batch.total_s[i]),
-                breakdown=batch.breakdown(i),
+                per_iteration_s=float(per_iteration_s[i]),
+                total_s=float(total_s[i]),
+                breakdown=breakdown,
                 feasible=feasible_mask[i],
-            )
-            for i, plan in enumerate(plans)
-        ]
+            ))
 
         feasible = [c for c in candidates if c.feasible]
         if not feasible:
@@ -118,7 +166,17 @@ class GDOptimizer:
             iteration_estimates=iteration_estimates,
             optimizer_wall_s=time.perf_counter() - start,
             speculation_sim_s=speculation_sim_s,
+            corrections=corrections or None,
         )
+
+    def _corrections(self) -> dict:
+        """Learned corrections per algorithm ({} without a store)."""
+        if self.calibration is None:
+            return {}
+        return {
+            alg: self.calibration.correction(alg, self.engine.spec)
+            for alg in self.algorithms
+        }
 
     def _charge_speculation(self, dataset) -> float:
         """Charge the simulated cost of collecting the speculation sample."""
@@ -145,13 +203,7 @@ class GDOptimizer:
         execution" bars can be reproduced.
         """
         report = self.optimize(dataset, training, fixed_iterations)
-        if report.iteration_estimates:
-            wall = sum(
-                est.speculation_wall_s
-                for est in report.iteration_estimates.values()
-            )
-            self.engine.charge(wall, "speculation", jitter=False)
-            report.speculation_sim_s += wall
+        report.speculation_sim_s += report.charge_speculation(self.engine)
         result = execute_plan(
             self.engine, dataset, report.chosen_plan, training, operators
         )

@@ -25,15 +25,23 @@ class TrainResult:
     metrics: dict
     #: True when a simulated time budget stopped the run early.
     timed_out: bool = False
+    #: True when an execution monitor (e.g. the adaptive runtime's
+    #: convergence monitor) requested a graceful stop mid-training.
+    stopped_by_monitor: bool = False
 
     @property
     def final_delta(self) -> float:
         return float(self.deltas[-1]) if len(self.deltas) else float("inf")
 
     def summary(self) -> str:
-        status = "converged" if self.converged else (
-            "TIMED OUT" if self.timed_out else "max-iterations"
-        )
+        if self.converged:
+            status = "converged"
+        elif self.timed_out:
+            status = "TIMED OUT"
+        elif self.stopped_by_monitor:
+            status = "stopped by monitor"
+        else:
+            status = "max-iterations"
         return (
             f"{self.plan}: {self.iterations} iterations, {status}, "
             f"final delta {self.final_delta:.3g}, "
@@ -77,10 +85,46 @@ class OptimizationReport:
     optimizer_wall_s: float
     #: Simulated seconds charged for speculation (sample collection job).
     speculation_sim_s: float
+    #: algorithm -> applied calibration Correction (None when the
+    #: optimizer ran without a calibration store).
+    corrections: dict | None = None
+
+    @property
+    def calibrated(self) -> bool:
+        """True when any non-identity correction factored into the costs."""
+        return bool(self.corrections) and any(
+            not c.is_identity for c in self.corrections.values()
+        )
 
     @property
     def chosen_plan(self):
         return self.chosen.plan
+
+    def speculation_wall_s(self) -> float:
+        """Total wall seconds the speculative GD trials took (0 when
+        speculation was skipped or estimates were precomputed)."""
+        if not self.iteration_estimates:
+            return 0.0
+        return sum(
+            est.speculation_wall_s
+            for est in self.iteration_estimates.values()
+        )
+
+    def charge_speculation(self, engine, include_sample_collection=False):
+        """Charge this report's speculation overhead into ``engine``.
+
+        Every train path (direct, adaptive, service) must account the
+        same way: the trials' wall time, plus -- when the engine did not
+        itself run the optimization -- the already-simulated sample
+        collection cost.  Returns the trial wall seconds.
+        """
+        wall = self.speculation_wall_s()
+        seconds = wall
+        if include_sample_collection:
+            seconds += self.speculation_sim_s
+        if seconds > 0:
+            engine.charge(seconds, "speculation", jitter=False)
+        return wall
 
     def ranking(self):
         """Candidates sorted by estimated total cost (feasible first)."""

@@ -7,6 +7,7 @@ table(s); ``run_all()`` regenerates the whole evaluation section.
 from __future__ import annotations
 
 from repro.experiments import (
+    ext_adaptive,
     ext_curvefit_ablation,
     ext_extended_space,
     ext_tuning,
@@ -50,6 +51,8 @@ EXPERIMENTS = {
                      "Ablation: error-sequence fit models"),
     "ext_tuning": (ext_tuning.run,
                    "Extension: cost-based hyperparameter tuning"),
+    "ext_adaptive": (ext_adaptive.run,
+                     "Extension: adaptive runtime vs one-shot optimizer"),
 }
 
 

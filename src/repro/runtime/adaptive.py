@@ -1,0 +1,351 @@
+"""Mid-flight re-optimization: adaptive plan execution.
+
+The one-shot optimizer picks a plan from speculative curve fits and a
+static cost model, then pays for any mis-estimate until convergence.
+:class:`AdaptiveTrainer` closes the loop at runtime:
+
+1. optimize as usual and start executing the chosen plan with a
+   :class:`~repro.runtime.telemetry.ConvergenceMonitor` attached;
+2. the monitor refits the observed error curve every K iterations and
+   compares convergence *and* per-iteration cost against the optimizer's
+   predictions;
+3. on divergence the executor stops gracefully (model state intact),
+   the trainer re-runs plan selection over the *remaining* error budget
+   -- remaining iterations per algorithm from the curves, observed
+   per-iteration cost folded in for the running algorithm -- and resumes
+   training under the winning plan from the current weights.
+
+Every run produces an :class:`~repro.runtime.trace.ExecutionTrace`;
+when a :class:`~repro.runtime.calibration.CalibrationStore` is supplied
+the trace is folded into it, so the *next* optimization starts from
+corrected estimates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.executor import execute_plan
+from repro.core.plan_space import enumerate_plans
+from repro.core.result import PlanCostEstimate
+from repro.errors import EstimationError
+from repro.runtime.calibration import cluster_signature
+from repro.runtime.telemetry import AdaptiveSettings, ConvergenceMonitor
+from repro.runtime.trace import ExecutionTrace, SwitchEvent, segment_from_result
+
+
+@dataclasses.dataclass
+class AdaptiveResult:
+    """Outcome of one adaptive training run."""
+
+    #: The initial OptimizationReport (pre-switch decisions).
+    report: object
+    #: TrainResult of the final plan segment.
+    result: object
+    #: Full structured telemetry of the run.
+    trace: ExecutionTrace
+    #: Simulated seconds of the whole run (speculation + all segments).
+    sim_seconds: float
+
+    @property
+    def weights(self):
+        return self.result.weights
+
+    @property
+    def converged(self) -> bool:
+        return self.result.converged
+
+    @property
+    def iterations(self) -> int:
+        return self.trace.total_iterations
+
+    @property
+    def switched(self) -> bool:
+        return self.trace.switched
+
+    def summary(self) -> str:
+        return self.trace.summary()
+
+
+def remaining_iterations(curve, current_delta, target_tolerance) -> int:
+    """Iterations a curve needs to go from ``current_delta`` to target.
+
+    Reads both positions off the same fitted curve, so a systematically
+    optimistic/pessimistic fit cancels out of the difference.
+    """
+    if not np.isfinite(current_delta) or current_delta <= target_tolerance:
+        return 1
+    total = curve.iterations_for(target_tolerance)
+    done = curve.iterations_for(current_delta)
+    return max(1, total - done)
+
+
+class AdaptiveTrainer:
+    """Optimize, execute, monitor, and re-optimize mid-flight.
+
+    ``optimizer`` is a configured :class:`~repro.core.optimizer.GDOptimizer`
+    (its engine carries the simulated clock across segments).
+    ``calibration`` optionally receives the run's execution trace.
+    """
+
+    def __init__(self, optimizer, settings=None, calibration=None):
+        self.optimizer = optimizer
+        self.settings = settings or AdaptiveSettings()
+        self.calibration = calibration
+
+    # ------------------------------------------------------------------
+    def train(self, dataset, training, fixed_iterations=None,
+              report=None) -> AdaptiveResult:
+        """Adaptively train to ``training.tolerance``.
+
+        ``report`` may carry a precomputed OptimizationReport (e.g. from
+        the serving layer's plan cache) so no re-speculation happens; by
+        default the trainer optimizes first, charging speculation wall
+        time into the simulated clock like ``GDOptimizer.train``.
+        """
+        optimizer, engine = self.optimizer, self.optimizer.engine
+        run_start = engine.clock
+        if report is None:
+            report = optimizer.optimize(
+                dataset, training, fixed_iterations=fixed_iterations
+            )
+            report.speculation_sim_s += report.charge_speculation(engine)
+
+        estimates = report.iteration_estimates
+        trace = ExecutionTrace(
+            workload=dataset.stats.name,
+            cluster_signature=cluster_signature(engine.spec),
+            tolerance=training.tolerance,
+        )
+        chosen = report.chosen
+        weights = None
+        switches_left = self.settings.max_switches
+        iteration_budget = (
+            int(fixed_iterations) if fixed_iterations is not None
+            else training.max_iter
+        )
+        done_iterations = 0
+        result = None
+
+        while True:
+            remaining = iteration_budget - done_iterations
+            monitor = self._monitor(chosen, estimates, training,
+                                    monitoring=switches_left > 0)
+            segment_training = self._segment_training(
+                training, remaining, run_start
+            )
+            result = execute_plan(
+                engine, dataset, chosen.plan, segment_training,
+                monitor=monitor, initial_weights=weights,
+            )
+            segment = segment_from_result(
+                result, chosen,
+                observed_per_iteration_s=monitor.observed_per_iteration_s(),
+            )
+            trace.segments.append(segment)
+            done_iterations += result.iterations
+            # Fold the observation in *now*, not at the end of the run:
+            # a later re-optimization in this same run must remember
+            # what this segment taught about its algorithm's true cost,
+            # or it will happily switch straight back to it.
+            if self.calibration is not None:
+                self.calibration.record_segment(segment, engine.spec)
+
+            if not result.stopped_by_monitor:
+                break
+            remaining = iteration_budget - done_iterations
+            if remaining < 1 or switches_left < 1:
+                break
+            weights = result.weights
+            new_chosen = self._reoptimize(
+                dataset, training, estimates, chosen, monitor, result,
+                remaining, run_start,
+            )
+            if new_chosen is None or new_chosen.plan == chosen.plan:
+                # No better plan for the remaining budget: carry on with
+                # the current one and stop second-guessing it.
+                switches_left = 0
+                if new_chosen is not None:
+                    chosen = new_chosen
+                continue
+            switches_left -= 1
+            trace.switches.append(SwitchEvent(
+                iteration=done_iterations,
+                from_plan=str(chosen.plan),
+                to_plan=str(new_chosen.plan),
+                reason=monitor.reason or "divergence",
+                clock=float(engine.clock),
+            ))
+            chosen = new_chosen
+
+        return AdaptiveResult(
+            report=report,
+            result=result,
+            trace=trace,
+            sim_seconds=float(engine.clock - run_start),
+        )
+
+    # ------------------------------------------------------------------
+    def _monitor(self, chosen, estimates, training, monitoring):
+        """A ConvergenceMonitor for one segment (telemetry-only when
+        switching is exhausted)."""
+        curve = None
+        if estimates is not None:
+            estimate = estimates.get(chosen.plan.algorithm)
+            curve = estimate.curve if estimate is not None else None
+        if not monitoring:
+            # Record telemetry but never trip: thresholds unreachable.
+            return ConvergenceMonitor(
+                target_tolerance=training.tolerance,
+                speculated_curve=None,
+                predicted_iterations=None,
+                predicted_per_iteration_s=None,
+                settings=self.settings,
+            )
+        return ConvergenceMonitor(
+            target_tolerance=training.tolerance,
+            speculated_curve=curve,
+            predicted_iterations=chosen.estimated_iterations,
+            predicted_per_iteration_s=chosen.per_iteration_s,
+            settings=self.settings,
+        )
+
+    def _segment_training(self, training, remaining_budget, run_start):
+        """The TrainingSpec for one segment: remaining iteration budget,
+        and the remaining slice of the simulated time budget (the
+        executor measures its budget from each segment's own start, so
+        every segment must be handed what is actually left)."""
+        time_budget = training.time_budget_s
+        if time_budget is not None:
+            elapsed = self.optimizer.engine.clock - run_start
+            # Keep it positive: TrainingSpec validates > 0, and a spent
+            # budget should stop after the next iteration, not crash.
+            time_budget = max(time_budget - elapsed, 1e-9)
+        return dataclasses.replace(
+            training,
+            max_iter=max(1, int(remaining_budget)),
+            time_budget_s=time_budget,
+        )
+
+    def _corrections(self) -> dict:
+        """Corrections from the trainer's store (optimizer's otherwise)."""
+        store = self.calibration or self.optimizer.calibration
+        if store is None:
+            return {}
+        return {
+            alg: store.correction(alg, self.optimizer.engine.spec)
+            for alg in self.optimizer.algorithms
+        }
+
+    # ------------------------------------------------------------------
+    def _reoptimize(self, dataset, training, estimates, current, monitor,
+                    result, remaining_budget, run_start):
+        """Re-run plan selection over the remaining error budget.
+
+        Returns the winning :class:`PlanCostEstimate` (plan == current's
+        means "stay the course"), or None when selection is impossible.
+        """
+        optimizer = self.optimizer
+        plans = enumerate_plans(optimizer.algorithms, optimizer.batch_sizes)
+        if not plans:
+            return None
+        current_delta = result.final_delta
+        corrections = self._corrections()
+
+        iters_for = {}
+        iter_factors = {}
+        for alg in optimizer.algorithms:
+            iters_for[alg], iter_factors[alg] = self._remaining_for(
+                alg, estimates, current, monitor, current_delta,
+                training, remaining_budget, corrections,
+            )
+
+        iterations = [iters_for[plan.algorithm] for plan in plans]
+        batch = optimizer.cost_model.estimate_batch(
+            plans, dataset.stats, iterations
+        )
+        factors = np.array([
+            corrections[p.algorithm].cost_factor if corrections else 1.0
+            for p in plans
+        ])
+        # Fold the live observation in: we *know* what the running
+        # algorithm's iterations cost on this cluster, so its plans are
+        # re-priced by observed/base rather than by any model guess.
+        observed = monitor.observed_per_iteration_s()
+        if observed is not None and observed > 0:
+            try:
+                idx = list(batch.plans).index(current.plan)
+            except ValueError:  # pragma: no cover - plan space is stable
+                idx = -1
+            if idx >= 0 and batch.per_iteration_s[idx] > 0:
+                live = observed / float(batch.per_iteration_s[idx])
+                for i, plan in enumerate(batch.plans):
+                    if plan.algorithm == current.plan.algorithm:
+                        factors[i] = live
+
+        per_iteration_s = batch.per_iteration_s * factors
+        total_s = batch.one_time_s + batch.iterations * per_iteration_s
+
+        feasible = np.ones(len(plans), dtype=bool)
+        if training.time_budget_s is not None:
+            elapsed = optimizer.engine.clock - run_start
+            time_left = training.time_budget_s - elapsed
+            feasible = total_s <= time_left
+            if not feasible.any():
+                # Nothing fits anyway; stay on the current plan rather
+                # than raising mid-training.
+                return None
+        order = np.argsort(total_s)
+        best = next(int(i) for i in order if feasible[i])
+        breakdown = batch.breakdown(best)
+        if factors[best] != 1.0:
+            breakdown["calibration:cost_factor"] = float(factors[best])
+        best_iter_factor = iter_factors[plans[best].algorithm]
+        if best_iter_factor != 1.0:
+            breakdown["calibration:iterations_factor"] = float(
+                best_iter_factor
+            )
+        return PlanCostEstimate(
+            plan=plans[best],
+            estimated_iterations=int(iterations[best]),
+            one_time_s=float(batch.one_time_s[best]),
+            per_iteration_s=float(per_iteration_s[best]),
+            total_s=float(total_s[best]),
+            breakdown=breakdown,
+            feasible=True,
+        )
+
+    @staticmethod
+    def _remaining_for(alg, estimates, current, monitor, current_delta,
+                       training, remaining_budget, corrections):
+        """(remaining iterations, applied correction factor) for one
+        algorithm."""
+        curve = None
+        factor = 1.0
+        if alg == current.plan.algorithm:
+            if monitor.refit_curve is not None:
+                # The live refit already reflects reality; no correction.
+                curve = monitor.refit_curve
+            elif not monitor.curve_diverged and estimates is not None \
+                    and estimates.get(alg) is not None:
+                # Cost-triggered stop: the speculated curve is still
+                # credible.  (A curve-triggered stop without a usable
+                # refit falls through to the pessimistic budget below.)
+                curve = estimates[alg].curve
+        elif estimates is not None and estimates.get(alg) is not None:
+            curve = estimates[alg].curve
+            factor = (
+                corrections[alg].iterations_factor if corrections else 1.0
+            )
+        if curve is None:
+            return max(1, int(remaining_budget)), 1.0
+        try:
+            remaining = remaining_iterations(
+                curve, current_delta, training.tolerance
+            )
+        except EstimationError:
+            return max(1, int(remaining_budget)), 1.0
+        remaining = max(1, int(round(remaining * factor)))
+        return min(remaining, max(1, int(remaining_budget))), factor

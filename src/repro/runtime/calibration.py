@@ -1,0 +1,289 @@
+"""Online cost-model calibration from execution traces.
+
+The optimizer's estimates err in two separable ways:
+
+* the **cost model** can mis-price an algorithm's per-iteration work on
+  the actual hardware (Figure 7 bounds this at ~17% on the paper's
+  cluster, but a drifted spec or a deliberately perturbed model can be
+  off by integer factors), and
+* the **iterations estimator** can mis-extrapolate T(epsilon) from a
+  speculative sample.
+
+The :class:`CalibrationStore` learns a multiplicative correction for
+each, per ``(algorithm, cluster)`` key, from observed
+:class:`~repro.runtime.trace.ExecutionTrace` segments -- the Delta-style
+feedback loop (PAPERS.md) that closes the gap between predicted and
+observed cost.  Corrections are exponentially-weighted moving averages,
+clamped to a sane range, versioned (so plan caches can detect staleness)
+and persisted as JSON so a restarted service starts calibrated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import json
+import os
+import threading
+
+#: Per-observation EWMA weight: new_factor = (1-a)*old + a*observed.
+DEFAULT_ALPHA = 0.4
+#: Correction factors are clamped to [1/MAX_FACTOR, MAX_FACTOR].
+MAX_FACTOR = 100.0
+
+
+def _compute_signature(spec) -> str:
+    if dataclasses.is_dataclass(spec) and not isinstance(spec, type):
+        payload = sorted(dataclasses.asdict(spec).items())
+    else:  # pragma: no cover - ClusterSpec is a dataclass
+        payload = sorted(vars(spec).items())
+    return hashlib.sha256(repr(payload).encode()).hexdigest()[:16]
+
+
+@functools.lru_cache(maxsize=128)
+def _cached_signature(spec) -> str:
+    return _compute_signature(spec)
+
+
+def cluster_signature(spec) -> str:
+    """Short stable digest identifying one cluster configuration.
+
+    Memoized (ClusterSpec is a hashable frozen dataclass): the store is
+    consulted per algorithm on every optimize call, and hashing the
+    whole spec each time is pure overhead on the cache-recost hot path.
+    """
+    try:
+        return _cached_signature(spec)
+    except TypeError:  # pragma: no cover - unhashable custom spec
+        return _compute_signature(spec)
+
+
+def _clamp(value) -> float:
+    return float(min(max(value, 1.0 / MAX_FACTOR), MAX_FACTOR))
+
+
+@dataclasses.dataclass
+class Correction:
+    """Learned corrections for one (algorithm, cluster) pair.
+
+    ``cost_factor`` multiplies the cost model's per-iteration seconds;
+    ``iterations_factor`` multiplies the speculative T(epsilon) estimate.
+    Identity (1.0 / 1.0) until observations arrive.  Each factor tracks
+    its own observation count: a segment that never converged observes
+    cost but says nothing about iterations.
+    """
+
+    cost_factor: float = 1.0
+    iterations_factor: float = 1.0
+    cost_observations: int = 0
+    iterations_observations: int = 0
+
+    @property
+    def observations(self) -> int:
+        return self.cost_observations + self.iterations_observations
+
+    @property
+    def is_identity(self) -> bool:
+        return self.observations == 0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload) -> "Correction":
+        return cls(**payload)
+
+
+class CalibrationStore:
+    """Thread-safe store of learned per-(algorithm, cluster) corrections.
+
+    ``version`` increments on every update; cache layers key their
+    entries on it to notice when calibrated estimates changed under
+    them.  ``path`` (optional) enables persistence: :meth:`save` writes
+    the store as JSON and :meth:`open` restores it, so a restarted
+    ``repro serve`` starts calibrated.
+    """
+
+    def __init__(self, path=None, alpha=DEFAULT_ALPHA):
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.path = path
+        self.alpha = float(alpha)
+        self.version = 0
+        self._corrections = {}
+        self._lock = threading.Lock()
+
+    # -- lookup ----------------------------------------------------------
+    @staticmethod
+    def _key(algorithm, signature) -> str:
+        return f"{algorithm}@{signature}"
+
+    def correction(self, algorithm, spec) -> Correction:
+        """The learned correction (identity when nothing was observed)."""
+        key = self._key(algorithm, cluster_signature(spec))
+        with self._lock:
+            found = self._corrections.get(key)
+            return dataclasses.replace(found) if found else Correction()
+
+    def corrections_for(self, spec) -> dict:
+        """{algorithm: Correction} for one cluster."""
+        suffix = "@" + cluster_signature(spec)
+        with self._lock:
+            return {
+                key[: -len(suffix)]: dataclasses.replace(value)
+                for key, value in self._corrections.items()
+                if key.endswith(suffix)
+            }
+
+    @property
+    def observations(self) -> int:
+        with self._lock:
+            return sum(c.observations for c in self._corrections.values())
+
+    # -- learning --------------------------------------------------------
+    def observe(self, algorithm, spec, cost_ratio=None,
+                iterations_ratio=None) -> Correction:
+        """Fold one observed/predicted ratio pair into the store.
+
+        Either ratio may be None (unobservable for this trace -- e.g.
+        the iterations ratio of a segment that never converged).
+        """
+        if cost_ratio is None and iterations_ratio is None:
+            return self.correction(algorithm, spec)
+        key = self._key(algorithm, cluster_signature(spec))
+        a = self.alpha
+
+        def fold(factor, count, ratio):
+            if ratio is None or ratio <= 0:
+                return factor, count
+            ratio = _clamp(ratio)
+            if count == 0:
+                # The identity start is a zero-evidence prior; the first
+                # real observation replaces it outright, otherwise a
+                # single large mis-estimate takes 1/alpha traces to
+                # surface in the corrected costs.
+                return ratio, 1
+            return _clamp((1 - a) * factor + a * ratio), count + 1
+
+        with self._lock:
+            current = self._corrections.get(key, Correction())
+            cost, cost_n = fold(
+                current.cost_factor, current.cost_observations, cost_ratio
+            )
+            iters, iters_n = fold(
+                current.iterations_factor, current.iterations_observations,
+                iterations_ratio,
+            )
+            updated = Correction(
+                cost_factor=cost,
+                iterations_factor=iters,
+                cost_observations=cost_n,
+                iterations_observations=iters_n,
+            )
+            self._corrections[key] = updated
+            self.version += 1
+            return dataclasses.replace(updated)
+
+    def record_segment(self, segment, spec) -> bool:
+        """Learn from one executed plan segment.
+
+        A segment yields a cost ratio (observed vs predicted
+        per-iteration seconds); a segment that converged additionally
+        yields an iterations ratio (observed vs predicted iterations to
+        target) -- segments cut short by a switch or the iteration cap
+        say nothing about where the curve would have ended.  Returns
+        True when anything was folded in.
+        """
+        if segment.iterations < 2:
+            return False
+        # Segment ratios are relative to *calibrated* predictions;
+        # compose the factors that were applied back in so the store
+        # always learns the absolute observed/base-model factor (a
+        # calibrated prediction observing ratio ~1 must reinforce the
+        # current factor, not decay it toward 1).
+        cost_ratio = None
+        if segment.predicted_per_iteration_s > 0:
+            cost_ratio = segment.cost_ratio * segment.applied_cost_factor
+        iterations_ratio = None
+        if segment.converged and segment.predicted_iterations > 0:
+            iterations_ratio = (
+                segment.iterations / segment.predicted_iterations
+                * segment.applied_iterations_factor
+            )
+        if cost_ratio is None and iterations_ratio is None:
+            return False
+        self.observe(
+            segment.algorithm, spec,
+            cost_ratio=cost_ratio,
+            iterations_ratio=iterations_ratio,
+        )
+        return True
+
+    def record_trace(self, trace, spec) -> int:
+        """Learn from every segment of an execution trace."""
+        return sum(
+            self.record_segment(segment, spec) for segment in trace.segments
+        )
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "alpha": self.alpha,
+                "version": self.version,
+                "corrections": {
+                    key: value.to_dict()
+                    for key, value in self._corrections.items()
+                },
+            }
+
+    @classmethod
+    def from_dict(cls, payload, path=None) -> "CalibrationStore":
+        store = cls(path=path, alpha=payload.get("alpha", DEFAULT_ALPHA))
+        store.version = int(payload.get("version", 0))
+        store._corrections = {
+            key: Correction.from_dict(value)
+            for key, value in payload.get("corrections", {}).items()
+        }
+        return store
+
+    def save(self, path=None) -> str:
+        """Persist to ``path`` (default: the store's own path)."""
+        target = path or self.path
+        if target is None:
+            raise ValueError("no path to save the calibration store to")
+        payload = self.to_dict()
+        tmp = f"{target}.tmp"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(tmp, target)
+        return target
+
+    @classmethod
+    def open(cls, path=None, alpha=DEFAULT_ALPHA) -> "CalibrationStore":
+        """Load the store at ``path`` if it exists, else a fresh one.
+
+        ``path=None`` yields a purely in-memory store.
+        """
+        if path and os.path.exists(path):
+            with open(path) as handle:
+                return cls.from_dict(json.load(handle), path=path)
+        return cls(path=path, alpha=alpha)
+
+    def summary(self) -> str:
+        with self._lock:
+            if not self._corrections:
+                return "calibration store: empty"
+            lines = [
+                f"calibration store: {len(self._corrections)} key(s), "
+                f"version {self.version}"
+            ]
+            for key in sorted(self._corrections):
+                c = self._corrections[key]
+                lines.append(
+                    f"  {key}: cost x{c.cost_factor:.3f}, "
+                    f"iterations x{c.iterations_factor:.3f} "
+                    f"({c.observations} obs)"
+                )
+            return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""A deliberately wrong cost model, for adaptive-runtime evaluation.
+
+:class:`PerturbedCostModel` scales the per-iteration cost of chosen
+algorithms by fixed factors.  A factor < 1 makes the optimizer
+*underestimate* an algorithm (it gets picked and then under-delivers);
+a factor > 1 makes the optimizer avoid it.  The adaptive runtime's job
+is to notice and undo exactly this kind of systematic error, so the
+experiments, benchmarks and tests use this model as the controlled
+fault injection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cost_model import CostModel
+
+
+class PerturbedCostModel(CostModel):
+    """CostModel whose per-iteration costs are scaled per algorithm.
+
+    ``factors`` maps algorithm name -> multiplier applied to every
+    per-iteration cost component of that algorithm's plans (one-time
+    costs are untouched).  Unlisted algorithms are costed faithfully.
+    """
+
+    def __init__(self, spec, factors):
+        super().__init__(spec)
+        self.factors = {str(k): float(v) for k, v in dict(factors).items()}
+        if any(f <= 0 for f in self.factors.values()):
+            raise ValueError("perturbation factors must be positive")
+
+    def _factor(self, plan) -> float:
+        return self.factors.get(plan.algorithm, 1.0)
+
+    def per_iteration_cost(self, plan, stats) -> dict:
+        base = super().per_iteration_cost(plan, stats)
+        factor = self._factor(plan)
+        if factor == 1.0:
+            return base
+        return {phase: seconds * factor for phase, seconds in base.items()}
+
+    def estimate_batch(self, plans, stats, iterations):
+        # Build from an unperturbed base model: the batch path evaluates
+        # full-batch components through self.per_iteration_cost(), which
+        # this class already scales -- going through super() would apply
+        # the factor twice (and smear one full-batch algorithm's factor
+        # over all of them).
+        batch = CostModel(self.spec).estimate_batch(plans, stats, iterations)
+        if not len(batch):
+            return batch
+        factors = np.array([self._factor(plan) for plan in batch.plans])
+        if np.all(factors == 1.0):
+            return batch
+        batch.per_iteration_s = batch.per_iteration_s * factors
+        batch.total_s = (
+            batch.one_time_s + batch.iterations * batch.per_iteration_s
+        )
+        batch.components = {
+            name: (mask, values * factors if name.startswith("iter:")
+                   else values)
+            for name, (mask, values) in batch.components.items()
+        }
+        return batch

@@ -7,20 +7,23 @@ fingerprint, coalesces concurrent identical requests, and fans a batch of
 requests over a thread pool.
 """
 
-from repro.service.cache import CacheStats, PlanCache
+from repro.service.cache import CacheStats, PlanCache, approx_nbytes
 from repro.service.fingerprint import freeze, workload_fingerprint
 from repro.service.service import (
     OptimizerService,
     ServiceRequest,
     ServiceResult,
+    TrainServiceResult,
 )
 
 __all__ = [
     "CacheStats",
     "PlanCache",
+    "approx_nbytes",
     "freeze",
     "workload_fingerprint",
     "OptimizerService",
     "ServiceRequest",
     "ServiceResult",
+    "TrainServiceResult",
 ]

@@ -19,7 +19,18 @@ cheap:
 
 Each computed request runs on a fresh :class:`SimulatedCluster` so the
 simulated clock of one caller never leaks into another -- the service
-object itself holds no per-request mutable state outside the cache.
+object itself holds no per-request mutable state outside the cache and
+the calibration store.
+
+The **adaptive runtime** (:mod:`repro.runtime`) plugs in here: every
+service owns a :class:`~repro.runtime.calibration.CalibrationStore`
+(optionally disk-persisted), :meth:`OptimizerService.train` executes the
+chosen plan on a per-caller engine clone (adaptively, if asked) and
+folds the resulting execution trace back into the store, and cached
+plans remember which calibration version priced them -- a stale entry is
+*re-costed* from its cached speculation results instead of being thrown
+away, so repeated workloads get calibrated answers without ever
+re-speculating.
 """
 
 from __future__ import annotations
@@ -30,9 +41,11 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.cluster import ClusterSpec, SimulatedCluster
+from repro.core.executor import execute_plan
 from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
 from repro.core.optimizer import GDOptimizer
 from repro.gd.registry import CORE_ALGORITHMS
+from repro.runtime import AdaptiveTrainer, CalibrationStore
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import workload_fingerprint
 
@@ -67,20 +80,68 @@ class ServiceResult:
     coalesced: bool
     #: Wall seconds this request spent inside the service.
     wall_s: float
+    #: True when a cached entry was re-costed with fresh calibration
+    #: factors (reusing its cached speculation -- no re-speculation).
+    recalibrated: bool = False
 
     @property
     def chosen_plan(self):
         return self.report.chosen_plan
 
     def summary(self) -> str:
-        source = "cache" if self.cache_hit else (
-            "coalesced" if self.coalesced else "computed"
-        )
+        if self.cache_hit:
+            source = "cache"
+        elif self.recalibrated:
+            source = "recalibrated"
+        elif self.coalesced:
+            source = "coalesced"
+        else:
+            source = "computed"
         return (
             f"{self.report.chosen_plan} "
             f"(est. {self.report.chosen.total_s:.2f}s simulated) "
             f"[{source}, {self.wall_s * 1e3:.1f} ms]"
         )
+
+
+@dataclasses.dataclass
+class TrainServiceResult:
+    """Outcome of one train() request: plan decision plus execution."""
+
+    #: The plan-selection ServiceResult (cache/coalescing semantics).
+    optimization: ServiceResult
+    #: TrainResult of the executed (final) plan segment.
+    result: object
+    #: ExecutionTrace of the run (None for non-adaptive requests).
+    trace: object = None
+    #: AdaptiveResult when the request ran adaptively.
+    adaptive: object = None
+
+    @property
+    def report(self):
+        return self.optimization.report
+
+    @property
+    def weights(self):
+        return self.result.weights
+
+    @property
+    def switched(self) -> bool:
+        return self.trace is not None and bool(self.trace.switches)
+
+    def summary(self) -> str:
+        text = f"{self.optimization.summary()}; {self.result.summary()}"
+        if self.switched:
+            text += f"; {len(self.trace.switches)} mid-flight switch(es)"
+        return text
+
+
+@dataclasses.dataclass
+class _CachedPlan:
+    """A cached report plus the calibration version that priced it."""
+
+    report: object
+    calibration_version: int
 
 
 class OptimizerService:
@@ -95,6 +156,12 @@ class OptimizerService:
         batch_sizes=None,
         cache_size=256,
         speculation_workers="auto",
+        cache_ttl_s=None,
+        cache_max_bytes=None,
+        calibration=None,
+        calibration_path=None,
+        adaptive_settings=None,
+        cost_model=None,
     ):
         self.spec = spec or ClusterSpec()
         self.seed = seed
@@ -102,13 +169,30 @@ class OptimizerService:
         self.algorithms = tuple(algorithms)
         self.batch_sizes = dict(batch_sizes or {})
         self.speculation_workers = speculation_workers
-        self.cache = PlanCache(cache_size)
+        self.cache = PlanCache(
+            cache_size, max_bytes=cache_max_bytes, ttl_s=cache_ttl_s
+        )
+        #: Learned cost/iteration corrections; loaded from
+        #: ``calibration_path`` when it exists, so a restarted service
+        #: starts calibrated.  Adaptive train() traces feed it.
+        self.calibration = (
+            calibration
+            if calibration is not None
+            else CalibrationStore.open(calibration_path)
+        )
+        self.adaptive_settings = adaptive_settings
+        #: Optional CostModel shared by every optimizer this service
+        #: builds (cost models are stateless).  Used to inject e.g. a
+        #: PerturbedCostModel when evaluating the adaptive runtime.
+        self.cost_model = cost_model
         self._inflight = {}
         self._inflight_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self.requests = 0
         self.computed = 0
         self.coalesced = 0
+        self.recalibrated = 0
+        self.trained = 0
 
     # ------------------------------------------------------------------
     def fingerprint(self, dataset, training, fixed_iterations=None,
@@ -157,6 +241,8 @@ class OptimizerService:
             batch_sizes=(
                 self.batch_sizes if batch_sizes is None else batch_sizes
             ),
+            cost_model=self.cost_model,
+            calibration=self.calibration,
         )
 
     # ------------------------------------------------------------------
@@ -174,14 +260,40 @@ class OptimizerService:
             dataset, training, fixed_iterations, algorithms, batch_sizes
         )
 
-        report = self.cache.get(key)
-        if report is not None:
+        entry = self.cache.get(key)
+        if entry is not None:
+            if entry.calibration_version == self.calibration.version:
+                return ServiceResult(
+                    report=entry.report,
+                    fingerprint=key,
+                    cache_hit=True,
+                    coalesced=False,
+                    wall_s=time.perf_counter() - start,
+                )
+            # The calibration store learned something since this entry
+            # was priced: re-cost it from its cached speculation results
+            # -- calibrated estimates with no re-speculation.  The entry
+            # is stamped with the version read *before* pricing: if a
+            # concurrent trace bumps the store mid-recost, the next
+            # request must see the entry as stale again, not serve these
+            # part-stale estimates as current.
+            version = self.calibration.version
+            report = self._make_optimizer(algorithms, batch_sizes).optimize(
+                dataset,
+                training,
+                fixed_iterations=fixed_iterations,
+                iteration_estimates=entry.report.iteration_estimates,
+            )
+            self.cache.put(key, _CachedPlan(report, version))
+            with self._counter_lock:
+                self.recalibrated += 1
             return ServiceResult(
                 report=report,
                 fingerprint=key,
-                cache_hit=True,
+                cache_hit=False,
                 coalesced=False,
                 wall_s=time.perf_counter() - start,
+                recalibrated=True,
             )
 
         with self._inflight_lock:
@@ -204,6 +316,10 @@ class OptimizerService:
             )
 
         try:
+            # Stamp with the version the report is priced against, read
+            # before optimizing -- a concurrent calibration update while
+            # this computation runs must leave the entry stale.
+            version = self.calibration.version
             report = self._make_optimizer(algorithms, batch_sizes).optimize(
                 dataset, training, fixed_iterations=fixed_iterations
             )
@@ -215,7 +331,7 @@ class OptimizerService:
             raise
         # Populate the cache *before* dropping the in-flight entry, so a
         # concurrent identical request always finds one of the two.
-        self.cache.put(key, report)
+        self.cache.put(key, _CachedPlan(report, version))
         future.set_result(report)
         with self._inflight_lock:
             self._inflight.pop(key, None)
@@ -228,6 +344,86 @@ class OptimizerService:
             coalesced=False,
             wall_s=time.perf_counter() - start,
         )
+
+    # ------------------------------------------------------------------
+    def train(self, dataset, training, fixed_iterations=None,
+              algorithms=None, batch_sizes=None, adaptive=False,
+              adaptive_settings=None, operators=None,
+              engine=None) -> TrainServiceResult:
+        """Optimize (through the plan cache), then execute the plan.
+
+        Execution runs on a **per-caller engine clone** -- a fresh
+        :class:`SimulatedCluster` per request (or the caller's own via
+        ``engine``), so one caller's simulated clock, cache residency
+        and metrics never leak into another's.
+
+        With ``adaptive=True`` the plan runs under the adaptive runtime:
+        convergence/cost monitoring, mid-flight re-optimization, and the
+        resulting :class:`~repro.runtime.trace.ExecutionTrace` is folded
+        into this service's calibration store -- subsequent requests for
+        the same workload are then re-costed from cached speculation
+        with the learned corrections (never re-speculated).
+        """
+        optimization = self.optimize(
+            dataset, training, fixed_iterations, algorithms, batch_sizes
+        )
+        if engine is None:
+            engine = SimulatedCluster(self.spec, seed=self.seed)
+        report = optimization.report
+        if not optimization.cache_hit and not optimization.recalibrated:
+            # This request paid for speculation: reflect it in the
+            # caller's simulated clock (sample collection + trial wall),
+            # like GDOptimizer.train does.  Cached/recalibrated requests
+            # skip it -- that saving is the point of the plan cache.
+            report.charge_speculation(engine, include_sample_collection=True)
+
+        if adaptive:
+            optimizer = GDOptimizer(
+                engine,
+                estimator=SpeculativeEstimator(
+                    self.speculation,
+                    seed=self.seed,
+                    max_workers=self.speculation_workers,
+                ),
+                algorithms=(
+                    self.algorithms if algorithms is None else algorithms
+                ),
+                batch_sizes=(
+                    self.batch_sizes if batch_sizes is None else batch_sizes
+                ),
+                cost_model=self.cost_model,
+                calibration=self.calibration,
+            )
+            trainer = AdaptiveTrainer(
+                optimizer,
+                settings=adaptive_settings or self.adaptive_settings,
+                calibration=self.calibration,
+            )
+            adaptive_result = trainer.train(
+                dataset, training, fixed_iterations=fixed_iterations,
+                report=report,
+            )
+            result, trace = adaptive_result.result, adaptive_result.trace
+        else:
+            adaptive_result = None
+            trace = None
+            result = execute_plan(
+                engine, dataset, report.chosen_plan, training, operators
+            )
+        with self._counter_lock:
+            self.trained += 1
+        return TrainServiceResult(
+            optimization=optimization,
+            result=result,
+            trace=trace,
+            adaptive=adaptive_result,
+        )
+
+    def save_calibration(self, path=None) -> str | None:
+        """Persist the calibration store (no-op without a path)."""
+        if path is None and self.calibration.path is None:
+            return None
+        return self.calibration.save(path)
 
     # ------------------------------------------------------------------
     def optimize_many(self, requests, max_workers=None) -> list:
@@ -261,6 +457,36 @@ class OptimizerService:
             ]
             return [f.result() for f in futures]
 
+    def train_many(self, requests, max_workers=None, adaptive=False,
+                   adaptive_settings=None) -> list:
+        """Serve a batch of train() requests concurrently; order preserved.
+
+        Same request forms as :meth:`optimize_many`; every request
+        executes on its own engine clone, so concurrent training runs
+        stay isolated.
+        """
+        normalized = [self._normalize(r) for r in requests]
+        if not normalized:
+            return []
+        if max_workers is None:
+            max_workers = min(8, len(normalized))
+        max_workers = max(1, min(max_workers, len(normalized)))
+
+        def one(request):
+            return self.train(
+                request.dataset, request.training, request.fixed_iterations,
+                request.algorithms, request.batch_sizes,
+                adaptive=adaptive, adaptive_settings=adaptive_settings,
+            )
+
+        if max_workers == 1 or len(normalized) == 1:
+            return [one(r) for r in normalized]
+        with ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="train"
+        ) as pool:
+            futures = [pool.submit(one, r) for r in normalized]
+            return [f.result() for f in futures]
+
     @staticmethod
     def _normalize(request) -> ServiceRequest:
         if isinstance(request, ServiceRequest):
@@ -283,7 +509,13 @@ class OptimizerService:
 
     def stats_summary(self) -> str:
         stats = self.cache.stats()
-        return (
+        text = (
             f"{stats.summary()}; {self.requests} requests "
-            f"({self.computed} computed, {self.coalesced} coalesced)"
+            f"({self.computed} computed, {self.coalesced} coalesced, "
+            f"{self.recalibrated} recalibrated)"
         )
+        if self.trained:
+            text += f"; {self.trained} trained"
+        if self.calibration.observations:
+            text += f"; calibration v{self.calibration.version}"
+        return text

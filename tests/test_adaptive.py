@@ -1,0 +1,265 @@
+"""AdaptiveTrainer: mid-flight re-optimization and trace structure."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimulatedCluster
+from repro.core.curve_fit import FittedCurve
+from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
+from repro.core.optimizer import GDOptimizer
+from repro.core.plans import TrainingSpec
+from repro.runtime import (
+    AdaptiveSettings,
+    AdaptiveTrainer,
+    CalibrationStore,
+    ExecutionTrace,
+    PerturbedCostModel,
+    remaining_iterations,
+)
+
+from support import make_dataset
+
+
+@pytest.fixture
+def dataset(spec):
+    return make_dataset(
+        n_phys=2000, d=20, task="logreg", spec=spec, seed=3,
+        separability=1.2, hard_fraction=0.3, noise_scale=0.3,
+        label_noise=0.02,
+    )
+
+
+@pytest.fixture
+def training():
+    return TrainingSpec(task="logreg", tolerance=1e-2, seed=1)
+
+
+def speculation():
+    return SpeculationSettings(
+        sample_size=400, time_budget_s=0.5, max_speculation_iters=800
+    )
+
+
+def optimizer_for(spec, cost_model=None, calibration=None, seed=0):
+    return GDOptimizer(
+        SimulatedCluster(spec, seed=seed),
+        estimator=SpeculativeEstimator(speculation(), seed=5),
+        cost_model=cost_model,
+        calibration=calibration,
+    )
+
+
+class TestUnperturbed:
+    def test_accurate_run_matches_one_shot_exactly(
+        self, spec, dataset, training
+    ):
+        report, result = optimizer_for(spec).train(dataset, training)
+        adaptive = AdaptiveTrainer(optimizer_for(spec)).train(
+            dataset, training
+        )
+        assert not adaptive.switched
+        assert len(adaptive.trace.segments) == 1
+        assert np.array_equal(result.weights, adaptive.weights)
+        assert result.iterations == adaptive.iterations
+        assert result.sim_seconds == adaptive.result.sim_seconds
+        assert adaptive.report.chosen_plan == report.chosen_plan
+
+
+class TestPerturbed:
+    def test_switches_and_beats_the_one_shot_mispick(
+        self, spec, dataset, training
+    ):
+        # Find the honest choice, then under-estimate a different
+        # algorithm 4x so the optimizer mis-picks it.
+        honest_report, honest_result = optimizer_for(spec).train(
+            dataset, training
+        )
+        victim = next(
+            c.plan.algorithm for c in honest_report.ranking()
+            if c.plan.algorithm != honest_report.chosen_plan.algorithm
+        )
+        model = PerturbedCostModel(spec, {victim: 0.25})
+
+        mispick_report = optimizer_for(spec, cost_model=model).optimize(
+            dataset, training
+        )
+        assert mispick_report.chosen_plan.algorithm == victim
+
+        one_shot_engine = SimulatedCluster(spec, seed=0)
+        from repro.core.executor import execute_plan
+
+        one_shot = execute_plan(
+            one_shot_engine, dataset, mispick_report.chosen_plan, training
+        )
+
+        store = CalibrationStore()
+        trainer = AdaptiveTrainer(
+            optimizer_for(spec, cost_model=model, calibration=store),
+            calibration=store,
+        )
+        adaptive = trainer.train(dataset, training)
+
+        assert adaptive.switched
+        switch = adaptive.trace.switches[0]
+        assert switch.from_plan.startswith(victim.upper())
+        assert adaptive.converged
+        # Execution-only comparison (the adaptive run's sim_seconds also
+        # carries speculation; segments alone are the training cost).
+        assert adaptive.trace.sim_seconds < one_shot.sim_seconds
+        # The trace fed the calibration store: the victim's true cost
+        # (~4x the perturbed prediction) was learned.
+        correction = store.correction(victim, spec)
+        assert correction.cost_factor > 2.0
+
+    def test_no_switch_budget_left_rides_it_out(
+        self, spec, dataset, training
+    ):
+        # max_switches=0 turns the trainer into a telemetry-only runner.
+        honest_report, _ = optimizer_for(spec).train(dataset, training)
+        victim = next(
+            c.plan.algorithm for c in honest_report.ranking()
+            if c.plan.algorithm != honest_report.chosen_plan.algorithm
+        )
+        model = PerturbedCostModel(spec, {victim: 0.25})
+        trainer = AdaptiveTrainer(
+            optimizer_for(spec, cost_model=model),
+            settings=AdaptiveSettings(max_switches=0),
+        )
+        adaptive = trainer.train(dataset, training)
+        assert not adaptive.switched
+        assert len(adaptive.trace.segments) == 1
+
+
+class TestTraceStructure:
+    def test_trace_round_trips_through_json(
+        self, spec, dataset, training, tmp_path
+    ):
+        adaptive = AdaptiveTrainer(optimizer_for(spec)).train(
+            dataset, training
+        )
+        path = tmp_path / "trace.json"
+        adaptive.trace.save(str(path))
+        restored = ExecutionTrace.load(str(path))
+        assert restored.workload == adaptive.trace.workload
+        assert restored.total_iterations == adaptive.trace.total_iterations
+        assert restored.converged == adaptive.trace.converged
+        assert len(restored.segments) == len(adaptive.trace.segments)
+        seg, orig = restored.segments[0], adaptive.trace.segments[0]
+        assert seg.plan == orig.plan
+        assert seg.deltas == pytest.approx(orig.deltas)
+        assert seg.cost_ratio == pytest.approx(orig.cost_ratio)
+
+    def test_summary_mentions_plans_and_switches(
+        self, spec, dataset, training
+    ):
+        adaptive = AdaptiveTrainer(optimizer_for(spec)).train(
+            dataset, training
+        )
+        text = adaptive.summary()
+        assert adaptive.trace.segments[0].plan in text
+        assert "switch" in text
+
+
+class TestFixedIterations:
+    def test_fixed_iteration_run_completes(self, spec, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-9, seed=1,
+                                max_iter=500)
+        adaptive = AdaptiveTrainer(optimizer_for(spec)).train(
+            dataset, training, fixed_iterations=30
+        )
+        assert adaptive.iterations <= 30
+        assert adaptive.report.iteration_estimates is None
+
+
+class TestML4allAdaptive:
+    def system(self, spec):
+        from repro.api import ML4all
+
+        return ML4all(
+            cluster_spec=spec,
+            seed=7,
+            speculation=speculation(),
+        )
+
+    def test_adaptive_train_returns_trace(self, spec, dataset):
+        system = self.system(spec)
+        model = system.train(dataset, epsilon=1e-2, max_iter=400,
+                             adaptive=True)
+        assert model.trace is not None
+        assert model.adaptive is not None
+        assert model.trace.total_iterations == model.result.iterations or \
+            model.trace.switched
+        assert system.calibration.observations > 0
+
+    def test_default_train_has_no_trace(self, spec, dataset):
+        system = self.system(spec)
+        model = system.train(dataset, epsilon=1e-2, max_iter=400)
+        assert model.trace is None
+        assert model.adaptive is None
+        assert not model.switched
+
+    def test_adaptive_rejects_fully_pinned_plans(self, spec, dataset):
+        from repro.errors import PlanError
+
+        system = self.system(spec)
+        with pytest.raises(PlanError):
+            system.train(dataset, epsilon=1e-2, algorithm="sgd",
+                         sampler="shuffle", adaptive=True)
+
+    def test_calibration_store_shared_with_service(self, spec, dataset):
+        system = self.system(spec)
+        system.train(dataset, epsilon=1e-2, max_iter=400, adaptive=True)
+        assert system.service().calibration is system.calibration
+
+    def test_calibration_path_round_trip(self, spec, dataset, tmp_path):
+        from repro.api import ML4all
+
+        path = str(tmp_path / "calibration.json")
+        system = ML4all(cluster_spec=spec, seed=7,
+                        speculation=speculation(), calibration_path=path)
+        system.train(dataset, epsilon=1e-2, max_iter=400, adaptive=True)
+        system.save_calibration()
+
+        reborn = ML4all(cluster_spec=spec, seed=7, calibration_path=path)
+        assert reborn.calibration.observations == \
+            system.calibration.observations
+
+
+class TestTimeBudgetAcrossSegments:
+    def test_segment_training_deducts_elapsed_budget(self, spec):
+        trainer = AdaptiveTrainer(optimizer_for(spec))
+        trainer.optimizer.engine.charge(5.0, "test", jitter=False)
+        training = TrainingSpec(task="logreg", tolerance=1e-2,
+                                time_budget_s=8.0, seed=0)
+        segment = trainer._segment_training(training, 100, run_start=0.0)
+        assert segment.time_budget_s == pytest.approx(3.0)
+        assert segment.max_iter == 100
+
+    def test_spent_budget_stays_positive(self, spec):
+        trainer = AdaptiveTrainer(optimizer_for(spec))
+        trainer.optimizer.engine.charge(10.0, "test", jitter=False)
+        training = TrainingSpec(task="logreg", tolerance=1e-2,
+                                time_budget_s=8.0, seed=0)
+        segment = trainer._segment_training(training, 100, run_start=0.0)
+        assert 0 < segment.time_budget_s <= 1e-9
+
+    def test_no_budget_passes_through(self, spec):
+        trainer = AdaptiveTrainer(optimizer_for(spec))
+        training = TrainingSpec(task="logreg", tolerance=1e-2, seed=0)
+        segment = trainer._segment_training(training, 50, run_start=0.0)
+        assert segment.time_budget_s is None
+
+
+class TestRemainingIterations:
+    def test_difference_of_positions_on_the_curve(self):
+        curve = FittedCurve("inverse", (1.0,), 0.99, 50)
+        # From error 0.1 (i=10) to error 0.01 (i=100): 90 more.
+        assert remaining_iterations(curve, 0.1, 0.01) == 90
+
+    def test_already_converged_is_one(self):
+        curve = FittedCurve("inverse", (1.0,), 0.99, 50)
+        assert remaining_iterations(curve, 0.005, 0.01) == 1
+
+    def test_non_finite_delta_is_one(self):
+        curve = FittedCurve("inverse", (1.0,), 0.99, 50)
+        assert remaining_iterations(curve, float("inf"), 0.01) == 1

@@ -1,0 +1,265 @@
+"""CalibrationStore: learning, persistence, and the optimizer loop."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster import ClusterSpec, SimulatedCluster
+from repro.core.optimizer import GDOptimizer
+from repro.core.plans import TrainingSpec
+from repro.runtime import (
+    AdaptiveTrainer,
+    CalibrationStore,
+    PerturbedCostModel,
+    PlanSegment,
+    cluster_signature,
+)
+from repro.runtime.calibration import MAX_FACTOR
+
+from support import make_dataset
+
+
+@pytest.fixture
+def dataset(spec):
+    return make_dataset(n_phys=400, d=10, task="logreg", spec=spec, seed=3)
+
+
+def segment(algorithm="bgd", predicted_per_iter=1.0, observed_per_iter=2.0,
+            iterations=20, predicted_iterations=20, converged=True):
+    return PlanSegment(
+        plan=algorithm.upper(),
+        algorithm=algorithm,
+        predicted_iterations=predicted_iterations,
+        predicted_per_iteration_s=predicted_per_iter,
+        predicted_total_s=predicted_per_iter * predicted_iterations,
+        iterations=iterations,
+        sim_seconds=observed_per_iter * iterations,
+        converged=converged,
+    )
+
+
+class TestStore:
+    def test_identity_until_observed(self, spec):
+        store = CalibrationStore()
+        correction = store.correction("bgd", spec)
+        assert correction.is_identity
+        assert correction.cost_factor == 1.0
+        assert correction.iterations_factor == 1.0
+        assert store.version == 0
+
+    def test_first_observation_replaces_the_prior(self, spec):
+        store = CalibrationStore()
+        store.observe("bgd", spec, cost_ratio=4.0)
+        assert store.correction("bgd", spec).cost_factor == pytest.approx(4.0)
+
+    def test_later_observations_are_smoothed(self, spec):
+        store = CalibrationStore(alpha=0.5)
+        store.observe("bgd", spec, cost_ratio=4.0)
+        store.observe("bgd", spec, cost_ratio=2.0)
+        assert store.correction("bgd", spec).cost_factor == pytest.approx(3.0)
+
+    def test_ratios_are_clamped(self, spec):
+        store = CalibrationStore()
+        store.observe("bgd", spec, cost_ratio=1e9)
+        assert store.correction("bgd", spec).cost_factor == MAX_FACTOR
+
+    def test_fields_observed_independently(self, spec):
+        store = CalibrationStore()
+        store.observe("bgd", spec, cost_ratio=2.0)
+        c = store.correction("bgd", spec)
+        assert c.cost_observations == 1
+        assert c.iterations_observations == 0
+        assert c.iterations_factor == 1.0
+        store.observe("bgd", spec, iterations_ratio=3.0)
+        c = store.correction("bgd", spec)
+        assert c.iterations_factor == pytest.approx(3.0)
+        assert c.cost_factor == pytest.approx(2.0)
+
+    def test_version_increments_per_update(self, spec):
+        store = CalibrationStore()
+        store.observe("bgd", spec, cost_ratio=2.0)
+        store.observe("mgd", spec, cost_ratio=2.0)
+        assert store.version == 2
+        # A no-information observation does not bump the version.
+        store.observe("sgd", spec)
+        assert store.version == 2
+
+    def test_keys_are_per_cluster(self, spec):
+        store = CalibrationStore()
+        other = spec.with_overrides(n_nodes=8)
+        assert cluster_signature(spec) != cluster_signature(other)
+        store.observe("bgd", spec, cost_ratio=2.0)
+        assert store.correction("bgd", other).is_identity
+        assert set(store.corrections_for(spec)) == {"bgd"}
+        assert store.corrections_for(other) == {}
+
+
+class TestRecordSegment:
+    def test_cost_and_iterations_from_converged_segment(self, spec):
+        store = CalibrationStore()
+        assert store.record_segment(
+            segment(observed_per_iter=3.0, iterations=40,
+                    predicted_iterations=20), spec
+        )
+        c = store.correction("bgd", spec)
+        assert c.cost_factor == pytest.approx(3.0)
+        assert c.iterations_factor == pytest.approx(2.0)
+
+    def test_unconverged_segment_teaches_cost_only(self, spec):
+        store = CalibrationStore()
+        store.record_segment(segment(converged=False), spec)
+        c = store.correction("bgd", spec)
+        assert c.cost_observations == 1
+        assert c.iterations_observations == 0
+
+    def test_trivial_segment_is_ignored(self, spec):
+        store = CalibrationStore()
+        assert not store.record_segment(segment(iterations=1), spec)
+        assert store.version == 0
+
+
+class TestPersistence:
+    def test_round_trip(self, spec, tmp_path):
+        path = tmp_path / "calibration.json"
+        store = CalibrationStore(path=str(path))
+        store.observe("bgd", spec, cost_ratio=4.0, iterations_ratio=1.5)
+        store.save()
+
+        restored = CalibrationStore.open(str(path))
+        c = restored.correction("bgd", spec)
+        assert c.cost_factor == pytest.approx(4.0)
+        assert c.iterations_factor == pytest.approx(1.5)
+        assert restored.version == store.version
+
+    def test_open_missing_path_is_fresh(self, tmp_path):
+        store = CalibrationStore.open(str(tmp_path / "nope.json"))
+        assert store.observations == 0
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError):
+            CalibrationStore().save()
+
+
+class TestCalibrationRoundTrip:
+    """predict -> trace -> corrected predict is closer to observed."""
+
+    def test_corrected_estimate_closer_to_observed_cost(self, spec, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-3,
+                                max_iter=60, seed=0)
+        store = CalibrationStore()
+        # The cost model believes BGD is 4x cheaper than it is.
+        model = PerturbedCostModel(spec, {"bgd": 0.25})
+
+        def bgd_estimate():
+            optimizer = GDOptimizer(
+                SimulatedCluster(spec, seed=0),
+                algorithms=("bgd",),
+                cost_model=model,
+                calibration=store,
+            )
+            return optimizer.optimize(
+                dataset, training, fixed_iterations=60
+            ).chosen
+
+        before = bgd_estimate()
+        trainer = AdaptiveTrainer(
+            GDOptimizer(
+                SimulatedCluster(spec, seed=0), algorithms=("bgd",),
+                cost_model=model, calibration=store,
+            ),
+            calibration=store,
+        )
+        outcome = trainer.train(dataset, training, fixed_iterations=60)
+        observed = outcome.trace.segments[0].observed_per_iteration_s
+        after = bgd_estimate()
+
+        err_before = abs(before.per_iteration_s - observed)
+        err_after = abs(after.per_iteration_s - observed)
+        assert err_after < err_before
+        assert after.per_iteration_s == pytest.approx(observed, rel=0.35)
+        assert "calibration:cost_factor" in after.breakdown
+
+    def test_factors_stable_under_repeated_calibrated_runs(
+        self, spec, dataset
+    ):
+        """Once learned, a correct factor must not decay: later runs
+        observe ratio ~1 against *calibrated* predictions, and the
+        composed absolute ratio keeps the store at the true factor
+        (not its square root)."""
+        training = TrainingSpec(task="logreg", tolerance=1e-3,
+                                max_iter=60, seed=0)
+        store = CalibrationStore()
+        model = PerturbedCostModel(spec, {"bgd": 0.25})
+        factors = []
+        for _ in range(3):
+            trainer = AdaptiveTrainer(
+                GDOptimizer(
+                    SimulatedCluster(spec, seed=0), algorithms=("bgd",),
+                    cost_model=model, calibration=store,
+                ),
+                calibration=store,
+            )
+            trainer.train(dataset, training, fixed_iterations=60)
+            factors.append(store.correction("bgd", spec).cost_factor)
+        assert factors[0] == pytest.approx(4.0, rel=0.05)
+        assert factors[-1] == pytest.approx(factors[0], rel=0.05)
+
+    def test_segments_record_applied_factors(self, spec, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-3,
+                                max_iter=60, seed=0)
+        store = CalibrationStore()
+        store.observe("bgd", spec, cost_ratio=4.0)
+        trainer = AdaptiveTrainer(
+            GDOptimizer(
+                SimulatedCluster(spec, seed=0), algorithms=("bgd",),
+                calibration=store,
+            ),
+            calibration=store,
+        )
+        outcome = trainer.train(dataset, training, fixed_iterations=60)
+        segment = outcome.trace.segments[0]
+        assert segment.applied_cost_factor == pytest.approx(4.0)
+
+    def test_identity_store_changes_nothing(self, spec, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-3,
+                                max_iter=60, seed=0)
+
+        def report_with(calibration):
+            return GDOptimizer(
+                SimulatedCluster(spec, seed=0),
+                calibration=calibration,
+            ).optimize(dataset, training, fixed_iterations=60)
+
+        plain = report_with(None)
+        empty = report_with(CalibrationStore())
+        assert [c.total_s for c in plain.candidates] == \
+            [c.total_s for c in empty.candidates]
+        assert plain.chosen_plan == empty.chosen_plan
+        assert not empty.calibrated
+
+    def test_report_flags_applied_corrections(self, spec, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-3,
+                                max_iter=60, seed=0)
+        store = CalibrationStore()
+        store.observe("bgd", spec, cost_ratio=2.5)
+        report = GDOptimizer(
+            SimulatedCluster(spec, seed=0), calibration=store
+        ).optimize(dataset, training, fixed_iterations=60)
+        assert report.calibrated
+        assert report.corrections["bgd"].cost_factor == pytest.approx(2.5)
+
+
+class TestSerialization:
+    def test_corrections_survive_dict_round_trip(self, spec):
+        store = CalibrationStore()
+        store.observe("mgd", spec, cost_ratio=2.0, iterations_ratio=0.5)
+        clone = CalibrationStore.from_dict(store.to_dict())
+        a = store.correction("mgd", spec)
+        b = clone.correction("mgd", spec)
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_summary_renders(self, spec):
+        store = CalibrationStore()
+        assert "empty" in store.summary()
+        store.observe("sgd", spec, cost_ratio=3.0)
+        assert "sgd@" in store.summary()

@@ -108,6 +108,49 @@ class TestCLIBatch:
         assert "error" in capsys.readouterr().err
 
 
+class TestCLIAdaptive:
+    def test_batch_train_mode_executes_plans(self, tmp_path, capsys):
+        path = tmp_path / "requests.txt"
+        path.write_text("adult epsilon=0.05 max_iter=200\n")
+        assert main(["batch", str(path), "--train", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "iterations" in out
+        assert "train/s" in out
+
+    def test_batch_adaptive_persists_calibration(self, tmp_path, capsys):
+        path = tmp_path / "requests.txt"
+        store = tmp_path / "calibration.json"
+        path.write_text("adult epsilon=0.05 max_iter=200\n")
+        assert main(["batch", str(path), "--adaptive", "--workers", "1",
+                     "--calibration", str(store)]) == 0
+        assert store.exists()
+        out = capsys.readouterr().out
+        assert "trained" in out
+
+    def test_calibrate_subcommand(self, tmp_path, capsys):
+        store = tmp_path / "calibration.json"
+        assert main(["calibrate", "adult", "--epsilon", "0.05",
+                     "--runs", "2", "--perturb", "bgd=0.25",
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "before: calibration store: empty" in out
+        assert "after: calibration store:" in out
+        assert store.exists()
+        # A second invocation starts from the persisted factors.
+        assert main(["calibrate", "adult", "--epsilon", "0.05",
+                     "--runs", "1", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "before: calibration store: empty" not in out
+
+    def test_calibrate_rejects_bad_perturb(self, capsys):
+        assert main(["calibrate", "adult", "--perturb", "nonsense"]) == 2
+        assert "ALG=FACTOR" in capsys.readouterr().err
+
+    def test_calibrate_rejects_unknown_perturb_algorithm(self, capsys):
+        assert main(["calibrate", "adult", "--perturb", "bdg=0.25"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
 class TestCLIServe:
     def test_serve_loop(self, monkeypatch, capsys):
         monkeypatch.setattr(

@@ -1,0 +1,251 @@
+"""Executor telemetry hooks and the runtime monitors."""
+
+import numpy as np
+import pytest
+
+from repro.core.curve_fit import FittedCurve
+from repro.core.executor import execute_plan
+from repro.core.plans import GDPlan, TrainingSpec
+from repro.errors import PlanError
+from repro.runtime import (
+    AdaptiveSettings,
+    ConvergenceMonitor,
+    TelemetryRecorder,
+)
+
+from support import make_dataset
+
+
+@pytest.fixture
+def dataset(spec):
+    return make_dataset(n_phys=300, d=8, task="logreg", spec=spec, seed=2)
+
+
+@pytest.fixture
+def training():
+    return TrainingSpec(task="logreg", tolerance=1e-4, max_iter=40, seed=0)
+
+
+def fresh_engine(spec):
+    from repro.cluster import SimulatedCluster
+
+    return SimulatedCluster(spec, seed=0)
+
+
+class TestExecutorMonitorHook:
+    def test_monitor_sees_every_iteration(self, spec, dataset, training):
+        recorder = TelemetryRecorder()
+        result = execute_plan(
+            fresh_engine(spec), dataset, GDPlan("bgd"), training,
+            monitor=recorder,
+        )
+        assert recorder.iterations == result.iterations
+        assert recorder.deltas == pytest.approx(list(result.deltas))
+        # Clocks are monotone non-decreasing across records.
+        clocks = [r.clock for r in recorder.records]
+        assert clocks == sorted(clocks)
+
+    def test_attaching_a_recorder_is_behaviour_preserving(
+        self, spec, dataset, training
+    ):
+        bare = execute_plan(
+            fresh_engine(spec), dataset, GDPlan("bgd"), training
+        )
+        observed = execute_plan(
+            fresh_engine(spec), dataset, GDPlan("bgd"), training,
+            monitor=TelemetryRecorder(),
+        )
+        assert np.array_equal(bare.weights, observed.weights)
+        assert bare.sim_seconds == observed.sim_seconds
+        assert bare.iterations == observed.iterations
+        assert not observed.stopped_by_monitor
+
+    def test_stop_request_is_honoured_gracefully(
+        self, spec, dataset, training
+    ):
+        class StopAt:
+            def __init__(self, at):
+                self.at = at
+
+            def on_iteration(self, iteration, delta, clock):
+                return iteration >= self.at
+
+        result = execute_plan(
+            fresh_engine(spec), dataset, GDPlan("bgd"), training,
+            monitor=StopAt(7),
+        )
+        assert result.stopped_by_monitor
+        assert result.iterations == 7
+        assert not result.converged
+        # Model state survives the stop.
+        assert result.weights.shape == (dataset.stats.d,)
+        assert np.any(result.weights != 0)
+
+    def test_convergence_wins_over_stop_request(self, spec, dataset):
+        class AlwaysStop:
+            def on_iteration(self, iteration, delta, clock):
+                return True
+
+        training = TrainingSpec(
+            task="logreg", tolerance=1e9, max_iter=40, seed=0
+        )
+        result = execute_plan(
+            fresh_engine(spec), dataset, GDPlan("bgd"), training,
+            monitor=AlwaysStop(),
+        )
+        assert result.converged
+        assert not result.stopped_by_monitor
+
+    def test_initial_weights_resume_training(self, spec, dataset, training):
+        # Constant step: resuming is then exactly equivalent to having
+        # run straight through (schedules restart per segment by design).
+        def spec_kwargs(max_iter):
+            return TrainingSpec(task="logreg", tolerance=1e-4,
+                                max_iter=max_iter, step_size="constant:0.1",
+                                seed=0)
+
+        first = execute_plan(
+            fresh_engine(spec), dataset, GDPlan("bgd"), spec_kwargs(10)
+        )
+        resumed = execute_plan(
+            fresh_engine(spec), dataset, GDPlan("bgd"), spec_kwargs(10),
+            initial_weights=first.weights,
+        )
+        full = execute_plan(
+            fresh_engine(spec), dataset, GDPlan("bgd"), spec_kwargs(20)
+        )
+        # 10 + 10 resumed iterations land where 20 straight ones do.
+        assert np.allclose(resumed.weights, full.weights)
+        # The caller's array is copied, not aliased.
+        first.weights[:] = 0.0
+        assert np.any(resumed.weights != 0)
+
+    def test_initial_weights_shape_mismatch_raises(
+        self, spec, dataset, training
+    ):
+        with pytest.raises(PlanError):
+            execute_plan(
+                fresh_engine(spec), dataset, GDPlan("bgd"), training,
+                initial_weights=np.zeros(dataset.stats.d + 1),
+            )
+
+
+def feed(monitor, deltas, per_iteration_s=1.0):
+    """Push a synthetic delta sequence through a monitor."""
+    stopped = None
+    for i, delta in enumerate(deltas, start=1):
+        if monitor.on_iteration(i, delta, i * per_iteration_s):
+            stopped = i
+            break
+    return stopped
+
+
+class TestConvergenceMonitor:
+    def settings(self, **overrides):
+        base = dict(refit_every=5, min_points=5, divergence_factor=2.0,
+                    cost_divergence_factor=2.0)
+        base.update(overrides)
+        return AdaptiveSettings(**base)
+
+    def test_accurate_curve_does_not_trigger(self):
+        curve = FittedCurve("inverse", (1.0,), 0.99, 50)
+        monitor = ConvergenceMonitor(
+            target_tolerance=1e-3,
+            speculated_curve=curve,
+            predicted_iterations=1000,
+            predicted_per_iteration_s=1.0,
+            settings=self.settings(),
+        )
+        # Observed errors exactly on the speculated curve, cost as
+        # predicted: nothing fires in 100 iterations.
+        deltas = [1.0 / i for i in range(1, 101)]
+        assert feed(monitor, deltas) is None
+        assert not monitor.diverged
+
+    def test_mis_speculated_curve_triggers(self):
+        # Speculation promised 1/i decay; reality is stuck at ~0.5.
+        curve = FittedCurve("inverse", (1.0,), 0.99, 50)
+        monitor = ConvergenceMonitor(
+            target_tolerance=1e-3,
+            speculated_curve=curve,
+            predicted_iterations=1000,
+            predicted_per_iteration_s=1.0,
+            settings=self.settings(),
+        )
+        stopped = feed(monitor, [0.5] * 100)
+        assert stopped is not None
+        assert monitor.diverged
+        assert monitor.curve_diverged
+        assert "speculated curve" in monitor.reason
+
+    def test_iteration_overrun_triggers(self):
+        # Degenerate but confident curve; T(eps) said 10 iterations.
+        curve = FittedCurve("inverse", (0.05,), 0.99, 50)
+        monitor = ConvergenceMonitor(
+            target_tolerance=5e-3,
+            speculated_curve=curve,
+            predicted_iterations=10,
+            predicted_per_iteration_s=1.0,
+            settings=self.settings(),
+        )
+        # Errors follow the promised curve closely enough not to fire the
+        # error-space check, yet convergence never happens.
+        stopped = feed(monitor, [0.05 / i for i in range(1, 101)])
+        assert stopped is not None
+        assert stopped > 2 * 10
+        assert monitor.curve_diverged
+        assert "past the speculated" in monitor.reason
+
+    def test_cost_divergence_triggers_without_curve(self):
+        monitor = ConvergenceMonitor(
+            target_tolerance=1e-3,
+            speculated_curve=None,
+            predicted_iterations=None,
+            predicted_per_iteration_s=1.0,
+            settings=self.settings(),
+        )
+        # Observed 4 s/iteration vs predicted 1 s.
+        stopped = feed(monitor, [1.0 / i for i in range(1, 101)],
+                       per_iteration_s=4.0)
+        assert stopped is not None
+        assert monitor.diverged
+        assert not monitor.curve_diverged
+        assert "cost" in monitor.reason
+
+    def test_accurate_cost_does_not_trigger(self):
+        monitor = ConvergenceMonitor(
+            target_tolerance=1e-3,
+            speculated_curve=None,
+            predicted_iterations=None,
+            predicted_per_iteration_s=1.0,
+            settings=self.settings(),
+        )
+        assert feed(monitor, [1.0 / i for i in range(1, 101)]) is None
+
+    def test_min_points_gate(self):
+        monitor = ConvergenceMonitor(
+            target_tolerance=1e-3,
+            speculated_curve=None,
+            predicted_iterations=None,
+            predicted_per_iteration_s=1.0,
+            settings=self.settings(min_points=50),
+        )
+        # Diverged cost, but fewer than min_points observations.
+        assert feed(monitor, [0.5] * 40, per_iteration_s=10.0) is None
+
+    def test_noisy_refit_is_discarded(self):
+        curve = FittedCurve("inverse", (1.0,), 0.99, 50)
+        monitor = ConvergenceMonitor(
+            target_tolerance=1e-3,
+            speculated_curve=curve,
+            predicted_iterations=10,
+            predicted_per_iteration_s=1.0,
+            settings=self.settings(),
+        )
+        rng = np.random.default_rng(0)
+        # Pure noise: overrun fires eventually, but the garbage refit
+        # must not be kept as a trusted curve.
+        feed(monitor, list(rng.uniform(0.3, 0.7, size=100)))
+        assert monitor.diverged
+        assert monitor.refit_curve is None or \
+            monitor.refit_curve.r2 >= monitor.settings.min_refit_r2

@@ -1,0 +1,316 @@
+"""Service-level adaptive runtime: train(), calibration, recost, TTL."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
+from repro.core.plans import TrainingSpec
+from repro.runtime import CalibrationStore, PerturbedCostModel
+from repro.service import OptimizerService, PlanCache, approx_nbytes
+
+from support import make_dataset
+
+
+@pytest.fixture
+def dataset(spec):
+    return make_dataset(
+        n_phys=2000, d=20, task="logreg", spec=spec, seed=3,
+        separability=1.2, hard_fraction=0.3, noise_scale=0.3,
+        label_noise=0.02,
+    )
+
+
+@pytest.fixture
+def training():
+    return TrainingSpec(task="logreg", tolerance=1e-2, seed=1)
+
+
+def make_service(spec, **kwargs):
+    kwargs.setdefault("speculation", SpeculationSettings(
+        sample_size=400, time_budget_s=0.5, max_speculation_iters=800
+    ))
+    return OptimizerService(spec=spec, seed=5, **kwargs)
+
+
+def perturbing(service, spec, factors):
+    """Make every optimizer the service builds use a perturbed model."""
+    service.cost_model = PerturbedCostModel(spec, factors)
+    return service
+
+
+class TestServiceTrain:
+    def test_train_executes_the_chosen_plan(self, spec, dataset, training):
+        service = make_service(spec)
+        outcome = service.train(dataset, training)
+        assert outcome.result.iterations > 0
+        assert outcome.weights.shape == (dataset.stats.d,)
+        assert outcome.trace is None  # non-adaptive: no telemetry
+        assert service.trained == 1
+        assert "iterations" in outcome.summary()
+
+    def test_per_caller_engine_isolation(self, spec, dataset, training):
+        """Each train() runs on a fresh simulated cluster clone."""
+        service = make_service(spec)
+        first = service.train(dataset, training)
+        second = service.train(dataset, training)
+        # Identical simulated cost: neither run saw the other's clock,
+        # cache residency or RNG stream (second had a warm *plan* cache,
+        # which must not leak into execution).
+        assert first.result.sim_seconds == second.result.sim_seconds
+        assert np.array_equal(first.weights, second.weights)
+        assert second.optimization.cache_hit
+
+    def test_callers_own_engine_is_used(self, spec, dataset, training):
+        from repro.cluster import SimulatedCluster
+
+        service = make_service(spec)
+        engine = SimulatedCluster(spec, seed=5)
+        service.train(dataset, training, engine=engine)
+        assert engine.clock > 0
+
+    def test_adaptive_train_produces_trace_and_calibration(
+        self, spec, dataset, training
+    ):
+        service = make_service(spec)
+        outcome = service.train(dataset, training, adaptive=True)
+        assert outcome.trace is not None
+        assert outcome.trace.total_iterations == outcome.adaptive.iterations
+        assert service.calibration.observations > 0
+
+    def test_train_many_preserves_order(self, spec, dataset, training):
+        service = make_service(spec)
+        tighter = dataclasses.replace(training, tolerance=5e-3)
+        results = service.train_many(
+            [(dataset, training), (dataset, tighter)], max_workers=2
+        )
+        assert len(results) == 2
+        assert results[0].optimization.fingerprint != \
+            results[1].optimization.fingerprint
+
+
+class TestCalibratedRecost:
+    def test_second_request_recosts_without_respeculation(
+        self, spec, dataset, training, monkeypatch
+    ):
+        service = perturbing(make_service(spec), spec, {"bgd": 0.25})
+        service.train(dataset, training, adaptive=True)
+        assert service.calibration.version > 0
+
+        speculations = []
+        original = SpeculativeEstimator.estimate_all
+
+        def counting(self, *args, **kwargs):
+            speculations.append(1)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(SpeculativeEstimator, "estimate_all", counting)
+        repeat = service.optimize(dataset, training)
+        assert repeat.recalibrated
+        assert not repeat.cache_hit
+        assert speculations == []  # calibrated estimates, no re-speculation
+        assert repeat.report.calibrated
+        # The re-costed entry is cached: a third request is a plain hit.
+        version = service.calibration.version
+        third = service.optimize(dataset, training)
+        assert third.cache_hit
+        assert service.calibration.version == version
+
+    def test_unperturbed_adaptive_false_is_bit_identical(
+        self, spec, dataset, training
+    ):
+        """adaptive=False through the service matches the direct
+        one-shot optimizer exactly (same plan, same execution)."""
+        from repro.cluster import SimulatedCluster
+        from repro.core.executor import execute_plan
+        from repro.core.optimizer import GDOptimizer
+
+        direct_opt = GDOptimizer(
+            SimulatedCluster(spec, seed=5),
+            estimator=SpeculativeEstimator(
+                SpeculationSettings(sample_size=400, time_budget_s=0.5,
+                                    max_speculation_iters=800),
+                seed=5,
+            ),
+        )
+        direct_report = direct_opt.optimize(dataset, training)
+        direct = execute_plan(
+            SimulatedCluster(spec, seed=5), dataset,
+            direct_report.chosen_plan, training,
+        )
+
+        service = make_service(spec, speculation_workers=1)
+        served = service.train(dataset, training)
+        assert served.report.chosen_plan == direct_report.chosen_plan
+        assert np.array_equal(served.weights, direct.weights)
+        assert served.result.iterations == direct.iterations
+
+    def test_calibration_persists_across_service_restarts(
+        self, spec, dataset, training, tmp_path
+    ):
+        path = str(tmp_path / "calibration.json")
+        first = perturbing(
+            make_service(spec, calibration_path=path), spec, {"bgd": 0.25}
+        )
+        first.train(dataset, training, adaptive=True)
+        learned = first.calibration.correction("bgd", spec)
+        saved = first.save_calibration()
+        assert saved == path
+
+        # A "restarted" service on the same path starts calibrated...
+        restarted = perturbing(
+            make_service(spec, calibration_path=path), spec, {"bgd": 0.25}
+        )
+        restored = restarted.calibration.correction("bgd", spec)
+        assert restored.cost_factor == pytest.approx(learned.cost_factor)
+        # ...and its very first optimize() applies the corrections.
+        report = restarted.optimize(dataset, training).report
+        assert report.calibrated
+
+    def test_save_without_path_is_noop(self, spec):
+        assert make_service(spec).save_calibration() is None
+
+
+class TestCacheEviction:
+    def test_ttl_expires_entries(self):
+        clock = [0.0]
+        cache = PlanCache(maxsize=8, ttl_s=10.0, clock=lambda: clock[0])
+        cache.put("a", "value")
+        assert cache.get("a") == "value"
+        clock[0] = 10.1
+        assert cache.get("a") is None
+        stats = cache.stats()
+        assert stats.expirations == 1
+        assert stats.size == 0
+
+    def test_ttl_bounds_staleness_for_drifting_stats(
+        self, spec, dataset, training
+    ):
+        """A workload whose DatasetStats drift keeps being re-requested
+        under the *old* handle; the TTL forces a recompute instead of
+        serving the stale plan forever."""
+        service = make_service(spec, cache_ttl_s=30.0)
+        clock = [0.0]
+        service.cache._clock = lambda: clock[0]
+
+        service.optimize(dataset, training, fixed_iterations=50)
+        within = service.optimize(dataset, training, fixed_iterations=50)
+        assert within.cache_hit
+        clock[0] = 31.0
+        after = service.optimize(dataset, training, fixed_iterations=50)
+        assert not after.cache_hit
+        assert service.computed == 2
+        # The drifted dataset itself fingerprints differently anyway --
+        # TTL covers callers still holding the old stats object.
+        grown = make_dataset(n_phys=2000, sim_n=4000, d=20, task="logreg",
+                             spec=spec, seed=3)
+        assert service.fingerprint(grown, training, 50) != \
+            service.fingerprint(dataset, training, 50)
+
+    def test_size_aware_eviction(self):
+        cache = PlanCache(maxsize=100, max_bytes=1000)
+        cache.put("a", "x", nbytes=400)
+        cache.put("b", "y", nbytes=400)
+        cache.get("a")  # refresh a; b is now LRU
+        cache.put("c", "z", nbytes=400)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        stats = cache.stats()
+        assert stats.evictions == 1
+        assert stats.total_bytes == 800
+
+    def test_oversize_value_is_refused_not_cache_flushing(self):
+        cache = PlanCache(maxsize=100, max_bytes=1000)
+        cache.put("a", "x", nbytes=400)
+        cache.put("b", "y", nbytes=400)
+        cache.put("fat", "z", nbytes=5000)
+        # The warm entries survive; the oversize value is not cached.
+        assert "a" in cache
+        assert "b" in cache
+        assert "fat" not in cache
+        assert cache.stats().total_bytes == 800
+
+    def test_no_byte_budget_skips_sizing(self):
+        cache = PlanCache(maxsize=4)
+        cache.put("a", {"big": np.zeros(100_000)})
+        assert cache.stats().total_bytes == 0  # sizing walk skipped
+        assert cache.get("a") is not None
+
+    def test_approx_nbytes_sees_arrays(self):
+        small = approx_nbytes({"x": np.zeros(10)})
+        large = approx_nbytes({"x": np.zeros(10_000)})
+        assert large > small
+        assert large >= 80_000
+
+    def test_ttl_and_size_validate(self):
+        with pytest.raises(ValueError):
+            PlanCache(ttl_s=0)
+        with pytest.raises(ValueError):
+            PlanCache(max_bytes=0)
+
+    def test_service_wires_cache_budgets(self, spec):
+        service = make_service(
+            spec, cache_ttl_s=5.0, cache_max_bytes=1 << 20
+        )
+        assert service.cache.ttl_s == 5.0
+        assert service.cache.max_bytes == 1 << 20
+        assert "ttl" in service.cache.stats().summary()
+
+
+class TestProcessPoolSpeculation:
+    def test_process_pool_matches_sequential(self, spec, dataset, training):
+        from repro.gd.gradients import task_gradient
+
+        settings = SpeculationSettings(
+            sample_size=400, time_budget_s=5.0, max_speculation_iters=400
+        )
+        gradient = task_gradient("logreg")
+        sequential = SpeculativeEstimator(settings, seed=5).estimate_all(
+            dataset.X, dataset.y, gradient, target_tolerance=1e-2
+        )
+        pooled = SpeculativeEstimator(
+            settings, seed=5, max_workers="process"
+        ).estimate_all(
+            dataset.X, dataset.y, gradient, target_tolerance=1e-2
+        )
+        assert set(pooled) == set(sequential)
+        for algorithm in sequential:
+            assert pooled[algorithm].estimated_iterations == \
+                sequential[algorithm].estimated_iterations
+
+    def test_unpicklable_gradient_falls_back_to_threads(
+        self, spec, dataset
+    ):
+        from repro.gd.gradients import task_gradient
+
+        base = task_gradient("logreg")
+
+        class ClosureGradient:
+            """Holds a lambda: unpicklable, so processes cannot be used."""
+
+            def __init__(self):
+                self.fn = lambda w: w
+
+            def gradient(self, w, X, y):
+                return base.gradient(w, X, y)
+
+            def predict(self, w, X):
+                return base.predict(w, X)
+
+        settings = SpeculationSettings(
+            sample_size=400, time_budget_s=5.0, max_speculation_iters=400
+        )
+        estimates = SpeculativeEstimator(
+            settings, seed=5, max_workers="process"
+        ).estimate_all(
+            dataset.X, dataset.y, ClosureGradient(), target_tolerance=1e-2
+        )
+        assert set(estimates) == {"bgd", "mgd", "sgd"}
+        assert all(e.estimated_iterations >= 1 for e in estimates.values())
+
+    def test_service_accepts_process_workers(self, spec, dataset, training):
+        service = make_service(spec, speculation_workers="process")
+        result = service.optimize(dataset, training)
+        assert result.report.chosen_plan is not None
