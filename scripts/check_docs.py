@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Documentation checker: snippets must run, intra-repo links must resolve.
+
+Two checks over the repo's markdown documentation:
+
+1. every fenced ``python`` code block is executed in a subprocess (with
+   ``PYTHONPATH=src``) and must exit cleanly -- docs that drift from the
+   API fail CI instead of lying to readers;
+2. every relative markdown link ``[text](target)`` must point at an
+   existing file or directory (anchors and external URLs are skipped).
+
+Usage::
+
+    python scripts/check_docs.py                 # README.md + docs/*.md
+    python scripts/check_docs.py README.md docs/ARCHITECTURE.md
+
+Exit status is the number of failed checks (0 = everything holds).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: ```python ... ``` fenced blocks (the tag must be exactly "python";
+#: bash/text/untagged blocks are documentation, not test cases).
+FENCE_RE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.M | re.S)
+#: [text](target) markdown links, excluding images' inner brackets.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def python_snippets(text):
+    """All ``python``-tagged fenced code blocks in one markdown text."""
+    return [match.group(1) for match in FENCE_RE.finditer(text)]
+
+
+def relative_links(text):
+    """All link targets that should resolve inside the repository."""
+    targets = []
+    for target in LINK_RE.findall(text):
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        targets.append(target.split("#", 1)[0])
+    return [t for t in targets if t]
+
+
+def check_snippets(path, text) -> list:
+    failures = []
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    for index, code in enumerate(python_snippets(text), start=1):
+        label = f"{path} snippet #{index}"
+        try:
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+                timeout=300,
+            )
+        except subprocess.TimeoutExpired:
+            failures.append(f"{label}: timed out after 300s")
+            continue
+        if proc.returncode != 0:
+            failures.append(
+                f"{label}: exited {proc.returncode}\n"
+                f"{proc.stderr.strip() or proc.stdout.strip()}"
+            )
+        else:
+            print(f"ok: {label}")
+    return failures
+
+
+def check_links(path, text) -> list:
+    failures = []
+    base = os.path.dirname(os.path.abspath(path))
+    for target in relative_links(text):
+        resolved = os.path.normpath(os.path.join(base, target))
+        if not os.path.exists(resolved):
+            failures.append(f"{path}: broken link -> {target}")
+        else:
+            print(f"ok: {path} link {target}")
+    return failures
+
+
+def main(argv=None) -> int:
+    files = list(sys.argv[1:] if argv is None else argv)
+    if not files:
+        files = [os.path.join(REPO_ROOT, "README.md")]
+        files += sorted(glob.glob(os.path.join(REPO_ROOT, "docs", "*.md")))
+    failures = []
+    for path in files:
+        with open(path) as handle:
+            text = handle.read()
+        failures += check_links(path, text)
+        failures += check_snippets(path, text)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    total = len(failures)
+    print(f"{len(files)} file(s) checked, {total} failure(s)")
+    return min(total, 99)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,8 +19,12 @@ request; repeated workloads hit the warm plan cache):
 Both batch and serve accept ``--train`` (execute each chosen plan on a
 per-request engine clone), ``--adaptive`` (train under the adaptive
 runtime: telemetry, mid-flight re-optimization, calibration; implies
-``--train``) and ``--calibration PATH`` (persist learned correction
-factors so a restarted server starts calibrated).
+``--train``), ``--calibration PATH`` (persist learned correction
+factors so a restarted server starts calibrated) and ``--cache PATH``
+(persist the plan store -- speculation artifacts included -- so a
+restarted server answers previously seen workloads without
+re-speculating; ``.db``/``.sqlite`` selects the SQLite backend, any
+other extension the JSON one).
 
 Calibrate mode -- run one workload repeatedly under the adaptive
 runtime and persist what the traces taught the calibration store:
@@ -126,6 +130,11 @@ def _service_parser(prog, description):
     parser.add_argument("--calibration", metavar="PATH", default=None,
                         help="load/persist the calibration store at PATH "
                              "(a restarted server starts calibrated)")
+    parser.add_argument("--cache", metavar="PATH", default=None,
+                        help="persist the plan store at PATH (.db/.sqlite "
+                             "-> SQLite, else JSON); a restarted server "
+                             "answers previously seen workloads without "
+                             "re-speculating")
     return parser
 
 
@@ -176,7 +185,8 @@ def batch_main(argv) -> int:
         return 2
     requests = requests * max(1, args.repeat)
 
-    system = ML4all(seed=args.seed, calibration_path=args.calibration)
+    system = ML4all(seed=args.seed, calibration_path=args.calibration,
+                    cache_path=args.cache)
     system.service(cache_size=args.cache_size)
     train_mode = args.train or args.adaptive
     start = time.perf_counter()
@@ -212,7 +222,8 @@ def serve_main(argv) -> int:
     )
     args = parser.parse_args(argv)
 
-    system = ML4all(seed=args.seed, calibration_path=args.calibration)
+    system = ML4all(seed=args.seed, calibration_path=args.calibration,
+                    cache_path=args.cache)
     service = system.service(cache_size=args.cache_size)
     train_mode = args.train or args.adaptive
     served = failed = 0

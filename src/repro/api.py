@@ -120,6 +120,7 @@ class ML4all:
         speculation=None,
         algorithms=CORE_ALGORITHMS,
         calibration_path=None,
+        cache_path=None,
     ):
         self.spec = cluster_spec or ClusterSpec()
         self.seed = seed
@@ -127,6 +128,10 @@ class ML4all:
         self.speculation = speculation or SpeculationSettings()
         self.algorithms = tuple(algorithms)
         self.calibration_path = calibration_path
+        #: Optional plan-store path: the service layer persists cached
+        #: plan decisions here and warm-starts from it (see
+        #: :mod:`repro.service.backends`).
+        self.cache_path = cache_path
         self._calibration = None
         self._calibration_lock = threading.Lock()
         self._service = None
@@ -280,6 +285,7 @@ class ML4all:
                     # The facade and its service learn from the same
                     # traces and serve the same corrected estimates.
                     calibration=self.calibration,
+                    cache_path=self.cache_path,
                 )
                 return self._service
             service = self._service

@@ -97,7 +97,7 @@ class GDOptimizer:
                 for alg, est in iteration_estimates.items()
             }
 
-        corrections = self._corrections()
+        corrections = self._corrections(dataset)
         if corrections and speculated:
             # Learned iteration corrections apply only to speculative
             # estimates; a user-fixed count is a constraint, not a guess.
@@ -169,12 +169,25 @@ class GDOptimizer:
             corrections=corrections or None,
         )
 
-    def _corrections(self) -> dict:
-        """Learned corrections per algorithm ({} without a store)."""
+    def _corrections(self, dataset=None) -> dict:
+        """Learned corrections per algorithm ({} without a store).
+
+        When ``dataset`` is given its workload signature selects the
+        store's workload-specific corrections (with the algorithm-level
+        aggregate as fallback -- see
+        :meth:`~repro.runtime.calibration.CalibrationStore.correction`).
+        """
         if self.calibration is None:
             return {}
+        workload = None
+        if dataset is not None:
+            from repro.runtime.calibration import workload_signature
+
+            workload = workload_signature(dataset.stats)
         return {
-            alg: self.calibration.correction(alg, self.engine.spec)
+            alg: self.calibration.correction(
+                alg, self.engine.spec, workload=workload
+            )
             for alg in self.algorithms
         }
 

@@ -25,6 +25,7 @@ from repro.runtime.calibration import (
     CalibrationStore,
     Correction,
     cluster_signature,
+    workload_signature,
 )
 from repro.runtime.perturb import PerturbedCostModel
 from repro.runtime.telemetry import (
@@ -56,4 +57,5 @@ __all__ = [
     "cluster_signature",
     "remaining_iterations",
     "segment_from_result",
+    "workload_signature",
 ]

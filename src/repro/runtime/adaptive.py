@@ -31,7 +31,7 @@ from repro.core.executor import execute_plan
 from repro.core.plan_space import enumerate_plans
 from repro.core.result import PlanCostEstimate
 from repro.errors import EstimationError
-from repro.runtime.calibration import cluster_signature
+from repro.runtime.calibration import cluster_signature, workload_signature
 from repro.runtime.telemetry import AdaptiveSettings, ConvergenceMonitor
 from repro.runtime.trace import ExecutionTrace, SwitchEvent, segment_from_result
 
@@ -149,9 +149,15 @@ class AdaptiveTrainer:
             # Fold the observation in *now*, not at the end of the run:
             # a later re-optimization in this same run must remember
             # what this segment taught about its algorithm's true cost,
-            # or it will happily switch straight back to it.
+            # or it will happily switch straight back to it.  The
+            # workload signature routes it to the two-level key, so this
+            # dataset's own corrections take over once enough traces
+            # accumulate.
             if self.calibration is not None:
-                self.calibration.record_segment(segment, engine.spec)
+                self.calibration.record_segment(
+                    segment, engine.spec,
+                    workload=workload_signature(dataset.stats),
+                )
 
             if not result.stopped_by_monitor:
                 break
@@ -229,13 +235,19 @@ class AdaptiveTrainer:
             time_budget_s=time_budget,
         )
 
-    def _corrections(self) -> dict:
-        """Corrections from the trainer's store (optimizer's otherwise)."""
+    def _corrections(self, dataset=None) -> dict:
+        """Corrections from the trainer's store (optimizer's otherwise),
+        preferring the dataset's workload-specific key when given."""
         store = self.calibration or self.optimizer.calibration
         if store is None:
             return {}
+        workload = (
+            workload_signature(dataset.stats) if dataset is not None else None
+        )
         return {
-            alg: store.correction(alg, self.optimizer.engine.spec)
+            alg: store.correction(
+                alg, self.optimizer.engine.spec, workload=workload
+            )
             for alg in self.optimizer.algorithms
         }
 
@@ -252,7 +264,7 @@ class AdaptiveTrainer:
         if not plans:
             return None
         current_delta = result.final_delta
-        corrections = self._corrections()
+        corrections = self._corrections(dataset)
 
         iters_for = {}
         iter_factors = {}

@@ -10,12 +10,16 @@ The optimizer's estimates err in two separable ways:
   speculative sample.
 
 The :class:`CalibrationStore` learns a multiplicative correction for
-each, per ``(algorithm, cluster)`` key, from observed
-:class:`~repro.runtime.trace.ExecutionTrace` segments -- the Delta-style
-feedback loop (PAPERS.md) that closes the gap between predicted and
-observed cost.  Corrections are exponentially-weighted moving averages,
-clamped to a sane range, versioned (so plan caches can detect staleness)
-and persisted as JSON so a restarted service starts calibrated.
+each, from observed :class:`~repro.runtime.trace.ExecutionTrace`
+segments -- the Delta-style feedback loop (PAPERS.md) that closes the
+gap between predicted and observed cost.  Keys are **two-level**:
+every observation feeds an ``(algorithm, cluster)`` aggregate, and --
+when the observer names the workload -- a ``(workload, algorithm,
+cluster)`` specialisation that takes over once enough traces back it.
+Corrections are exponentially-weighted moving averages, clamped to a
+sane range, versioned (so plan caches can detect staleness), bounded
+per deployment (LRU over cluster signatures) and persisted as JSON so
+a restarted service starts calibrated.
 """
 
 from __future__ import annotations
@@ -26,11 +30,16 @@ import hashlib
 import json
 import os
 import threading
+from collections import OrderedDict
 
 #: Per-observation EWMA weight: new_factor = (1-a)*old + a*observed.
 DEFAULT_ALPHA = 0.4
 #: Correction factors are clamped to [1/MAX_FACTOR, MAX_FACTOR].
 MAX_FACTOR = 100.0
+#: A workload-level correction is preferred over the algorithm-level
+#: fallback once this many observations back it (a single trace is too
+#: noisy to override the cross-workload aggregate).
+MIN_WORKLOAD_OBSERVATIONS = 3
 
 
 def _compute_signature(spec) -> str:
@@ -57,6 +66,21 @@ def cluster_signature(spec) -> str:
         return _cached_signature(spec)
     except TypeError:  # pragma: no cover - unhashable custom spec
         return _compute_signature(spec)
+
+
+def workload_signature(stats) -> str:
+    """Short stable digest identifying one workload (dataset statistics).
+
+    Two datasets with identical Table 1 statistics are the same workload
+    to the cost model, so they share calibration: the digest covers the
+    :class:`~repro.cluster.storage.DatasetStats` fields, nothing else.
+    Used as the first level of the store's two-level (workload ->
+    algorithm) correction keys.
+    """
+    try:
+        return _cached_signature(stats)
+    except TypeError:  # pragma: no cover - custom unhashable stats
+        return _compute_signature(stats)
 
 
 def _clamp(value) -> float:
@@ -96,44 +120,119 @@ class Correction:
 
 
 class CalibrationStore:
-    """Thread-safe store of learned per-(algorithm, cluster) corrections.
+    """Thread-safe store of learned cost/iteration corrections.
 
-    ``version`` increments on every update; cache layers key their
-    entries on it to notice when calibrated estimates changed under
-    them.  ``path`` (optional) enables persistence: :meth:`save` writes
-    the store as JSON and :meth:`open` restores it, so a restarted
+    Corrections live under **two-level keys**:
+
+    * ``algorithm@cluster`` -- the aggregate over every workload, always
+      updated; and
+    * ``workload|algorithm@cluster`` -- workload-specific, updated when
+      the observer can name the workload.
+
+    Lookups prefer the workload-level correction once it has accumulated
+    ``min_workload_observations`` observations and fall back to the
+    algorithm-level aggregate until then -- a fresh workload starts from
+    what *other* workloads taught about the algorithm instead of from
+    identity.
+
+    ``version`` increments on every update (and on every eviction);
+    :meth:`state_digest` fingerprints the served correction state
+    itself.  Cache layers stamp their entries with the digest to notice
+    when calibrated estimates changed under them (see
+    :class:`~repro.service.OptimizerService` -- a stale stamp triggers a
+    re-cost from cached speculation, never a blind reuse; the digest,
+    unlike the counter, stays comparable across restarts and across
+    processes sharing one persisted store).
+
+    ``max_clusters`` (optional) bounds the number of distinct cluster
+    signatures retained, LRU by observation/lookup recency: multi-tenant
+    deployments that see a long tail of one-off cluster specs stay
+    bounded, while every active tenant's corrections survive.
+
+    ``path`` (optional) enables persistence: :meth:`save` writes the
+    store as JSON and :meth:`open` restores it, so a restarted
     ``repro serve`` starts calibrated.
     """
 
-    def __init__(self, path=None, alpha=DEFAULT_ALPHA):
+    def __init__(self, path=None, alpha=DEFAULT_ALPHA, max_clusters=None,
+                 min_workload_observations=MIN_WORKLOAD_OBSERVATIONS):
         if not 0 < alpha <= 1:
             raise ValueError("alpha must be in (0, 1]")
+        if max_clusters is not None and max_clusters < 1:
+            raise ValueError("max_clusters must be >= 1")
         self.path = path
         self.alpha = float(alpha)
+        self.max_clusters = max_clusters
+        self.min_workload_observations = int(min_workload_observations)
         self.version = 0
+        self._digest = None
         self._corrections = {}
+        #: Cluster signatures ordered by recency (LRU eviction order).
+        self._clusters = OrderedDict()
         self._lock = threading.Lock()
 
     # -- lookup ----------------------------------------------------------
     @staticmethod
-    def _key(algorithm, signature) -> str:
-        return f"{algorithm}@{signature}"
+    def _key(algorithm, signature, workload=None) -> str:
+        base = f"{algorithm}@{signature}"
+        return f"{workload}|{base}" if workload else base
 
-    def correction(self, algorithm, spec) -> Correction:
-        """The learned correction (identity when nothing was observed)."""
-        key = self._key(algorithm, cluster_signature(spec))
+    def _touch_cluster(self, signature, insert=False) -> None:
+        """Mark one cluster signature as recently used (lock held).
+
+        Lookups only refresh recency of *tracked* clusters; inserting is
+        reserved for observations, so a scan of never-calibrated specs
+        cannot evict real corrections.
+        """
+        if insert or signature in self._clusters:
+            self._clusters[signature] = None
+            self._clusters.move_to_end(signature)
+
+    def _evict_lru_clusters(self) -> None:
+        """Drop whole clusters beyond ``max_clusters`` (lock held)."""
+        if self.max_clusters is None:
+            return
+        while len(self._clusters) > self.max_clusters:
+            signature, _ = self._clusters.popitem(last=False)
+            suffix = "@" + signature
+            stale = [k for k in self._corrections if k.endswith(suffix)]
+            for key in stale:
+                del self._corrections[key]
+            if stale:
+                # Served corrections changed: caches must notice.
+                self.version += 1
+                self._digest = None
+
+    def correction(self, algorithm, spec, workload=None) -> Correction:
+        """The learned correction (identity when nothing was observed).
+
+        With ``workload`` (a :func:`workload_signature` digest) the
+        workload-specific correction is returned once it has enough
+        observations; otherwise the algorithm-level aggregate.
+        """
+        signature = cluster_signature(spec)
         with self._lock:
-            found = self._corrections.get(key)
+            self._touch_cluster(signature)
+            if workload:
+                found = self._corrections.get(
+                    self._key(algorithm, signature, workload)
+                )
+                if found is not None and (
+                    found.observations >= self.min_workload_observations
+                ):
+                    return dataclasses.replace(found)
+            found = self._corrections.get(self._key(algorithm, signature))
             return dataclasses.replace(found) if found else Correction()
 
     def corrections_for(self, spec) -> dict:
-        """{algorithm: Correction} for one cluster."""
+        """{algorithm: Correction} aggregates for one cluster
+        (workload-level keys are not included)."""
         suffix = "@" + cluster_signature(spec)
         with self._lock:
             return {
                 key[: -len(suffix)]: dataclasses.replace(value)
                 for key, value in self._corrections.items()
-                if key.endswith(suffix)
+                if key.endswith(suffix) and "|" not in key
             }
 
     @property
@@ -141,17 +240,51 @@ class CalibrationStore:
         with self._lock:
             return sum(c.observations for c in self._corrections.values())
 
+    def state_digest(self) -> str:
+        """Content digest of the correction state being served.
+
+        Two stores with equal digests serve identical factors --
+        whatever their histories.  This is what cache layers should
+        stamp entries with: unlike the ``version`` counter it is
+        comparable across store lifetimes and across processes (every
+        pristine store with the same configuration digests the same),
+        so a persisted plan priced under state X is recognised as
+        current exactly when the live store still serves X.  The
+        workload threshold is part of the digest because it changes
+        which of the stored factors a lookup serves, not just their
+        values.  Cached and invalidated on update, so the hot cache-hit
+        path pays a dict lookup, not a hash.
+        """
+        with self._lock:
+            if self._digest is None:
+                payload = (
+                    self.min_workload_observations,
+                    sorted(
+                        (key, c.cost_factor, c.iterations_factor,
+                         c.cost_observations, c.iterations_observations)
+                        for key, c in self._corrections.items()
+                    ),
+                )
+                self._digest = hashlib.sha256(
+                    repr(payload).encode()
+                ).hexdigest()[:16]
+            return self._digest
+
     # -- learning --------------------------------------------------------
     def observe(self, algorithm, spec, cost_ratio=None,
-                iterations_ratio=None) -> Correction:
+                iterations_ratio=None, workload=None) -> Correction:
         """Fold one observed/predicted ratio pair into the store.
 
         Either ratio may be None (unobservable for this trace -- e.g.
-        the iterations ratio of a segment that never converged).
+        the iterations ratio of a segment that never converged).  With
+        ``workload`` the observation feeds both the workload-specific
+        key and the algorithm-level aggregate (one version bump).
+        Returns the updated workload-level correction when a workload
+        was named, the aggregate otherwise.
         """
         if cost_ratio is None and iterations_ratio is None:
-            return self.correction(algorithm, spec)
-        key = self._key(algorithm, cluster_signature(spec))
+            return self.correction(algorithm, spec, workload=workload)
+        signature = cluster_signature(spec)
         a = self.alpha
 
         def fold(factor, count, ratio):
@@ -166,8 +299,7 @@ class CalibrationStore:
                 return ratio, 1
             return _clamp((1 - a) * factor + a * ratio), count + 1
 
-        with self._lock:
-            current = self._corrections.get(key, Correction())
+        def folded(current) -> Correction:
             cost, cost_n = fold(
                 current.cost_factor, current.cost_observations, cost_ratio
             )
@@ -175,24 +307,36 @@ class CalibrationStore:
                 current.iterations_factor, current.iterations_observations,
                 iterations_ratio,
             )
-            updated = Correction(
+            return Correction(
                 cost_factor=cost,
                 iterations_factor=iters,
                 cost_observations=cost_n,
                 iterations_observations=iters_n,
             )
-            self._corrections[key] = updated
+
+        keys = [self._key(algorithm, signature)]
+        if workload:
+            keys.append(self._key(algorithm, signature, workload))
+        with self._lock:
+            for key in keys:
+                updated = folded(self._corrections.get(key, Correction()))
+                self._corrections[key] = updated
             self.version += 1
+            self._digest = None
+            self._touch_cluster(signature, insert=True)
+            self._evict_lru_clusters()
             return dataclasses.replace(updated)
 
-    def record_segment(self, segment, spec) -> bool:
+    def record_segment(self, segment, spec, workload=None) -> bool:
         """Learn from one executed plan segment.
 
         A segment yields a cost ratio (observed vs predicted
         per-iteration seconds); a segment that converged additionally
         yields an iterations ratio (observed vs predicted iterations to
         target) -- segments cut short by a switch or the iteration cap
-        say nothing about where the curve would have ended.  Returns
+        say nothing about where the curve would have ended.
+        ``workload`` (a :func:`workload_signature` digest) additionally
+        routes the observation to the workload-specific key.  Returns
         True when anything was folded in.
         """
         if segment.iterations < 2:
@@ -217,13 +361,15 @@ class CalibrationStore:
             segment.algorithm, spec,
             cost_ratio=cost_ratio,
             iterations_ratio=iterations_ratio,
+            workload=workload,
         )
         return True
 
-    def record_trace(self, trace, spec) -> int:
+    def record_trace(self, trace, spec, workload=None) -> int:
         """Learn from every segment of an execution trace."""
         return sum(
-            self.record_segment(segment, spec) for segment in trace.segments
+            self.record_segment(segment, spec, workload=workload)
+            for segment in trace.segments
         )
 
     # -- persistence -----------------------------------------------------
@@ -239,13 +385,28 @@ class CalibrationStore:
             }
 
     @classmethod
-    def from_dict(cls, payload, path=None) -> "CalibrationStore":
-        store = cls(path=path, alpha=payload.get("alpha", DEFAULT_ALPHA))
+    def from_dict(cls, payload, path=None, **kwargs) -> "CalibrationStore":
+        """Restore a store from :meth:`to_dict` output.
+
+        The JSON layout is stable across versions: workload-level keys
+        (``workload|algorithm@cluster``) are just additional entries in
+        ``corrections``, so files written before two-level keys existed
+        load unchanged.  ``kwargs`` forward constructor configuration
+        (``max_clusters``, ``min_workload_observations``).
+        """
+        store = cls(path=path, alpha=payload.get("alpha", DEFAULT_ALPHA),
+                    **kwargs)
         store.version = int(payload.get("version", 0))
         store._corrections = {
             key: Correction.from_dict(value)
             for key, value in payload.get("corrections", {}).items()
         }
+        # Rebuild the cluster LRU (recency order is not persisted; any
+        # deterministic order is fine -- real recency re-establishes
+        # itself as observations arrive).
+        for key in store._corrections:
+            store._clusters[key.rpartition("@")[2]] = None
+        store._evict_lru_clusters()
         return store
 
     def save(self, path=None) -> str:
@@ -261,15 +422,17 @@ class CalibrationStore:
         return target
 
     @classmethod
-    def open(cls, path=None, alpha=DEFAULT_ALPHA) -> "CalibrationStore":
+    def open(cls, path=None, alpha=DEFAULT_ALPHA, **kwargs) -> "CalibrationStore":
         """Load the store at ``path`` if it exists, else a fresh one.
 
-        ``path=None`` yields a purely in-memory store.
+        ``path=None`` yields a purely in-memory store.  ``kwargs``
+        forward constructor configuration (``max_clusters``,
+        ``min_workload_observations``).
         """
         if path and os.path.exists(path):
             with open(path) as handle:
-                return cls.from_dict(json.load(handle), path=path)
-        return cls(path=path, alpha=alpha)
+                return cls.from_dict(json.load(handle), path=path, **kwargs)
+        return cls(path=path, alpha=alpha, **kwargs)
 
     def summary(self) -> str:
         with self._lock:

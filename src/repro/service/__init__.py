@@ -1,14 +1,31 @@
-"""Concurrent optimizer serving layer (plan cache + request coalescing).
+"""Concurrent optimizer serving layer (plan cache + persistence).
 
 The one-shot :class:`~repro.core.optimizer.GDOptimizer` answers a single
-query; this package turns it into a component that serves *many* users:
-:class:`OptimizerService` caches optimization reports per workload
-fingerprint, coalesces concurrent identical requests, and fans a batch of
-requests over a thread pool.
+query; this package turns it into a component that serves *many* users
+across *many* processes: :class:`OptimizerService` caches optimization
+reports per workload fingerprint, coalesces concurrent identical
+requests (cold computes and recalibration re-costs alike), fans a batch
+of requests over a thread pool, and -- via the pluggable
+:class:`CacheBackend` plan store -- persists every decision so a
+restarted service starts warm.
 """
 
+from repro.service.backends import (
+    CacheBackend,
+    JsonFileBackend,
+    MemoryBackend,
+    SqliteBackend,
+    open_backend,
+)
 from repro.service.cache import CacheStats, PlanCache, approx_nbytes
 from repro.service.fingerprint import freeze, workload_fingerprint
+from repro.service.serialize import (
+    PlanStoreError,
+    entry_from_dict,
+    entry_to_dict,
+    report_from_dict,
+    report_to_dict,
+)
 from repro.service.service import (
     OptimizerService,
     ServiceRequest,
@@ -17,13 +34,23 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "CacheBackend",
     "CacheStats",
-    "PlanCache",
-    "approx_nbytes",
-    "freeze",
-    "workload_fingerprint",
+    "JsonFileBackend",
+    "MemoryBackend",
     "OptimizerService",
+    "PlanCache",
+    "PlanStoreError",
     "ServiceRequest",
     "ServiceResult",
+    "SqliteBackend",
     "TrainServiceResult",
+    "approx_nbytes",
+    "entry_from_dict",
+    "entry_to_dict",
+    "freeze",
+    "open_backend",
+    "report_from_dict",
+    "report_to_dict",
+    "workload_fingerprint",
 ]

@@ -1,0 +1,405 @@
+"""Pluggable persistence backends for the optimizer's plan store.
+
+The in-memory :class:`~repro.service.cache.PlanCache` makes repeated
+workloads cheap *within* one process; a :class:`CacheBackend` makes them
+cheap *across* processes: the service writes every cached decision
+through to the backend and reloads it on startup, so a restarted
+``repro serve --cache plans.json`` answers previously seen workloads
+without re-speculating.
+
+Three backends ship:
+
+* :class:`MemoryBackend` -- a dict; the explicit "no persistence"
+  backend (useful in tests and as the null object);
+* :class:`JsonFileBackend` -- one human-readable JSON file; every
+  mutation re-reads the file, applies the change, and rewrites it
+  atomically (``tmp`` + ``os.replace``), so concurrent writers and a
+  crashed process can never leave a half-written file in place, and
+  writers on disjoint keys converge instead of clobbering each other;
+* :class:`SqliteBackend` -- a SQLite database (stdlib ``sqlite3``), one
+  row per fingerprint; per-entry writes and SQLite's own file locking
+  make it the right choice for large stores or multi-process writers.
+
+:func:`open_backend` picks by file extension (``.db`` / ``.sqlite`` /
+``.sqlite3`` -> SQLite, anything else -> JSON).
+
+**Durability contract.**  Backends are best-effort by design: a backend
+that cannot read its file (corrupted, truncated, wrong format version)
+returns an *empty* mapping from :meth:`load` -- the service starts cold
+instead of crashing -- and write errors surface as warnings, never as
+request failures.  The store-level ``format`` field
+(:data:`STORE_FORMAT`) guards the container layout; each entry
+additionally carries its own ``entry_format`` (see
+:mod:`repro.service.serialize`) so single incompatible entries are
+skipped without discarding the rest.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import sqlite3
+import threading
+import warnings
+
+#: Format version of the persisted store *container* (file / table
+#: layout).  A mismatch discards the whole store -- cold start, never a
+#: misread.  Entry payloads are versioned separately.
+STORE_FORMAT = 1
+
+_SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
+
+
+def open_backend(path):
+    """Backend for ``path``: SQLite for ``.db``/``.sqlite*``, else JSON."""
+    if str(path).lower().endswith(_SQLITE_SUFFIXES):
+        return SqliteBackend(path)
+    return JsonFileBackend(path)
+
+
+class CacheBackend:
+    """Interface every plan-store backend implements.
+
+    Keys are workload fingerprints (hex strings); values are the
+    JSON-ready entry dicts of :func:`repro.service.serialize.entry_to_dict`.
+    Implementations must be thread-safe and must never raise out of
+    :meth:`load` for unreadable state -- return ``{}`` and warn instead.
+    """
+
+    #: Human-readable backend name for stats/log lines.
+    name = "none"
+    #: Where the backend persists (None for in-memory backends).
+    path = None
+
+    def load(self) -> dict:
+        """All persisted entries as ``{fingerprint: entry_dict}``."""
+        raise NotImplementedError
+
+    def get(self, key):
+        """One persisted entry, or None.  Default implementation goes
+        through :meth:`load`; backends with cheap point lookups
+        (SQLite) override it."""
+        return self.load().get(key)
+
+    def store(self, key, entry) -> None:
+        """Persist one entry (insert or overwrite)."""
+        raise NotImplementedError
+
+    def delete(self, key) -> None:
+        """Drop one entry (missing keys are a no-op)."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        """Drop every entry."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (file handles, connections)."""
+
+    def __len__(self) -> int:
+        return len(self.load())
+
+
+class MemoryBackend(CacheBackend):
+    """Dict-backed backend: survives nothing, but exercises the full
+    write-through path (tests swap it in to observe what would be
+    persisted)."""
+
+    name = "memory"
+
+    def __init__(self):
+        self._data = {}
+        self._lock = threading.Lock()
+
+    def load(self) -> dict:
+        with self._lock:
+            return dict(self._data)
+
+    def get(self, key):
+        with self._lock:
+            return self._data.get(key)
+
+    def store(self, key, entry) -> None:
+        with self._lock:
+            self._data[key] = entry
+
+    def delete(self, key) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+class JsonFileBackend(CacheBackend):
+    """One JSON file holding the whole store.
+
+    Every mutation **re-reads the file, applies the change, and rewrites
+    it** through a temporary sibling and an atomic ``os.replace``, under
+    a process-wide lock.  Two consequences:
+
+    * two threads (or a thread racing a crash) can never interleave
+      partial JSON -- the file on disk is always one complete, parseable
+      store;
+    * concurrent *processes* writing disjoint keys converge: mutations
+      take an advisory ``flock`` on a ``.lock`` sidecar (where the
+      platform provides ``fcntl``), so each read-modify-write starts
+      from the other writer's latest complete snapshot and nothing is
+      wiped by a stale in-memory copy.  On platforms without ``fcntl``
+      the lock degrades to best-effort (last writer wins inside the
+      read-to-replace window) -- prefer :class:`SqliteBackend` there
+      for multi-process use.
+
+    Read-modify-write is O(store size) per put, which is the right trade
+    for the human-readable format; SQLite is the choice once the store
+    grows past what that tolerates.
+    """
+
+    name = "json"
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        #: Last parsed entries + the stat identity of the file they came
+        #: from, so read paths skip re-parsing an unchanged store.
+        self._snapshot = None
+        self._snapshot_token = None
+        self._read_cached()  # validate/warn a pre-existing file up front
+
+    @contextlib.contextmanager
+    def _file_lock(self):
+        """Advisory cross-process lock around one read-modify-write.
+
+        A no-op where ``fcntl`` is unavailable; the sidecar (not the
+        store file itself) is locked because the store file is replaced,
+        not rewritten in place -- locking an inode about to be swapped
+        out would protect nothing.
+        """
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(f"{self.path}.lock", "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    # -- file I/O --------------------------------------------------------
+    def _read(self, warn=True) -> dict:
+        """Current on-disk entries ({} for missing/unreadable/alien
+        files).  ``warn=False`` on the mutation paths: the unreadable
+        store was already reported at construction/load, and the
+        rewrite about to happen heals it."""
+        if not os.path.exists(self.path):
+            return {}
+        try:
+            with open(self.path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            if warn:
+                warnings.warn(
+                    f"plan store {self.path!r} is unreadable ({exc}); "
+                    "starting cold", stacklevel=3,
+                )
+            return {}
+        if not isinstance(payload, dict) or payload.get("format") != STORE_FORMAT:
+            if warn:
+                warnings.warn(
+                    f"plan store {self.path!r} has unsupported format "
+                    f"{payload.get('format') if isinstance(payload, dict) else '?'!r}"
+                    f" (supported: {STORE_FORMAT}); starting cold",
+                    stacklevel=3,
+                )
+            return {}
+        entries = payload.get("entries")
+        return dict(entries) if isinstance(entries, dict) else {}
+
+    def _stat_token(self):
+        """Identity of the current on-disk file.  ``os.replace`` always
+        produces a new inode, so any completed write -- ours or another
+        process's -- changes the token."""
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            return None
+        return (stat.st_ino, stat.st_mtime_ns, stat.st_size)
+
+    def _read_cached(self, warn=True) -> dict:
+        """Current entries, re-parsing only when the file changed (lock
+        held by callers).  Point lookups on a miss-heavy workload must
+        not pay a full-store ``json.load`` per request."""
+        token = self._stat_token()
+        if self._snapshot is None or token != self._snapshot_token:
+            self._snapshot = self._read(warn=warn)
+            self._snapshot_token = token
+        return self._snapshot
+
+    def _write(self, entries) -> None:
+        payload = {"format": STORE_FORMAT, "entries": entries}
+        tmp = f"{self.path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        with open(tmp, "w") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp, self.path)
+        self._snapshot = entries
+        self._snapshot_token = self._stat_token()
+
+    # -- CacheBackend ----------------------------------------------------
+    def load(self) -> dict:
+        with self._lock:
+            return dict(self._read_cached())
+
+    def get(self, key):
+        with self._lock:
+            return self._read_cached().get(key)
+
+    def store(self, key, entry) -> None:
+        with self._lock, self._file_lock():
+            entries = dict(self._read_cached(warn=False))
+            entries[key] = entry
+            self._write(entries)
+
+    def delete(self, key) -> None:
+        with self._lock, self._file_lock():
+            entries = dict(self._read_cached(warn=False))
+            if entries.pop(key, None) is not None:
+                self._write(entries)
+
+    def clear(self) -> None:
+        with self._lock, self._file_lock():
+            self._write({})
+
+
+class SqliteBackend(CacheBackend):
+    """SQLite-backed store: one row per fingerprint.
+
+    Entries are stored as JSON text in a ``plan_store`` table; the
+    container format version lives in a ``meta`` table and is checked on
+    open -- a mismatch empties the store (cold start) rather than
+    risking a misread.  A fresh connection per operation keeps the
+    backend trivially thread-safe; SQLite's own locking arbitrates
+    concurrent processes.
+    """
+
+    name = "sqlite"
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._lock = threading.Lock()
+        try:
+            with self._connection() as conn:
+                conn.execute(
+                    "CREATE TABLE IF NOT EXISTS meta "
+                    "(key TEXT PRIMARY KEY, value TEXT)"
+                )
+                conn.execute(
+                    "CREATE TABLE IF NOT EXISTS plan_store "
+                    "(fingerprint TEXT PRIMARY KEY, payload TEXT NOT NULL)"
+                )
+                row = conn.execute(
+                    "SELECT value FROM meta WHERE key = 'format'"
+                ).fetchone()
+                if row is None:
+                    conn.execute(
+                        "INSERT INTO meta (key, value) VALUES ('format', ?)",
+                        (str(STORE_FORMAT),),
+                    )
+                elif row[0] != str(STORE_FORMAT):
+                    warnings.warn(
+                        f"plan store {self.path!r} has unsupported format "
+                        f"{row[0]!r} (supported: {STORE_FORMAT}); "
+                        "discarding its entries", stacklevel=3,
+                    )
+                    conn.execute("DELETE FROM plan_store")
+                    conn.execute(
+                        "UPDATE meta SET value = ? WHERE key = 'format'",
+                        (str(STORE_FORMAT),),
+                    )
+            self._broken = False
+        except sqlite3.Error as exc:
+            warnings.warn(
+                f"plan store {self.path!r} could not be opened ({exc}); "
+                "persistence disabled for this run", stacklevel=3,
+            )
+            self._broken = True
+
+    @contextlib.contextmanager
+    def _connection(self):
+        """A connection that commits on success AND closes on exit (the
+        bare sqlite3 context manager only transacts; without the close,
+        every operation would leak a file handle until GC)."""
+        conn = sqlite3.connect(self.path, timeout=30.0)
+        try:
+            with conn:
+                yield conn
+        finally:
+            conn.close()
+
+    def load(self) -> dict:
+        if self._broken:
+            return {}
+        try:
+            with self._lock, self._connection() as conn:
+                rows = conn.execute(
+                    "SELECT fingerprint, payload FROM plan_store"
+                ).fetchall()
+        except sqlite3.Error as exc:
+            warnings.warn(
+                f"plan store {self.path!r} is unreadable ({exc}); "
+                "starting cold", stacklevel=3,
+            )
+            return {}
+        entries = {}
+        for key, text in rows:
+            try:
+                entries[key] = json.loads(text)
+            except ValueError:
+                continue  # one bad row must not poison the rest
+        return entries
+
+    def get(self, key):
+        if self._broken:
+            return None
+        try:
+            with self._lock, self._connection() as conn:
+                row = conn.execute(
+                    "SELECT payload FROM plan_store WHERE fingerprint = ?",
+                    (key,),
+                ).fetchone()
+        except sqlite3.Error:
+            return None
+        if row is None:
+            return None
+        try:
+            return json.loads(row[0])
+        except ValueError:
+            return None
+
+    def store(self, key, entry) -> None:
+        if self._broken:
+            return
+        with self._lock, self._connection() as conn:
+            conn.execute(
+                "INSERT INTO plan_store (fingerprint, payload) "
+                "VALUES (?, ?) ON CONFLICT (fingerprint) "
+                "DO UPDATE SET payload = excluded.payload",
+                (key, json.dumps(entry)),
+            )
+
+    def delete(self, key) -> None:
+        if self._broken:
+            return
+        with self._lock, self._connection() as conn:
+            conn.execute(
+                "DELETE FROM plan_store WHERE fingerprint = ?", (key,)
+            )
+
+    def clear(self) -> None:
+        if self._broken:
+            return
+        with self._lock, self._connection() as conn:
+            conn.execute("DELETE FROM plan_store")

@@ -16,6 +16,10 @@ Three eviction policies compose:
   grows keep their fingerprint while the cached decision goes stale;
   a time-to-live bounds how long a stale plan can be served.  The
   clock is injectable for deterministic tests.
+
+This is the *in-memory* tier only: eviction here never touches the
+persistent plan store (:mod:`repro.service.backends`), which the
+service writes through to and reloads from on construction.
 """
 
 from __future__ import annotations

@@ -10,6 +10,13 @@ a cache keyed by a digest of that triple.  When speculation runs, the
 T(epsilon) estimates come from GD trials on the *actual* data; the
 service then mixes the dataset's content digest into the key (see
 :meth:`OptimizerService.fingerprint`).
+
+Fingerprints are deterministic **across processes** (no memory
+addresses, no hash randomization -- everything goes through
+:func:`freeze` and SHA-256), which is what makes the persistent plan
+store (:mod:`repro.service.backends`) sound: a restarted service
+recomputes the same key for the same workload and finds the persisted
+entry.
 """
 
 from __future__ import annotations

@@ -30,7 +30,15 @@ folds the resulting execution trace back into the store, and cached
 plans remember which calibration version priced them -- a stale entry is
 *re-costed* from its cached speculation results instead of being thrown
 away, so repeated workloads get calibrated answers without ever
-re-speculating.
+re-speculating.  Re-costs go through the same coalescing table as cold
+computes, so concurrent callers never duplicate one.
+
+A **persistent plan store** (:mod:`repro.service.backends`) extends all
+of this across process restarts: with ``cache_path`` (or an explicit
+``cache_backend``) every cached decision -- report, speculation
+artifacts, calibration stamp -- is written through to disk and reloaded
+on startup, so ``repro serve --cache plans.json`` restarted answers
+previously seen workloads warm.
 """
 
 from __future__ import annotations
@@ -38,6 +46,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
+import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.cluster import ClusterSpec, SimulatedCluster
@@ -46,8 +55,14 @@ from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
 from repro.core.optimizer import GDOptimizer
 from repro.gd.registry import CORE_ALGORITHMS
 from repro.runtime import AdaptiveTrainer, CalibrationStore
+from repro.service.backends import open_backend
 from repro.service.cache import PlanCache
 from repro.service.fingerprint import workload_fingerprint
+from repro.service.serialize import (
+    PlanStoreError,
+    entry_from_dict,
+    entry_to_dict,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -138,14 +153,57 @@ class TrainServiceResult:
 
 @dataclasses.dataclass
 class _CachedPlan:
-    """A cached report plus the calibration version that priced it."""
+    """One plan-cache value: a report plus its pricing stamp.
+
+    ``calibration_digest`` is the calibration store's *content digest*
+    (:meth:`CalibrationStore.state_digest`) at the moment the report
+    was priced -- a fingerprint of the correction factors themselves,
+    not a counter, so it stays comparable across restarts and across
+    processes sharing one store.  A lookup whose stamp does not match
+    the live digest is *stale*: the service re-costs it from the
+    report's cached ``iteration_estimates`` (no re-speculation) and
+    re-stamps it.  The same stamp is what a persistent backend stores,
+    so a restarted service applies the identical staleness rule to
+    warm-loaded entries (``calibration_version`` rides along for
+    inspection).
+    """
 
     report: object
     calibration_version: int
+    calibration_digest: str
 
 
 class OptimizerService:
-    """Concurrent, caching facade over the cost-based GD optimizer."""
+    """Concurrent, caching facade over the cost-based GD optimizer.
+
+    **Cache stamping.**  Every cached decision is stored with the
+    :class:`~repro.runtime.calibration.CalibrationStore` version it was
+    priced against.  A hit whose stamp equals the live version is served
+    as-is; a hit whose stamp trails it is *re-costed* from the entry's
+    cached speculation artifacts (cheap vectorized costing, no
+    speculative GD runs) and re-stamped.  The stamp is read *before*
+    pricing, so a calibration update racing a computation leaves the
+    entry stale rather than silently current.
+
+    **Eviction.**  The in-memory :class:`~repro.service.cache.PlanCache`
+    composes LRU entry-count (``cache_size``), byte-budget
+    (``cache_max_bytes``) and TTL (``cache_ttl_s``) eviction; eviction
+    only affects the in-memory tier -- entries in a persistent backend
+    (``cache_path`` / ``cache_backend``) outlive it and reload on the
+    next construction.
+
+    **Calibration factors.**  The shared store learns multiplicative
+    cost/iteration corrections from adaptive :meth:`train` traces, keyed
+    two-level (workload-specific with algorithm-level fallback).  Every
+    optimizer this service builds prices plans through those factors, so
+    one tenant's observed mis-estimates correct every tenant's future
+    estimates on the same cluster.
+
+    **Concurrency.**  Identical concurrent requests coalesce onto one
+    computation (cold computes and recalibration re-costs alike); each
+    computed request runs on a fresh :class:`SimulatedCluster` so no
+    simulated state leaks between callers.
+    """
 
     def __init__(
         self,
@@ -162,6 +220,8 @@ class OptimizerService:
         calibration_path=None,
         adaptive_settings=None,
         cost_model=None,
+        cache_path=None,
+        cache_backend=None,
     ):
         self.spec = spec or ClusterSpec()
         self.seed = seed
@@ -185,6 +245,17 @@ class OptimizerService:
         #: builds (cost models are stateless).  Used to inject e.g. a
         #: PerturbedCostModel when evaluating the adaptive runtime.
         self.cost_model = cost_model
+        #: Optional :class:`~repro.service.backends.CacheBackend`: every
+        #: cached decision is written through to it, and its entries
+        #: warm-start the in-memory cache here at construction -- a
+        #: restarted service answers previously seen workloads without
+        #: re-speculating.  ``cache_path`` is the convenience form
+        #: (extension picks JSON vs SQLite, see
+        #: :func:`~repro.service.backends.open_backend`).
+        self.backend = (
+            cache_backend if cache_backend is not None
+            else open_backend(cache_path) if cache_path else None
+        )
         self._inflight = {}
         self._inflight_lock = threading.Lock()
         self._counter_lock = threading.Lock()
@@ -193,6 +264,93 @@ class OptimizerService:
         self.coalesced = 0
         self.recalibrated = 0
         self.trained = 0
+        #: Entries restored from the persistent backend at startup.
+        self.warm_loaded = self._load_persisted()
+
+    # ------------------------------------------------------------------
+    def _load_persisted(self) -> int:
+        """Warm-start the in-memory cache from the persistent backend.
+
+        Unreadable or format-incompatible entries are skipped (those
+        workloads compute cold); entries stamped with a calibration
+        version the live store has moved past load normally and are
+        re-costed from their persisted speculation on first use -- the
+        same staleness rule as in-memory entries.
+        """
+        if self.backend is None:
+            return 0
+        loaded = 0
+        for key, payload in self.backend.load().items():
+            try:
+                report, version, digest = entry_from_dict(payload)
+            except PlanStoreError as exc:
+                warnings.warn(
+                    f"skipping persisted plan {key[:12]}...: {exc}",
+                    stacklevel=2,
+                )
+                continue
+            self.cache.put(key, _CachedPlan(report, version, digest))
+            loaded += 1
+        return loaded
+
+    def _stamp_current(self, entry) -> bool:
+        """True when the entry was priced against the correction state
+        the live store serves right now.  Content comparison, not
+        counter comparison: every pristine store digests identically
+        (which is what lets a calibration-free restart serve warm-loaded
+        entries as plain hits), and two stores that evolved different
+        histories never collide."""
+        return entry.calibration_digest == self.calibration.state_digest()
+
+    def _lookup(self, key):
+        """Cache lookup with backend read-through.
+
+        An entry the in-memory cache evicted (size/TTL bounds) or never
+        loaded still exists in the persistent store; fetch and promote
+        it rather than re-speculating a workload that is sitting on
+        disk."""
+        entry = self.cache.get(key)
+        if entry is not None or self.backend is None:
+            return entry
+        try:
+            payload = self.backend.get(key)
+            if payload is None:
+                return None
+            report, version, digest = entry_from_dict(payload)
+        except PlanStoreError:
+            return None  # incompatible entry: compute cold
+        except Exception as exc:
+            warnings.warn(
+                f"plan store read failed ({exc}); computing cold",
+                stacklevel=2,
+            )
+            return None
+        entry = _CachedPlan(report, version, digest)
+        self.cache.put(key, entry)
+        return entry
+
+    def _persist(self, key, cached) -> None:
+        """Write one cache entry through to the backend (best effort:
+        a failing store must degrade persistence, not requests)."""
+        if self.backend is None:
+            return
+        try:
+            self.backend.store(
+                key,
+                entry_to_dict(cached.report, cached.calibration_version,
+                              cached.calibration_digest),
+            )
+        except Exception as exc:
+            warnings.warn(
+                f"plan store write failed ({exc}); "
+                "entry is served from memory only", stacklevel=2,
+            )
+
+    def close(self) -> None:
+        """Release the persistent backend (write-through means there is
+        nothing to flush)."""
+        if self.backend is not None:
+            self.backend.close()
 
     # ------------------------------------------------------------------
     def fingerprint(self, dataset, training, fixed_iterations=None,
@@ -250,8 +408,10 @@ class OptimizerService:
                  algorithms=None, batch_sizes=None) -> ServiceResult:
         """Answer one optimize() request, from cache when possible.
 
-        Identical concurrent requests coalesce onto a single computation;
-        everyone gets the same report object.
+        Identical concurrent requests coalesce onto a single computation
+        -- for cold computes *and* for recalibration re-costs: a stale
+        cache entry is re-priced exactly once however many callers see
+        it go stale together; everyone gets the same report object.
         """
         start = time.perf_counter()
         with self._counter_lock:
@@ -260,42 +420,20 @@ class OptimizerService:
             dataset, training, fixed_iterations, algorithms, batch_sizes
         )
 
-        entry = self.cache.get(key)
-        if entry is not None:
-            if entry.calibration_version == self.calibration.version:
-                return ServiceResult(
-                    report=entry.report,
-                    fingerprint=key,
-                    cache_hit=True,
-                    coalesced=False,
-                    wall_s=time.perf_counter() - start,
-                )
-            # The calibration store learned something since this entry
-            # was priced: re-cost it from its cached speculation results
-            # -- calibrated estimates with no re-speculation.  The entry
-            # is stamped with the version read *before* pricing: if a
-            # concurrent trace bumps the store mid-recost, the next
-            # request must see the entry as stale again, not serve these
-            # part-stale estimates as current.
-            version = self.calibration.version
-            report = self._make_optimizer(algorithms, batch_sizes).optimize(
-                dataset,
-                training,
-                fixed_iterations=fixed_iterations,
-                iteration_estimates=entry.report.iteration_estimates,
-            )
-            self.cache.put(key, _CachedPlan(report, version))
-            with self._counter_lock:
-                self.recalibrated += 1
+        entry = self._lookup(key)
+        if entry is not None and self._stamp_current(entry):
             return ServiceResult(
-                report=report,
+                report=entry.report,
                 fingerprint=key,
-                cache_hit=False,
+                cache_hit=True,
                 coalesced=False,
                 wall_s=time.perf_counter() - start,
-                recalibrated=True,
             )
 
+        # A miss, or a stale entry (the calibration store learned
+        # something since it was priced).  Both routes go through the
+        # in-flight table, so concurrent identical requests share one
+        # computation instead of duplicating it.
         with self._inflight_lock:
             future = self._inflight.get(key)
             owner = future is None
@@ -304,7 +442,7 @@ class OptimizerService:
                 self._inflight[key] = future
 
         if not owner:
-            report = future.result()
+            report, recalibrated = future.result()
             with self._counter_lock:
                 self.coalesced += 1
             return ServiceResult(
@@ -313,15 +451,28 @@ class OptimizerService:
                 cache_hit=False,
                 coalesced=True,
                 wall_s=time.perf_counter() - start,
+                recalibrated=recalibrated,
             )
 
         try:
-            # Stamp with the version the report is priced against, read
-            # before optimizing -- a concurrent calibration update while
-            # this computation runs must leave the entry stale.
+            # Stamp with the calibration state the report is priced
+            # against, read before optimizing -- a concurrent
+            # calibration update while this computation runs must leave
+            # the entry stale (the next request must re-cost again, not
+            # serve part-stale numbers).
             version = self.calibration.version
+            digest = self.calibration.state_digest()
+            # A stale entry is re-costed from its cached speculation
+            # results -- calibrated estimates with no re-speculation; a
+            # plain miss speculates from scratch.
+            recalibrated = entry is not None
             report = self._make_optimizer(algorithms, batch_sizes).optimize(
-                dataset, training, fixed_iterations=fixed_iterations
+                dataset,
+                training,
+                fixed_iterations=fixed_iterations,
+                iteration_estimates=(
+                    entry.report.iteration_estimates if recalibrated else None
+                ),
             )
         except BaseException as exc:
             # Waiters coalesced onto this computation see the same error.
@@ -331,18 +482,24 @@ class OptimizerService:
             raise
         # Populate the cache *before* dropping the in-flight entry, so a
         # concurrent identical request always finds one of the two.
-        self.cache.put(key, _CachedPlan(report, version))
-        future.set_result(report)
+        cached = _CachedPlan(report, version, digest)
+        self.cache.put(key, cached)
+        self._persist(key, cached)
+        future.set_result((report, recalibrated))
         with self._inflight_lock:
             self._inflight.pop(key, None)
         with self._counter_lock:
-            self.computed += 1
+            if recalibrated:
+                self.recalibrated += 1
+            else:
+                self.computed += 1
         return ServiceResult(
             report=report,
             fingerprint=key,
             cache_hit=False,
             coalesced=False,
             wall_s=time.perf_counter() - start,
+            recalibrated=recalibrated,
         )
 
     # ------------------------------------------------------------------
@@ -518,4 +675,9 @@ class OptimizerService:
             text += f"; {self.trained} trained"
         if self.calibration.observations:
             text += f"; calibration v{self.calibration.version}"
+        if self.backend is not None:
+            text += (
+                f"; plan store: {self.backend.name}"
+                f" ({self.warm_loaded} warm-loaded)"
+            )
         return text

@@ -94,6 +94,143 @@ class TestStore:
         assert store.corrections_for(other) == {}
 
 
+class TestTwoLevelKeys:
+    """Workload-specific corrections with algorithm-level fallback."""
+
+    def workloads(self, spec):
+        from repro.cluster.storage import DatasetStats
+        from repro.runtime import workload_signature
+
+        a = DatasetStats(name="a", task="logreg", n=1000, d=10)
+        b = DatasetStats(name="b", task="logreg", n=5000, d=40)
+        assert workload_signature(a) != workload_signature(b)
+        return workload_signature(a), workload_signature(b)
+
+    def test_falls_back_to_algorithm_aggregate(self, spec):
+        store = CalibrationStore(min_workload_observations=3)
+        wa, wb = self.workloads(spec)
+        store.observe("bgd", spec, cost_ratio=4.0, workload=wa)
+        # One workload observation is below the threshold, but the
+        # aggregate learned from it: both workloads see the aggregate.
+        assert store.correction("bgd", spec, workload=wa).cost_factor == \
+            pytest.approx(4.0)
+        assert store.correction("bgd", spec, workload=wb).cost_factor == \
+            pytest.approx(4.0)
+
+    def test_workload_key_takes_over_with_enough_traces(self, spec):
+        store = CalibrationStore(alpha=1.0, min_workload_observations=3)
+        wa, wb = self.workloads(spec)
+        # Workload a is consistently 4x; workload b is consistently 1.5x.
+        for _ in range(3):
+            store.observe("bgd", spec, cost_ratio=4.0, workload=wa)
+        for _ in range(3):
+            store.observe("bgd", spec, cost_ratio=1.5, workload=wb)
+        assert store.correction("bgd", spec, workload=wa).cost_factor == \
+            pytest.approx(4.0)
+        assert store.correction("bgd", spec, workload=wb).cost_factor == \
+            pytest.approx(1.5)
+        # The anonymous lookup still sees the cross-workload aggregate
+        # (alpha=1.0 makes it exactly the latest observation).
+        aggregate = store.correction("bgd", spec).cost_factor
+        assert 1.5 <= aggregate <= 4.0
+
+    def test_anonymous_observation_feeds_aggregate_only(self, spec):
+        store = CalibrationStore(min_workload_observations=1)
+        wa, _ = self.workloads(spec)
+        store.observe("bgd", spec, cost_ratio=2.0)
+        assert store.correction("bgd", spec, workload=wa).cost_factor == \
+            pytest.approx(2.0)  # fallback, no workload key exists
+
+    def test_workload_keys_round_trip_through_json(self, spec):
+        store = CalibrationStore(min_workload_observations=1)
+        wa, _ = self.workloads(spec)
+        store.observe("bgd", spec, cost_ratio=3.0, workload=wa)
+        clone = CalibrationStore.from_dict(
+            store.to_dict(), min_workload_observations=1
+        )
+        assert clone.correction("bgd", spec, workload=wa).cost_factor == \
+            pytest.approx(3.0)
+
+    def test_corrections_for_excludes_workload_keys(self, spec):
+        store = CalibrationStore()
+        wa, _ = self.workloads(spec)
+        store.observe("bgd", spec, cost_ratio=2.0, workload=wa)
+        assert set(store.corrections_for(spec)) == {"bgd"}
+
+    def test_state_digest_tracks_content_and_threshold(self, spec):
+        wa, _ = self.workloads(spec)
+        a = CalibrationStore()
+        b = CalibrationStore()
+        assert a.state_digest() == b.state_digest()  # both pristine
+        a.observe("bgd", spec, cost_ratio=2.0, workload=wa)
+        assert a.state_digest() != b.state_digest()
+        b.observe("bgd", spec, cost_ratio=2.0, workload=wa)
+        assert a.state_digest() == b.state_digest()  # same content again
+        # The workload threshold changes which factors a lookup serves,
+        # so it is part of the digest even with identical corrections.
+        c = CalibrationStore.from_dict(a.to_dict(),
+                                       min_workload_observations=1)
+        assert c.state_digest() != a.state_digest()
+
+
+class TestClusterLRUBound:
+    def specs(self, spec, count):
+        return [spec.with_overrides(n_nodes=2 + i) for i in range(count)]
+
+    def test_unbounded_by_default(self, spec):
+        store = CalibrationStore()
+        for s in self.specs(spec, 10):
+            store.observe("bgd", s, cost_ratio=2.0)
+        assert all(
+            not store.correction("bgd", s).is_identity
+            for s in self.specs(spec, 10)
+        )
+
+    def test_lru_cluster_evicted_over_bound(self, spec):
+        store = CalibrationStore(max_clusters=2)
+        a, b, c = self.specs(spec, 3)
+        store.observe("bgd", a, cost_ratio=2.0)
+        store.observe("bgd", b, cost_ratio=3.0)
+        store.observe("mgd", a, cost_ratio=4.0)  # refresh a; b is LRU
+        store.observe("bgd", c, cost_ratio=5.0)  # evicts b wholesale
+        assert store.correction("bgd", b).is_identity
+        assert store.correction("bgd", a).cost_factor == pytest.approx(2.0)
+        assert store.correction("mgd", a).cost_factor == pytest.approx(4.0)
+        assert store.correction("bgd", c).cost_factor == pytest.approx(5.0)
+
+    def test_lookup_refreshes_recency(self, spec):
+        store = CalibrationStore(max_clusters=2)
+        a, b, c = self.specs(spec, 3)
+        store.observe("bgd", a, cost_ratio=2.0)
+        store.observe("bgd", b, cost_ratio=3.0)
+        store.correction("bgd", a)               # a is now most recent
+        store.observe("bgd", c, cost_ratio=5.0)  # evicts b, not a
+        assert store.correction("bgd", a).cost_factor == pytest.approx(2.0)
+        assert store.correction("bgd", b).is_identity
+
+    def test_eviction_bumps_version(self, spec):
+        store = CalibrationStore(max_clusters=1)
+        a, b = self.specs(spec, 2)
+        store.observe("bgd", a, cost_ratio=2.0)
+        before = store.version
+        store.observe("bgd", b, cost_ratio=3.0)  # evicts a's cluster
+        assert store.version > before + 1  # observe +1, eviction +1
+
+    def test_lookup_of_unknown_cluster_does_not_pollute_lru(self, spec):
+        store = CalibrationStore(max_clusters=2)
+        a, b, c = self.specs(spec, 3)
+        store.observe("bgd", a, cost_ratio=2.0)
+        store.correction("bgd", b)  # never observed: must not be tracked
+        store.correction("bgd", c)
+        store.observe("bgd", b, cost_ratio=3.0)
+        # a survives: the unknown-cluster lookups did not push it out.
+        assert store.correction("bgd", a).cost_factor == pytest.approx(2.0)
+
+    def test_validates_bound(self):
+        with pytest.raises(ValueError):
+            CalibrationStore(max_clusters=0)
+
+
 class TestRecordSegment:
     def test_cost_and_iterations_from_converged_segment(self, spec):
         store = CalibrationStore()
