@@ -11,6 +11,8 @@ mis-pick it; the acceptance bars are:
   need any mid-flight switch.
 """
 
+import re
+
 from _helpers import run_once
 
 from repro.experiments.registry import run_experiment
@@ -36,3 +38,33 @@ def test_adaptive_vs_one_shot(benchmark, ctx, emit):
     # The experiment's own note records the no-re-speculation property.
     assert any("recalibrated from cached speculation" in note
                for note in table.notes)
+
+
+def test_switch_heavy_state_carryover(benchmark, ctx, emit):
+    """Switch-heavy momentum/adam scenario: carrying the full optimizer
+    state across mid-flight switches beats the legacy weights-only reset
+    (which restarts the MLlib beta/sqrt(i) schedule at 1 and zeroes the
+    updater buffers on every switch)."""
+    tables = run_once(
+        benchmark, lambda: run_experiment("ext_adaptive_switch", ctx)
+    )
+    emit(tables, "ext_adaptive_switch")
+    table = tables[0]
+
+    carried = table.row_for(mode="state carried")
+    reset = table.row_for(mode="state reset (legacy)")
+
+    # The mis-pick must actually be noticed: both runs switch.
+    assert carried["switches"] >= 1
+    assert reset["switches"] >= 1
+    # The fix: a switched run no longer pays the step-size restart.
+    assert carried["sim_s"] < reset["sim_s"]
+    # The resumed segment's first step size is continuous -- it picks up
+    # the beta/sqrt(i) schedule at global k+1, not beta/sqrt(1).
+    continuity = next(
+        note for note in table.notes if "step size continuous" in note
+    )
+    resumed_at = int(re.search(r"beta/sqrt\((\d+)\)", continuity).group(1))
+    assert resumed_at > 1
+    # The transfer policy is recorded in the trace.
+    assert any(note.startswith("state transfer:") for note in table.notes)

@@ -65,6 +65,11 @@ def main():
         print(f"  switch at iteration {switch.iteration}: "
               f"{switch.from_plan} -> {switch.to_plan}")
         print(f"    because {switch.reason}")
+    # The switch carried the optimizer state, not just the weights: the
+    # post-switch segment records what the transfer policy kept/dropped.
+    for segment in adaptive.trace.segments[1:]:
+        for note in segment.state_transfer:
+            print(f"    state transfer: {note}")
     saved = one_shot.sim_seconds - adaptive.adaptive.sim_seconds
     print(f"saved vs one-shot: {saved:.2f} simulated seconds")
     print()

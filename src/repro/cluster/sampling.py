@@ -102,6 +102,18 @@ class _SamplerBase:
     def draw(self) -> SampleDraw:  # pragma: no cover - interface
         raise NotImplementedError
 
+    # -- carry-over hooks ------------------------------------------------
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot of sampler-internal cursors ({} if none).
+
+        The RNG stream is *not* part of it -- the executor snapshots the
+        shared RNG once for the whole run (samplers draw from it).
+        """
+        return {}
+
+    def load_state(self, payload) -> None:
+        """Restore cursors captured by :meth:`state_dict`."""
+
 
 class BernoulliSampler(_SamplerBase):
     """Full-scan Bernoulli sampling (the MLlib mechanism).
@@ -215,6 +227,24 @@ class ShuffledPartitionSampler(_SamplerBase):
         self._sim_cursor += size
         indices = self._next_physical(self._physical_size(size))
         return SampleDraw(indices, sim_size=size, partitions=(self._pid,))
+
+    def state_dict(self):
+        if self._pid is None:
+            return {}
+        return {
+            "pid": int(self._pid),
+            "sim_cursor": int(self._sim_cursor),
+            "phys_order": [int(v) for v in self._phys_order],
+            "phys_cursor": int(self._phys_cursor),
+        }
+
+    def load_state(self, payload):
+        if not payload or "pid" not in payload:
+            return
+        self._pid = int(payload["pid"])
+        self._sim_cursor = int(payload["sim_cursor"])
+        self._phys_order = np.asarray(payload["phys_order"], dtype=np.int64)
+        self._phys_cursor = int(payload["phys_cursor"])
 
 
 class FullScanSampler(_SamplerBase):

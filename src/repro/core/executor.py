@@ -31,10 +31,11 @@ from repro.core.cost_model import (
     transform_cpu_per_unit,
     update_cpu,
 )
-from repro.core.reference_ops import default_operators
+from repro.core.reference_ops import default_operators, svrg_is_anchor
 from repro.core.result import TrainResult
 from repro.errors import PlanError
 from repro.gd.registry import updater_for
+from repro.gd.state import OptimizerState, capture_rng, restore_rng
 
 
 class PlanExecutor:
@@ -51,10 +52,21 @@ class PlanExecutor:
 
     ``initial_weights`` seeds the model vector after Stage runs, so a
     follow-up plan can resume from where a stopped one left off.
+
+    ``initial_state`` additionally resumes the *rest* of the optimizer
+    state -- the step-schedule position (global iteration offset),
+    updater buffers, SVRG anchor cadence, convergence-criterion memory
+    and the sampling RNG stream -- from an
+    :class:`~repro.gd.state.OptimizerState` a previous run exported
+    (every :class:`~repro.core.result.TrainResult` carries one).  With
+    both set, stop-at-k + resume reproduces the uninterrupted run
+    bit-identically for same-algorithm segments; a cross-algorithm
+    resume applies whatever the transfer policy kept (see
+    :meth:`OptimizerState.transfer_to`).
     """
 
     def __init__(self, engine, dataset, plan, training, operators=None,
-                 monitor=None, initial_weights=None):
+                 monitor=None, initial_weights=None, initial_state=None):
         self.engine = engine
         self.dataset = dataset
         self.plan = plan
@@ -64,6 +76,15 @@ class PlanExecutor:
             None if initial_weights is None
             else np.array(initial_weights, dtype=float, copy=True)
         )
+        self.initial_state = (
+            OptimizerState.from_dict(initial_state)
+            if isinstance(initial_state, dict) else initial_state
+        )
+        offset = (
+            0 if self.initial_state is None
+            else int(self.initial_state.iteration_offset)
+        )
+        self._iteration_offset = offset
         d = dataset.stats.d
         if operators is None and plan.algorithm == "svrg":
             from repro.core.reference_ops import svrg_operators
@@ -74,6 +95,7 @@ class PlanExecutor:
                 tolerance=training.tolerance,
                 max_iter=training.max_iter,
                 convergence=training.convergence,
+                iteration_offset=offset,
             )
         if operators is None:
             operators = default_operators(
@@ -85,9 +107,12 @@ class PlanExecutor:
                 max_iter=training.max_iter,
                 convergence=training.convergence,
                 updater=updater_for(plan.algorithm),
+                iteration_offset=offset,
             )
         self.ops = operators
         self._rng = np.random.default_rng(training.seed)
+        if self.initial_state is not None:
+            restore_rng(self._rng, self.initial_state.rng_state)
 
     # ------------------------------------------------------------------
     def run(self) -> TrainResult:
@@ -145,9 +170,11 @@ class PlanExecutor:
                 rng=self._rng,
             )
 
-        # Prime Converge with the initial weights so the first delta
-        # compares Update's output against w0.
-        self.ops.converge.converge(context.require("weights"), context)
+        converge_imported = self._import_state(context, sampler)
+        if not converge_imported:
+            # Prime Converge with the initial weights so the first delta
+            # compares Update's output against w0.
+            self.ops.converge.converge(context.require("weights"), context)
 
         anchor_every = getattr(self.ops, "anchor_every", None)
         deltas = []
@@ -159,7 +186,8 @@ class PlanExecutor:
         for i in range(1, training.max_iter + 1):
             context.put("iter", i)
             is_anchor = (
-                anchor_every is not None and (i % anchor_every) - 1 == 0
+                anchor_every is not None
+                and svrg_is_anchor(i, context, anchor_every)
             )
             if plan.is_stochastic and not is_anchor:
                 aggregated = self._stochastic_iteration(
@@ -222,6 +250,75 @@ class PlanExecutor:
             metrics=engine.metrics.snapshot(),
             timed_out=timed_out,
             stopped_by_monitor=stopped_by_monitor,
+            state=self._export_state(context, sampler, iterations),
+        )
+
+    # ------------------------------------------------------------------
+    def _import_state(self, context, sampler) -> bool:
+        """Seed context/operators/sampler from ``initial_state``.
+
+        Runs after Stage and the ``initial_weights`` injection.  All
+        operator hooks are duck-typed so custom bundles degrade to a
+        weights-only resume rather than crashing.  Returns True when the
+        Converge operator's memory was restored (the caller then skips
+        re-priming it).
+        """
+        state = self.initial_state
+        if state is None:
+            return False
+        context.put("iteration_offset", self._iteration_offset)
+        if state.updater_buffers and hasattr(self.ops.update,
+                                             "load_updater_state"):
+            if state.updater == getattr(self.ops.update, "updater_name",
+                                        None):
+                self.ops.update.load_updater_state(
+                    state.updater_buffers, self.dataset.stats.d
+                )
+        if state.svrg is not None and "weights_bar" in context:
+            context.put(
+                "weights_bar", np.asarray(state.svrg["w_bar"], dtype=float)
+            )
+            context.put("mu", np.asarray(state.svrg["mu"], dtype=float))
+            context.put("svrg_last_anchor", state.svrg.get("last_anchor"))
+        if sampler is not None and state.sampler is not None \
+                and hasattr(sampler, "load_state"):
+            sampler.load_state(state.sampler)
+        if state.convergence is not None and hasattr(self.ops.converge,
+                                                     "import_state"):
+            self.ops.converge.import_state(state.convergence)
+            return True
+        return False
+
+    def _export_state(self, context, sampler, iterations) -> OptimizerState:
+        """Snapshot the run's carry-over state at exit (duck-typed;
+        custom operator bundles export whatever hooks they provide)."""
+        svrg_state = None
+        if getattr(self.ops, "anchor_every", None) is not None \
+                and "weights_bar" in context:
+            svrg_state = {
+                "w_bar": np.asarray(
+                    context.require("weights_bar"), dtype=float
+                ).tolist(),
+                "mu": np.asarray(context.require("mu"), dtype=float).tolist(),
+                "last_anchor": context.get("svrg_last_anchor"),
+            }
+        sampler_state = None
+        if sampler is not None and hasattr(sampler, "state_dict"):
+            sampler_state = sampler.state_dict() or None
+        buffers = {}
+        if hasattr(self.ops.update, "export_updater_state"):
+            buffers = self.ops.update.export_updater_state()
+        convergence = None
+        if hasattr(self.ops.converge, "export_state"):
+            convergence = self.ops.converge.export_state()
+        return OptimizerState(
+            iteration_offset=self._iteration_offset + iterations,
+            updater=getattr(self.ops.update, "updater_name", "vanilla"),
+            updater_buffers=buffers,
+            svrg=svrg_state,
+            convergence=convergence,
+            rng_state=capture_rng(self._rng),
+            sampler=sampler_state,
         )
 
     # ------------------------------------------------------------------
@@ -309,9 +406,11 @@ class PlanExecutor:
 
 
 def execute_plan(engine, dataset, plan, training, operators=None,
-                 monitor=None, initial_weights=None) -> TrainResult:
+                 monitor=None, initial_weights=None,
+                 initial_state=None) -> TrainResult:
     """Convenience wrapper: build a :class:`PlanExecutor` and run it."""
     return PlanExecutor(
         engine, dataset, plan, training, operators,
         monitor=monitor, initial_weights=initial_weights,
+        initial_state=initial_state,
     ).run()

@@ -50,18 +50,28 @@ class ParseTransform(Transform):
 
 
 class DefaultStage(Stage):
-    """Listing 4: weights = 0-vector, step schedule, iteration counter."""
+    """Listing 4: weights = 0-vector, step schedule, iteration counter.
 
-    def __init__(self, d, step_size=1.0, tolerance=1e-3, max_iter=1000):
+    ``iteration_offset`` stages the *global* iteration count already
+    completed before this (resumed) segment: Update evaluates the step
+    schedule and the updater at ``iter + iteration_offset``, so a resumed
+    segment continues the ``beta/sqrt(i)`` decay at global ``k + 1``
+    instead of restarting at the schedule's largest first step.
+    """
+
+    def __init__(self, d, step_size=1.0, tolerance=1e-3, max_iter=1000,
+                 iteration_offset=0):
         self.d = int(d)
         self.step_size = step_size
         self.tolerance = float(tolerance)
         self.max_iter = int(max_iter)
+        self.iteration_offset = int(iteration_offset)
 
     def stage(self, context, data_sample=None):
         context.put("weights", np.zeros(self.d))
         context.put("step", make_step_size(self.step_size))
         context.put("iter", 0)
+        context.put("iteration_offset", self.iteration_offset)
         context.put("tolerance", self.tolerance)
         context.put("max_iter", self.max_iter)
         return data_sample
@@ -86,7 +96,12 @@ class GradientCompute(Compute):
 
 
 class WeightUpdate(Update):
-    """Listing 3: w <- w - alpha_i * direction(mean gradient)."""
+    """Listing 3: w <- w - alpha_i * direction(mean gradient).
+
+    Both the step schedule and the updater see the **global** iteration
+    ``iter + iteration_offset`` -- the schedule position and Adam's bias
+    correction are optimizer state that survives a plan switch.
+    """
 
     def __init__(self, updater=None):
         self.updater = updater or Updater()
@@ -100,12 +115,26 @@ class WeightUpdate(Update):
         if self._initialised_for != w.shape[0]:
             self.updater.reset(w.shape[0])
             self._initialised_for = w.shape[0]
-        i = context.require("iter")
+        i = context.require("iter") + context.get("iteration_offset", 0)
         step = context.require("step")
         mean_grad = grad_sum / count
         w_new = w - step(i) * self.updater.direction(mean_grad, i)
         context.put("weights", w_new)
         return w_new
+
+    # -- carry-over hooks (duck-typed by PlanExecutor) -------------------
+    @property
+    def updater_name(self) -> str:
+        return self.updater.name
+
+    def export_updater_state(self) -> dict:
+        return self.updater.state_dict()
+
+    def load_updater_state(self, buffers, d) -> None:
+        """Seed the updater's buffers for a d-dimensional resume."""
+        self.updater.reset(int(d))
+        self._initialised_for = int(d)
+        self.updater.load_state(buffers)
 
 
 class FixedSizeSample(Sample):
@@ -141,6 +170,16 @@ class L1Converge(Converge):
         self._previous = np.array(weights_new, copy=True)
         return delta
 
+    # -- carry-over hooks (duck-typed by PlanExecutor) -------------------
+    def export_state(self):
+        if self._previous is None:
+            return None
+        return {"previous": self._previous.tolist()}
+
+    def import_state(self, payload) -> None:
+        if payload is not None and "previous" in payload:
+            self._previous = np.asarray(payload["previous"], dtype=float)
+
 
 class ToleranceLoop(Loop):
     """Listing 6 plus the iteration cap: continue while delta >= tol."""
@@ -164,16 +203,20 @@ def default_operators(
     convergence="l1",
     updater=None,
     feature_scale=1.0,
+    iteration_offset=0,
 ) -> GDOperators:
     """The reference operator bundle for BGD/MGD/SGD plans.
 
     ``batch_size=None`` omits the Sample operator (a BGD plan, Figure
     3(b)); any positive value yields the stochastic plan of Figure 3(a).
+    ``iteration_offset`` resumes the step schedule / updater at that
+    many completed global iterations (see :class:`DefaultStage`).
     """
     sample = FixedSizeSample(batch_size) if batch_size else None
     return GDOperators(
         transform=ParseTransform(feature_scale),
-        stage=DefaultStage(d, step_size, tolerance, max_iter),
+        stage=DefaultStage(d, step_size, tolerance, max_iter,
+                           iteration_offset=iteration_offset),
         compute=GradientCompute(gradient),
         update=WeightUpdate(updater),
         sample=sample,
@@ -186,12 +229,32 @@ def default_operators(
 # SVRG expressed in the abstraction (Appendix C, Listing 8)
 # ---------------------------------------------------------------------------
 
+def svrg_is_anchor(i, context, m) -> bool:
+    """Whether local iteration ``i`` is an SVRG anchor pass.
+
+    Cadence is tracked by ``svrg_last_anchor`` -- the *global* iteration
+    of the most recent anchor -- so it survives segment boundaries: a
+    resumed same-algorithm segment anchors every ``m`` global iterations
+    as if never interrupted, while a segment entered without SVRG state
+    (``svrg_last_anchor`` is None, e.g. after a cross-algorithm plan
+    switch) recomputes its anchor immediately on entry.  For fresh runs
+    this reproduces the paper's ``(i % m) - 1 == 0`` schedule exactly;
+    bundles whose context predates the tracking key (no
+    ``svrg_last_anchor`` staged) fall back to that modulo rule.
+    """
+    if "svrg_last_anchor" not in context:
+        return (i % m) - 1 == 0
+    last = context.get("svrg_last_anchor")
+    gi = i + context.get("iteration_offset", 0)
+    return last is None or gi - last >= m
+
+
 class SVRGCompute(Compute):
     """Listing 8: if-else on the iteration flattens SVRG's nested loops.
 
-    Anchor iterations ((i % m) - 1 == 0) emit the plain gradient partial;
-    other iterations emit the pair (grad at w, grad at w_bar) so Update
-    can form the variance-reduced direction.
+    Anchor iterations emit the plain gradient partial; other iterations
+    emit the pair (grad at w, grad at w_bar) so Update can form the
+    variance-reduced direction.  Anchor cadence: :func:`svrg_is_anchor`.
     """
 
     def __init__(self, gradient, update_frequency):
@@ -204,7 +267,7 @@ class SVRGCompute(Compute):
         w = context.require("weights")
         i = context.require("iter")
         n = X.shape[0]
-        if (i % self.m) - 1 == 0:
+        if svrg_is_anchor(i, context, self.m):
             grad = self.gradient.gradient(w, X, y)
             return grad * n, np.zeros_like(grad), n, True
         w_bar = context.require("weights_bar")
@@ -217,19 +280,25 @@ class SVRGCompute(Compute):
 
 
 class SVRGUpdate(Update):
-    """The Appendix C update rule with anchor bookkeeping."""
+    """The Appendix C update rule with anchor bookkeeping.
+
+    An anchor pass re-anchors at the *current* weights (``weights_bar``
+    <- w) and records the global anchor iteration, so resumed segments
+    -- which always enter on carried weights -- anchor correctly instead
+    of at the staged zero vector.
+    """
 
     def update(self, aggregated, context):
         grad_sum, grad_bar_sum, count, is_anchor = aggregated
         if count <= 0:
             raise PlanError("Update received an empty aggregate")
         w = context.require("weights")
-        i = context.require("iter")
+        i = context.require("iter") + context.get("iteration_offset", 0)
         step = context.require("step")
         alpha = step(i)
         if is_anchor:
-            if i > 1:
-                context.put("weights_bar", w.copy())
+            context.put("weights_bar", w.copy())
+            context.put("svrg_last_anchor", i)
             mu = grad_sum / count
             context.put("mu", mu)
             w_new = w - alpha * mu
@@ -248,6 +317,7 @@ class SVRGStage(DefaultStage):
         out = super().stage(context, data_sample)
         context.put("weights_bar", np.zeros(self.d))
         context.put("mu", np.zeros(self.d))
+        context.put("svrg_last_anchor", None)
         return out
 
 
@@ -259,6 +329,7 @@ def svrg_operators(
     tolerance=1e-3,
     max_iter=1000,
     convergence="l1",
+    iteration_offset=0,
 ) -> GDOperators:
     """SVRG as a GDOperators bundle (same plan shape as SGD, Figure 3(a)).
 
@@ -268,7 +339,8 @@ def svrg_operators(
     """
     ops = GDOperators(
         transform=ParseTransform(),
-        stage=SVRGStage(d, step_size, tolerance, max_iter),
+        stage=SVRGStage(d, step_size, tolerance, max_iter,
+                        iteration_offset=iteration_offset),
         compute=SVRGCompute(gradient, update_frequency),
         update=SVRGUpdate(),
         sample=FixedSizeSample(1),

@@ -28,6 +28,12 @@ class TrainResult:
     #: True when an execution monitor (e.g. the adaptive runtime's
     #: convergence monitor) requested a graceful stop mid-training.
     stopped_by_monitor: bool = False
+    #: Carry-over :class:`~repro.gd.state.OptimizerState` snapshot at
+    #: exit (schedule position, updater buffers, SVRG anchor, RNG
+    #: stream); feeding it back via ``execute_plan(initial_state=...)``
+    #: resumes the run bit-identically.  None for custom executors that
+    #: predate state export.
+    state: object = None
 
     @property
     def final_delta(self) -> float:

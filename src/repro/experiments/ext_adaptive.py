@@ -23,6 +23,8 @@ simulated seconds are pure execution-cost differences.
 
 from __future__ import annotations
 
+import math
+
 from repro.core.executor import execute_plan
 from repro.core.optimizer import GDOptimizer
 from repro.core.plans import TrainingSpec
@@ -40,6 +42,14 @@ from repro.service import OptimizerService
 PERTURB_FACTORS = (0.25, 0.125, 0.0625)
 
 DATASET = "adult"
+
+#: The switch-heavy scenario pits the two adaptive-direction MGD
+#: variants against each other: both keep updater buffers *and* ride the
+#: MLlib ``beta/sqrt(i)`` schedule, so a mid-flight switch that resets
+#: optimizer state pays maximally (schedule restart + zeroed buffers +
+#: Adam bias-correction restart).
+SWITCH_ALGORITHMS = ("momentum", "adam")
+SWITCH_TOLERANCE = 1e-2
 
 
 def _optimizer(ctx, seed_offset, cost_model=None, calibration=None):
@@ -189,6 +199,123 @@ def run(ctx=None) -> Table:
         title="Adaptive runtime vs one-shot optimizer under a perturbed "
               "cost model",
         columns=["mode", "plan", "iterations", "sim_s", "switches"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def run_switch(ctx=None) -> Table:
+    """Switch-heavy scenario: optimizer-state carry-over vs legacy reset.
+
+    A perturbed cost model forces a mis-pick between momentum and Adam;
+    the convergence/cost monitor notices and switches mid-flight (twice,
+    with the default switch budget).  The same switched run is executed
+    twice: with full :class:`~repro.gd.state.OptimizerState` carry-over
+    (the fix) and with the legacy weights-only behaviour where every
+    post-switch segment restarts the MLlib ``beta/sqrt(i)`` schedule at
+    iteration 1 and zeroes the updater buffers.  The carried run resumes
+    the schedule at global ``k + 1`` -- its first post-switch step is
+    *continuous* -- while the reset run's ``beta/sqrt(1)`` restart
+    undoes banked progress and rides the iteration cap.
+    """
+    ctx = ctx or ExperimentContext.from_env()
+    dataset = ctx.dataset(DATASET)
+    training = TrainingSpec(
+        task="logreg",
+        tolerance=SWITCH_TOLERANCE,
+        max_iter=ctx.max_iter,
+        seed=ctx.seed,
+    )
+    estimates = ctx.estimator().estimate_all(
+        dataset.X,
+        dataset.y,
+        training.gradient(),
+        target_tolerance=training.tolerance,
+        step_size=training.step_size,
+        convergence=training.convergence,
+        algorithms=SWITCH_ALGORITHMS,
+    )
+
+    def optimizer(seed_offset, cost_model=None):
+        return GDOptimizer(
+            ctx.engine(seed_offset),
+            estimator=ctx.estimator(),
+            algorithms=SWITCH_ALGORITHMS,
+            cost_model=cost_model,
+        )
+
+    honest = optimizer(1).optimize(
+        dataset, training, iteration_estimates=estimates
+    )
+    victim = next(
+        c.plan.algorithm
+        for c in honest.ranking()
+        if c.plan.algorithm != honest.chosen_plan.algorithm
+    )
+    perturbed_model = None
+    report = None
+    factor = None
+    for candidate_factor in PERTURB_FACTORS:
+        model = PerturbedCostModel(ctx.spec, {victim: candidate_factor})
+        candidate = optimizer(2, cost_model=model).optimize(
+            dataset, training, iteration_estimates=estimates
+        )
+        if candidate.chosen_plan.algorithm == victim:
+            perturbed_model, report, factor = model, candidate, candidate_factor
+            break
+    if report is None:
+        raise RuntimeError(
+            f"fault injection failed: under-pricing {victim} never flipped "
+            f"the optimizer away from {honest.chosen_plan}"
+        )
+
+    rows = []
+    results = {}
+    for mode, carry in (("state carried", True), ("state reset (legacy)",
+                                                  False)):
+        trainer = AdaptiveTrainer(
+            optimizer(3, cost_model=perturbed_model), carry_state=carry
+        )
+        outcome = trainer.train(dataset, training, report=report)
+        results[mode] = outcome
+        rows.append({
+            "mode": mode,
+            "plan": " -> ".join(s.plan for s in outcome.trace.segments),
+            "iterations": outcome.iterations,
+            "sim_s": round(outcome.sim_seconds, 2),
+            "switches": len(outcome.trace.switches),
+            "converged": outcome.converged,
+        })
+
+    carried = results["state carried"]
+    notes = [
+        f"fault injection: cost model x{factor:g} on {victim}; honest "
+        f"choice was {honest.chosen_plan}",
+    ]
+    if carried.trace.switches:
+        switch_iteration = carried.trace.switches[0].iteration
+        beta = (
+            float(training.step_size)
+            if isinstance(training.step_size, (int, float)) else 1.0
+        )
+        resumed_alpha = beta / math.sqrt(switch_iteration + 1)
+        post = carried.trace.segments[1]
+        carried_offset = (post.state or {}).get("iteration_offset", 0) \
+            - post.iterations
+        notes.append(
+            f"post-switch step size continuous: beta/sqrt("
+            f"{switch_iteration + 1}) = {resumed_alpha:.4f} at global "
+            f"iteration {carried_offset + 1} (a state-reset run restarts "
+            f"at beta/sqrt(1) = {beta:g})"
+        )
+        for note in post.state_transfer:
+            notes.append(f"state transfer: {note}")
+    return Table(
+        experiment="Extension D (switch-heavy)",
+        title="Mid-flight switches with optimizer-state carry-over vs "
+              "legacy weights-only reset",
+        columns=["mode", "plan", "iterations", "sim_s", "switches",
+                 "converged"],
         rows=rows,
         notes=notes,
     )

@@ -53,6 +53,10 @@ EXPERIMENTS = {
                    "Extension: cost-based hyperparameter tuning"),
     "ext_adaptive": (ext_adaptive.run,
                      "Extension: adaptive runtime vs one-shot optimizer"),
+    "ext_adaptive_switch": (
+        ext_adaptive.run_switch,
+        "Extension: optimizer-state carry-over across mid-flight switches",
+    ),
 }
 
 

@@ -30,13 +30,16 @@ from repro.gd.line_search import backtracking_bgd
 from repro.gd.mgd import mgd
 from repro.gd.registry import ALGORITHMS, CORE_ALGORITHMS, AlgorithmInfo, info, run
 from repro.gd.sgd import sgd
+from repro.gd.state import STATE_FORMAT, OptimizerState, capture_rng, restore_rng
 from repro.gd.step_size import (
     ConstantStep,
     InverseSqrtStep,
     InverseSquaredStep,
     InverseStep,
+    OffsetStep,
     StepSize,
     make_step_size,
+    with_offset,
 )
 from repro.gd.svrg import svrg
 
@@ -69,11 +72,17 @@ __all__ = [
     "info",
     "run",
     "sgd",
+    "STATE_FORMAT",
+    "OptimizerState",
+    "capture_rng",
+    "restore_rng",
     "ConstantStep",
     "InverseSqrtStep",
     "InverseSquaredStep",
     "InverseStep",
+    "OffsetStep",
     "StepSize",
     "make_step_size",
+    "with_offset",
     "svrg",
 ]

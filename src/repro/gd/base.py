@@ -26,7 +26,8 @@ import numpy as np
 
 from repro.errors import PlanError
 from repro.gd.convergence import make_convergence
-from repro.gd.step_size import make_step_size
+from repro.gd.state import OptimizerState, capture_rng, restore_rng
+from repro.gd.step_size import make_step_size, with_offset
 
 
 @dataclasses.dataclass
@@ -41,6 +42,9 @@ class GDRunResult:
     deltas: np.ndarray
     elapsed_s: float
     losses: np.ndarray | None = None
+    #: Carry-over snapshot at exit (schedule position, updater buffers,
+    #: RNG stream); feed it back as ``state=`` to resume bit-identically.
+    state: OptimizerState | None = None
 
     @property
     def final_delta(self) -> float:
@@ -63,7 +67,19 @@ class Updater:
         """Prepare state for a d-dimensional problem."""
 
     def direction(self, grad, i) -> np.ndarray:
+        """Update direction for *global* iteration ``i`` (1-based).
+
+        Resumed segments pass ``offset + local_i`` so stateful variants
+        (notably Adam's bias correction) continue where they left off.
+        """
         return grad
+
+    def state_dict(self) -> dict:
+        """JSON-ready snapshot of the internal buffers ({} if none)."""
+        return {}
+
+    def load_state(self, buffers) -> None:
+        """Restore buffers captured by :meth:`state_dict` (after reset)."""
 
 
 class MomentumUpdater(Updater):
@@ -83,6 +99,13 @@ class MomentumUpdater(Updater):
         self._v = self.gamma * self._v + grad
         return self._v
 
+    def state_dict(self):
+        return {} if self._v is None else {"v": self._v.tolist()}
+
+    def load_state(self, buffers):
+        if "v" in buffers:
+            self._v = np.asarray(buffers["v"], dtype=float)
+
 
 class AdaGradUpdater(Updater):
     """AdaGrad: per-coordinate scaling by accumulated squared gradients."""
@@ -98,6 +121,13 @@ class AdaGradUpdater(Updater):
     def direction(self, grad, i):
         self._acc += grad * grad
         return grad / (np.sqrt(self._acc) + self.eps)
+
+    def state_dict(self):
+        return {} if self._acc is None else {"acc": self._acc.tolist()}
+
+    def load_state(self, buffers):
+        if "acc" in buffers:
+            self._acc = np.asarray(buffers["acc"], dtype=float)
 
 
 class AdamUpdater(Updater):
@@ -119,6 +149,17 @@ class AdamUpdater(Updater):
         m_hat = self._m / (1 - self.beta1 ** i)
         v_hat = self._v / (1 - self.beta2 ** i)
         return m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self):
+        if self._m is None:
+            return {}
+        return {"m": self._m.tolist(), "v": self._v.tolist()}
+
+    def load_state(self, buffers):
+        if "m" in buffers:
+            self._m = np.asarray(buffers["m"], dtype=float)
+        if "v" in buffers:
+            self._v = np.asarray(buffers["v"], dtype=float)
 
 
 def full_batch_selector(i, rng):
@@ -155,22 +196,42 @@ def run_loop(
     record_loss=False,
     time_budget_s=None,
     iteration_callback=None,
+    state=None,
 ):
     """Run the canonical GD loop; returns :class:`GDRunResult`.
 
     ``time_budget_s`` stops the loop once the *wall-clock* budget is
     consumed (Algorithm 1 uses this during speculation).
     ``iteration_callback(i, w, delta)`` is invoked after each iteration;
-    returning True stops the loop early.
+    returning True stops the loop early -- but convergence always wins:
+    a run that reaches the tolerance on its stopping iteration reports
+    ``converged=True`` (the same ordering as
+    :class:`~repro.core.executor.PlanExecutor`).
+
+    ``state`` resumes a stopped run from its exported
+    :class:`~repro.gd.state.OptimizerState`: the step schedule and the
+    updater continue at global iteration ``state.iteration_offset + 1``
+    (never back at 1), matching updater buffers are restored, and the
+    RNG stream picks up exactly where it left off -- together with
+    ``w0`` set to the stopped run's weights this makes stop-and-resume
+    bit-identical to an uninterrupted run.  Every run exports a fresh
+    snapshot in ``GDRunResult.state``.
     """
     n, d = X.shape
     if n == 0:
         raise PlanError("cannot train on an empty dataset")
     rng = rng if rng is not None else np.random.default_rng(0)
-    step = make_step_size(step_size)
+    offset = 0
+    if state is not None:
+        offset = int(state.iteration_offset)
+        restore_rng(rng, state.rng_state)
+    step = with_offset(step_size, offset)
     criterion = make_convergence(convergence)
     updater = updater or Updater()
     updater.reset(d)
+    if state is not None and state.updater_buffers \
+            and state.updater == updater.name:
+        updater.load_state(state.updater_buffers)
 
     w = np.zeros(d) if w0 is None else np.asarray(w0, dtype=float).copy()
     if w.shape != (d,):
@@ -183,19 +244,23 @@ def run_loop(
     iterations = 0
 
     for i in range(1, max_iter + 1):
-        batch = batch_selector(i, rng)
+        batch = batch_selector(offset + i, rng)
         grad = gradient.gradient(w, X[batch], y[batch])
-        w_new = w - step.step(i) * updater.direction(grad, i)
+        w_new = w - step.step(i) * updater.direction(grad, offset + i)
         delta = criterion.delta(w, w_new)
         w = w_new
         deltas.append(delta)
         if record_loss:
             losses.append(gradient.loss(w, X, y))
         iterations = i
-        if iteration_callback is not None and iteration_callback(i, w, delta):
-            break
+        stop_requested = (
+            iteration_callback is not None
+            and iteration_callback(i, w, delta)
+        )
         if delta < tolerance:
             converged = True
+            break
+        if stop_requested:
             break
         if time_budget_s is not None and time.perf_counter() - start > time_budget_s:
             break
@@ -207,4 +272,10 @@ def run_loop(
         deltas=np.asarray(deltas),
         elapsed_s=time.perf_counter() - start,
         losses=np.asarray(losses) if record_loss else None,
+        state=OptimizerState(
+            iteration_offset=offset + iterations,
+            updater=updater.name,
+            updater_buffers=updater.state_dict(),
+            rng_state=capture_rng(rng),
+        ),
     )

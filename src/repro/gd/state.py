@@ -1,0 +1,183 @@
+"""The :class:`OptimizerState`: everything a GD run is besides its weights.
+
+The paper's premise for cheap mid-flight plan switches is that "the model
+state survives" the switch -- but the model state is more than the weight
+vector.  The MLlib step schedule ``beta/sqrt(i)`` has a *position*;
+momentum/AdaGrad/Adam keep direction buffers; Adam's bias correction
+depends on the global iteration count; SVRG owns an anchor point and its
+full-batch gradient; the sampler and the driver RNG have streams mid-way
+through.  Restarting any of these at a switch silently re-runs the early,
+large-step regime of the schedule -- a giant ``beta/sqrt(1)`` step that
+can undo hundreds of iterations of progress and poisons the telemetry the
+calibration loop learns from.
+
+:class:`OptimizerState` is the JSON-round-trippable snapshot of all of
+it.  :func:`~repro.gd.base.run_loop`, :func:`~repro.gd.svrg.svrg` and
+:class:`~repro.core.executor.PlanExecutor` export one on every exit
+(graceful stops included) and import one on resume, so
+
+    run(N iterations)  ==  run(k) -> snapshot -> resume(N - k)
+
+holds **bit-identically** for same-algorithm segments.
+
+**Cross-algorithm transfer policy** (:meth:`OptimizerState.transfer_to`),
+applied by the adaptive trainer when a switch changes the plan:
+
+* the **iteration offset always carries** -- the schedule position is part
+  of the optimizer's state, not a per-plan detail: a resumed segment
+  continues at global iteration ``k + 1``, never restarts at 1;
+* **updater buffers carry when the target updater matches** the one that
+  wrote them, and are dropped with a recorded ``state_transfer`` note
+  otherwise (an AdaGrad accumulator means nothing to Adam);
+* **SVRG recomputes its anchor on segment entry** -- anchor/``mu`` are
+  dropped so the first iteration of the new segment takes a fresh
+  full-batch gradient at the carried weights;
+* **sampler cursors are dropped** on a plan change (they are positions
+  inside a specific plan's sampling strategy), while the **RNG stream
+  carries** so a switched run never replays the sample sequence it
+  already consumed.
+
+The weight vector itself is *not* duplicated here: every caller already
+carries it (``TrainResult.weights`` / ``initial_weights``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import PlanError
+
+#: Format version of one serialized OptimizerState snapshot.  Bump when
+#: the payload shape changes incompatibly; readers refuse newer formats
+#: (resume from an unreadable snapshot would be silently wrong).
+STATE_FORMAT = 1
+
+#: Canonical updater name of vanilla (buffer-free) gradient descent.
+VANILLA = "vanilla"
+
+
+def known_fields(cls, payload) -> dict:
+    """Subset of ``payload`` limited to ``cls``'s declared dataclass
+    fields.
+
+    The forward-compatibility rule shared by every JSON-round-tripped
+    dataclass in the carry-over/trace stack: a payload written by a
+    newer format must degrade to its readable subset on older-shaped
+    readers, never raise ``TypeError`` at construction.
+    """
+    known = {f.name for f in dataclasses.fields(cls)}
+    return {k: v for k, v in payload.items() if k in known}
+
+
+def capture_rng(rng) -> dict | None:
+    """JSON-serializable snapshot of a numpy Generator's stream position.
+
+    The bit-generator state dict contains only strings and (arbitrary
+    precision) ints, which JSON round-trips exactly.
+    """
+    if rng is None:
+        return None
+    return dict(rng.bit_generator.state)
+
+
+def restore_rng(rng, payload) -> None:
+    """Put ``rng`` exactly where :func:`capture_rng` observed it."""
+    if payload is not None:
+        rng.bit_generator.state = payload
+
+
+@dataclasses.dataclass
+class OptimizerState:
+    """JSON-round-trippable snapshot of a GD run's non-weight state.
+
+    All array-valued fields hold plain lists (not numpy arrays), so
+    ``to_dict`` is a shallow affair and ``json.dumps`` works directly.
+    """
+
+    #: Global iterations already completed: a resumed segment's local
+    #: iteration ``i`` runs the schedule/updater at ``offset + i``.
+    iteration_offset: int = 0
+    #: Canonical name of the updater that owns ``updater_buffers``
+    #: (e.g. ``"momentum(0.9)"``, ``"adam"``, ``"vanilla"``).
+    updater: str = VANILLA
+    #: Updater buffers by buffer name (momentum velocity, AdaGrad
+    #: accumulator, Adam moments), as nested float lists.
+    updater_buffers: dict = dataclasses.field(default_factory=dict)
+    #: SVRG anchor state: ``{"w_bar": [...], "mu": [...],
+    #: "last_anchor": int}`` where ``last_anchor`` is the *global*
+    #: iteration of the most recent anchor pass; None for non-SVRG runs.
+    svrg: dict | None = None
+    #: Convergence-criterion state (the reference Converge operator's
+    #: previous-weights memory): ``{"previous": [...]}`` or None.
+    convergence: dict | None = None
+    #: numpy bit-generator state of the driver RNG (sample draws), or
+    #: None when the run had no stochastic component.
+    rng_state: dict | None = None
+    #: Plan-specific sampler cursors (e.g. the shuffled-partition
+    #: sampler's permutation + position), or None.
+    sampler: dict | None = None
+    #: Transfer-policy notes: what the last :meth:`transfer_to` carried
+    #: and what it dropped (human-readable, recorded into the trace).
+    notes: list = dataclasses.field(default_factory=list)
+
+    # -- serialisation ---------------------------------------------------
+    def to_dict(self) -> dict:
+        payload = dataclasses.asdict(self)
+        payload["state_format"] = STATE_FORMAT
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload) -> "OptimizerState":
+        """Decode a snapshot; tolerant of unknown keys (newer writers may
+        add fields), strict about newer format versions."""
+        fmt = payload.get("state_format", STATE_FORMAT)
+        if fmt > STATE_FORMAT:
+            raise PlanError(
+                f"optimizer-state format {fmt} is newer than supported "
+                f"{STATE_FORMAT}; refusing to resume from it"
+            )
+        return cls(**known_fields(cls, payload))
+
+    # -- transfer policy -------------------------------------------------
+    def transfer_to(self, algorithm) -> "OptimizerState":
+        """State to hand the next plan segment when the plan *changes*.
+
+        Returns a new :class:`OptimizerState`; ``notes`` on the result
+        records every carry/drop decision (the adaptive trainer writes
+        them into the segment's ``state_transfer`` field).  Same-plan
+        continuations should pass the state through untouched instead --
+        this method implements the *cross-plan* policy.
+        """
+        from repro.gd.registry import updater_for  # local: avoids a cycle
+
+        target = updater_for(algorithm)
+        target_name = target.name if target is not None else VANILLA
+        notes = [f"iteration offset {self.iteration_offset} carried: "
+                 f"schedule resumes at global iteration "
+                 f"{self.iteration_offset + 1}"]
+
+        buffers = {}
+        if self.updater_buffers:
+            if self.updater == target_name:
+                buffers = self.updater_buffers
+                notes.append(f"{self.updater} buffers carried "
+                             f"(target updater matches)")
+            else:
+                notes.append(f"{self.updater} buffers dropped: target "
+                             f"updater is {target_name}")
+        if self.svrg is not None:
+            notes.append("svrg anchor dropped: anchor and mu are "
+                         "recomputed on segment entry")
+        if self.sampler is not None:
+            notes.append("sampler cursors dropped (plan-specific); "
+                         "rng stream carried")
+        return OptimizerState(
+            iteration_offset=self.iteration_offset,
+            updater=target_name,
+            updater_buffers=buffers,
+            svrg=None,
+            convergence=self.convergence,
+            rng_state=self.rng_state,
+            sampler=None,
+            notes=notes,
+        )

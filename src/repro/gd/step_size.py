@@ -79,6 +79,43 @@ class InverseSquaredStep(StepSize):
         return self.beta / (i * i)
 
 
+class OffsetStep(StepSize):
+    """Resume wrapper: evaluates a schedule at ``i + offset``.
+
+    A training segment that resumes after ``offset`` completed global
+    iterations keeps counting locally from 1; wrapping its schedule in
+    an :class:`OffsetStep` makes ``step(1)`` continue the decay at
+    global iteration ``offset + 1`` instead of restarting at the
+    schedule's (largest) first step -- for the MLlib default that
+    restart would be a full ``beta/sqrt(1)`` step capable of undoing
+    hundreds of iterations of progress.
+    """
+
+    def __init__(self, base, offset):
+        if offset < 0:
+            raise PlanError("iteration offset must be >= 0")
+        self.base = make_step_size(base)
+        self.offset = int(offset)
+        self.name = f"{self.base.name} @+{self.offset}"
+
+    def step(self, i):
+        return self.base.step(i + self.offset)
+
+
+def with_offset(spec, offset=0) -> StepSize:
+    """Schedule for a resumed segment: ``spec`` shifted by ``offset``.
+
+    ``offset=0`` returns the plain schedule (no wrapper in the fresh
+    path); an already-wrapped schedule composes (offsets add).
+    """
+    base = make_step_size(spec)
+    if not offset:
+        return base
+    if isinstance(base, OffsetStep):
+        return OffsetStep(base.base, base.offset + int(offset))
+    return OffsetStep(base, offset)
+
+
 _FACTORIES = {
     "constant": ConstantStep,
     "inv_sqrt": InverseSqrtStep,

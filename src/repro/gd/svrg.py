@@ -19,7 +19,8 @@ import numpy as np
 from repro.errors import PlanError
 from repro.gd.base import GDRunResult
 from repro.gd.convergence import make_convergence
-from repro.gd.step_size import make_step_size
+from repro.gd.state import OptimizerState, capture_rng, restore_rng
+from repro.gd.step_size import make_step_size, with_offset
 
 
 def svrg(
@@ -35,6 +36,7 @@ def svrg(
     rng=None,
     time_budget_s=None,
     iteration_callback=None,
+    state=None,
 ):
     """Run SVRG; returns :class:`~repro.gd.base.GDRunResult`.
 
@@ -42,6 +44,17 @@ def svrg(
     any schedule accepted by :func:`~repro.gd.step_size.make_step_size`
     works.  Note a *number* is interpreted as a constant step here, unlike
     the MLlib-style default elsewhere, matching [15]'s usage.
+
+    Anchor cadence is tracked as the *global* iteration of the last
+    anchor pass (every ``update_frequency`` global iterations), so a run
+    resumed from an exported :class:`~repro.gd.state.OptimizerState`
+    (``state=``, with ``w0`` set to the stopped run's weights) keeps the
+    anchor schedule, ``w_bar``/``mu`` and the RNG stream -- bit-identical
+    to the uninterrupted run.  A resume *without* SVRG state (e.g. after
+    a cross-algorithm plan switch) recomputes the anchor immediately:
+    the first iteration is a full-batch anchor pass at the carried
+    weights.  Convergence always wins over ``iteration_callback`` stops,
+    matching :class:`~repro.core.executor.PlanExecutor`.
     """
     n, d = X.shape
     if n == 0:
@@ -58,6 +71,16 @@ def svrg(
     w = np.zeros(d) if w0 is None else np.asarray(w0, dtype=float).copy()
     w_bar = w.copy()
     mu = np.zeros(d)
+    last_anchor = None
+    offset = 0
+    if state is not None:
+        offset = int(state.iteration_offset)
+        restore_rng(rng, state.rng_state)
+        if state.svrg is not None:
+            w_bar = np.asarray(state.svrg["w_bar"], dtype=float)
+            mu = np.asarray(state.svrg["mu"], dtype=float)
+            last_anchor = state.svrg.get("last_anchor")
+    step = with_offset(step, offset)
 
     deltas = []
     converged = False
@@ -66,11 +89,12 @@ def svrg(
 
     for t in range(1, max_iter + 1):
         alpha = step.step(t)
-        if (t % update_frequency) - 1 == 0:
+        gt = offset + t
+        if last_anchor is None or gt - last_anchor >= update_frequency:
             # Anchor iteration: full-batch gradient at the new anchor.
-            if t > 1:
-                w_bar = w.copy()
+            w_bar = w.copy()
             mu = gradient.gradient(w_bar, X, y)
+            last_anchor = gt
             w_new = w - alpha * mu
         else:
             i = int(rng.integers(0, n))
@@ -83,10 +107,14 @@ def svrg(
         w = w_new
         deltas.append(delta)
         iterations = t
-        if iteration_callback is not None and iteration_callback(t, w, delta):
-            break
+        stop_requested = (
+            iteration_callback is not None
+            and iteration_callback(t, w, delta)
+        )
         if delta < tolerance:
             converged = True
+            break
+        if stop_requested:
             break
         if time_budget_s is not None and time.perf_counter() - start > time_budget_s:
             break
@@ -97,4 +125,13 @@ def svrg(
         converged=converged,
         deltas=np.asarray(deltas),
         elapsed_s=time.perf_counter() - start,
+        state=OptimizerState(
+            iteration_offset=offset + iterations,
+            svrg={
+                "w_bar": w_bar.tolist(),
+                "mu": mu.tolist(),
+                "last_anchor": last_anchor,
+            },
+            rng_state=capture_rng(rng),
+        ),
     )

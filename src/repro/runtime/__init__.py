@@ -33,7 +33,9 @@ from repro.runtime.telemetry import (
     ConvergenceMonitor,
     TelemetryRecorder,
 )
+from repro.gd.state import OptimizerState
 from repro.runtime.trace import (
+    TRACE_FORMAT,
     ExecutionTrace,
     IterationRecord,
     PlanSegment,
@@ -50,8 +52,10 @@ __all__ = [
     "Correction",
     "ExecutionTrace",
     "IterationRecord",
+    "OptimizerState",
     "PerturbedCostModel",
     "PlanSegment",
+    "TRACE_FORMAT",
     "SwitchEvent",
     "TelemetryRecorder",
     "cluster_signature",

@@ -13,7 +13,14 @@ static cost model, then pays for any mis-estimate until convergence.
    the trainer re-runs plan selection over the *remaining* error budget
    -- remaining iterations per algorithm from the curves, observed
    per-iteration cost folded in for the running algorithm -- and resumes
-   training under the winning plan from the current weights.
+   training under the winning plan from the current weights **and the
+   current optimizer state**: the exported
+   :class:`~repro.gd.state.OptimizerState` (step-schedule position,
+   updater buffers, RNG stream, ...) is passed through the cross-plan
+   transfer policy (:meth:`OptimizerState.transfer_to`) and imported by
+   the next segment, so the MLlib ``beta/sqrt(i)`` schedule continues at
+   global iteration ``k + 1`` instead of restarting with a giant
+   ``beta/sqrt(1)`` step that undoes banked progress.
 
 Every run produces an :class:`~repro.runtime.trace.ExecutionTrace`;
 when a :class:`~repro.runtime.calibration.CalibrationStore` is supplied
@@ -88,12 +95,22 @@ class AdaptiveTrainer:
     ``optimizer`` is a configured :class:`~repro.core.optimizer.GDOptimizer`
     (its engine carries the simulated clock across segments).
     ``calibration`` optionally receives the run's execution trace.
+
+    ``carry_state`` (default True) carries the full
+    :class:`~repro.gd.state.OptimizerState` across segments -- schedule
+    position, updater buffers, RNG stream -- applying the cross-plan
+    transfer policy on every switch.  ``carry_state=False`` reproduces
+    the legacy weights-only behaviour (every segment restarts the step
+    schedule at iteration 1 and zeroes its buffers); it exists for A/B
+    measurement of the carry-over fix, not for production use.
     """
 
-    def __init__(self, optimizer, settings=None, calibration=None):
+    def __init__(self, optimizer, settings=None, calibration=None,
+                 carry_state=True):
         self.optimizer = optimizer
         self.settings = settings or AdaptiveSettings()
         self.calibration = calibration
+        self.carry_state = bool(carry_state)
 
     # ------------------------------------------------------------------
     def train(self, dataset, training, fixed_iterations=None,
@@ -121,6 +138,8 @@ class AdaptiveTrainer:
         )
         chosen = report.chosen
         weights = None
+        carried_state = None
+        entry_notes = []
         switches_left = self.settings.max_switches
         iteration_budget = (
             int(fixed_iterations) if fixed_iterations is not None
@@ -132,17 +151,20 @@ class AdaptiveTrainer:
         while True:
             remaining = iteration_budget - done_iterations
             monitor = self._monitor(chosen, estimates, training,
-                                    monitoring=switches_left > 0)
+                                    monitoring=switches_left > 0,
+                                    iteration_offset=done_iterations)
             segment_training = self._segment_training(
                 training, remaining, run_start
             )
             result = execute_plan(
                 engine, dataset, chosen.plan, segment_training,
                 monitor=monitor, initial_weights=weights,
+                initial_state=carried_state,
             )
             segment = segment_from_result(
                 result, chosen,
                 observed_per_iteration_s=monitor.observed_per_iteration_s(),
+                state_transfer=entry_notes,
             )
             trace.segments.append(segment)
             done_iterations += result.iterations
@@ -165,18 +187,34 @@ class AdaptiveTrainer:
             if remaining < 1 or switches_left < 1:
                 break
             weights = result.weights
+            carried_state = result.state if self.carry_state else None
             new_chosen = self._reoptimize(
                 dataset, training, estimates, chosen, monitor, result,
                 remaining, run_start,
             )
             if new_chosen is None or new_chosen.plan == chosen.plan:
                 # No better plan for the remaining budget: carry on with
-                # the current one and stop second-guessing it.
+                # the current one (full state continuity -- same plan,
+                # nothing to transfer) and stop second-guessing it.
                 switches_left = 0
+                entry_notes = (
+                    ["full optimizer state carried (same plan resumed)"]
+                    if carried_state is not None else []
+                )
                 if new_chosen is not None:
                     chosen = new_chosen
                 continue
             switches_left -= 1
+            if carried_state is not None:
+                # Cross-plan switch: apply the transfer policy (offset
+                # always carries, matching buffers carry, SVRG anchor
+                # recomputes) and record what it decided in the trace.
+                carried_state = carried_state.transfer_to(
+                    new_chosen.plan.algorithm
+                )
+                entry_notes = list(carried_state.notes)
+            else:
+                entry_notes = []
             trace.switches.append(SwitchEvent(
                 iteration=done_iterations,
                 from_plan=str(chosen.plan),
@@ -194,9 +232,12 @@ class AdaptiveTrainer:
         )
 
     # ------------------------------------------------------------------
-    def _monitor(self, chosen, estimates, training, monitoring):
+    def _monitor(self, chosen, estimates, training, monitoring,
+                 iteration_offset=0):
         """A ConvergenceMonitor for one segment (telemetry-only when
-        switching is exhausted)."""
+        switching is exhausted).  ``iteration_offset`` -- global
+        iterations completed before the segment -- aligns the error-space
+        check with the from-scratch speculated curve."""
         curve = None
         if estimates is not None:
             estimate = estimates.get(chosen.plan.algorithm)
@@ -216,6 +257,7 @@ class AdaptiveTrainer:
             predicted_iterations=chosen.estimated_iterations,
             predicted_per_iteration_s=chosen.per_iteration_s,
             settings=self.settings,
+            iteration_offset=iteration_offset,
         )
 
     def _segment_training(self, training, remaining_budget, run_start):

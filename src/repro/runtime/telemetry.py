@@ -118,6 +118,15 @@ class ConvergenceMonitor(TelemetryRecorder):
         (<= 0 disables cost-divergence checks).
     settings:
         :class:`AdaptiveSettings` thresholds.
+    iteration_offset:
+        Global iterations completed before this segment started.  The
+        speculated curve describes decay from scratch, so a post-switch
+        segment -- which starts mid-way down the curve -- must be
+        compared at ``local_iteration + offset``: evaluating
+        ``error_at(local_i)`` would over-promise decay the run already
+        banked and fire spurious divergence verdicts.  (The overrun
+        check stays segment-local: ``predicted_iterations`` for a
+        post-switch segment is the re-optimizer's *remaining* count.)
     """
 
     def __init__(
@@ -127,10 +136,12 @@ class ConvergenceMonitor(TelemetryRecorder):
         predicted_iterations=None,
         predicted_per_iteration_s=None,
         settings=None,
+        iteration_offset=0,
     ):
         super().__init__()
         self.target_tolerance = float(target_tolerance)
         self.speculated_curve = speculated_curve
+        self.iteration_offset = int(iteration_offset)
         self.predicted_iterations = (
             None if predicted_iterations is None else int(predicted_iterations)
         )
@@ -249,7 +260,9 @@ class ConvergenceMonitor(TelemetryRecorder):
         if i_mid is None:
             return
         try:
-            expected = self.speculated_curve.error_at(i_mid)
+            expected = self.speculated_curve.error_at(
+                i_mid + self.iteration_offset
+            )
         except EstimationError:
             return
         if not np.isfinite(expected) or expected < self.target_tolerance:
@@ -259,7 +272,8 @@ class ConvergenceMonitor(TelemetryRecorder):
             self.curve_diverged = True
             self.refit_curve = self._refit()
             self.reason = (
-                f"observed error {observed:.3g} around iteration {i_mid} is "
+                f"observed error {observed:.3g} around global iteration "
+                f"{i_mid + self.iteration_offset} is "
                 f"{observed / expected:.1f}x the speculated curve's "
                 f"{expected:.3g} ({self.speculated_curve.describe()})"
             )

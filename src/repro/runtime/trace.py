@@ -17,6 +17,17 @@ from __future__ import annotations
 import dataclasses
 import json
 
+from repro.gd.state import known_fields
+
+#: Format version of one serialized ExecutionTrace.  Version 2 added
+#: optimizer-state carry-over: segments record the OptimizerState
+#: snapshot at exit (``state``) and the transfer-policy notes applied at
+#: entry (``state_transfer``).  Readers tolerate unknown keys (via
+#: :func:`~repro.gd.state.known_fields`), so newer traces degrade
+#: gracefully when read by older code (the new fields are simply
+#: ignored) and older traces load with the new fields defaulted.
+TRACE_FORMAT = 2
+
 
 @dataclasses.dataclass(frozen=True)
 class IterationRecord:
@@ -67,6 +78,13 @@ class PlanSegment:
     deltas: list = dataclasses.field(default_factory=list)
     #: Simulated seconds per phase, for this segment only.
     phase_seconds: dict = dataclasses.field(default_factory=dict)
+    #: :class:`~repro.gd.state.OptimizerState` snapshot (as a dict) at
+    #: segment exit -- what a resume would import.  None for traces
+    #: recorded before carry-over existed (TRACE_FORMAT < 2).
+    state: dict | None = None
+    #: Transfer-policy notes applied when this segment's entry state was
+    #: derived from the previous segment (empty for the first segment).
+    state_transfer: list = dataclasses.field(default_factory=list)
 
     @property
     def effective_per_iteration_s(self) -> float:
@@ -91,7 +109,7 @@ class PlanSegment:
 
     @classmethod
     def from_dict(cls, payload) -> "PlanSegment":
-        return cls(**payload)
+        return cls(**known_fields(cls, payload))
 
 
 @dataclasses.dataclass
@@ -112,7 +130,7 @@ class SwitchEvent:
 
     @classmethod
     def from_dict(cls, payload) -> "SwitchEvent":
-        return cls(**payload)
+        return cls(**known_fields(cls, payload))
 
 
 @dataclasses.dataclass
@@ -157,6 +175,7 @@ class ExecutionTrace:
     # -- serialisation ---------------------------------------------------
     def to_dict(self) -> dict:
         return {
+            "trace_format": TRACE_FORMAT,
             "workload": self.workload,
             "cluster_signature": self.cluster_signature,
             "tolerance": self.tolerance,
@@ -185,12 +204,15 @@ class ExecutionTrace:
 
 
 def segment_from_result(result, estimate,
-                        observed_per_iteration_s=None) -> PlanSegment:
+                        observed_per_iteration_s=None,
+                        state_transfer=None) -> PlanSegment:
     """Build a :class:`PlanSegment` from a TrainResult + PlanCostEstimate.
 
     ``observed_per_iteration_s`` should come from the telemetry
     monitor's clock gaps (one-time costs excluded); without it the
-    segment falls back to the whole-run mean.
+    segment falls back to the whole-run mean.  ``state_transfer`` lists
+    the carry/drop notes of the transfer that produced this segment's
+    entry state.
     """
     breakdown = estimate.breakdown or {}
     return PlanSegment(
@@ -212,4 +234,8 @@ def segment_from_result(result, estimate,
         observed_per_iteration_s=float(observed_per_iteration_s or 0.0),
         deltas=[float(d) for d in result.deltas],
         phase_seconds={k: float(v) for k, v in result.phase_seconds.items()},
+        state=(
+            result.state.to_dict() if result.state is not None else None
+        ),
+        state_transfer=list(state_transfer or []),
     )

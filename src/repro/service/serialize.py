@@ -42,7 +42,15 @@ from repro.runtime.calibration import Correction
 #: Format version of one serialized plan-store entry.  Bump whenever the
 #: payload shape changes incompatibly; old entries are then skipped at
 #: load time (cold compute for those workloads, never a wrong answer).
-ENTRY_FORMAT = 1
+#:
+#: Version 2 coincides with the optimizer-state carry-over runtime
+#: (``runtime.trace.TRACE_FORMAT`` 2): adaptive executions now continue
+#: step schedules and updater buffers across plan switches, so the
+#: iteration/cost predictions cached by format-1 services were priced
+#: against restart semantics -- serving them would feed the calibration
+#: loop observed/predicted ratios computed under a different execution
+#: model.  Old entries cold-compute once and re-enter at format 2.
+ENTRY_FORMAT = 2
 
 
 class PlanStoreError(ReproError):

@@ -103,6 +103,18 @@ class TestPerturbed:
         switch = adaptive.trace.switches[0]
         assert switch.from_plan.startswith(victim.upper())
         assert adaptive.converged
+        # The switch carried the optimizer state: the post-switch
+        # segment resumed the step schedule at the global iteration (no
+        # beta/sqrt(1) restart) and the trace records the transfer.
+        segments = adaptive.trace.segments
+        assert segments[0].state is not None
+        assert segments[0].state["iteration_offset"] == \
+            segments[0].iterations
+        post = segments[1]
+        assert any("iteration offset" in note and "carried" in note
+                   for note in post.state_transfer)
+        assert post.state["iteration_offset"] == \
+            segments[0].iterations + post.iterations
         # Execution-only comparison (the adaptive run's sim_seconds also
         # carries speculation; segments alone are the training cost).
         assert adaptive.trace.sim_seconds < one_shot.sim_seconds

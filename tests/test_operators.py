@@ -188,12 +188,26 @@ class TestSVRGOperators:
     def test_stochastic_iteration_emits_pair(self):
         ctx = Context()
         SVRGStage(d=2, step_size="constant:0.1").stage(ctx)
+        # Iteration 1 anchored (SVRGUpdate records the global anchor
+        # iteration); iteration 2 is within the same anchor window.
+        ctx.put("svrg_last_anchor", 1)
         ctx.put("iter", 2)
         compute = SVRGCompute(LinearRegressionGradient(), update_frequency=5)
         X = np.array([[1.0, 0.0]])
         y = np.array([2.0])
         out = compute.compute(X, y, ctx)
         assert not out[3]
+
+    def test_unanchored_context_anchors_immediately(self):
+        # A segment entered without SVRG state (e.g. after a plan
+        # switch) recomputes its anchor on entry, whatever the local
+        # iteration index.
+        ctx = Context()
+        SVRGStage(d=2, step_size="constant:0.1").stage(ctx)
+        ctx.put("iter", 2)
+        compute = SVRGCompute(LinearRegressionGradient(), update_frequency=5)
+        out = compute.compute(np.array([[1.0, 0.0]]), np.array([2.0]), ctx)
+        assert out[3]
 
     def test_update_anchor_sets_mu(self):
         ctx = Context()

@@ -249,3 +249,111 @@ class TestConvergenceMonitor:
         assert monitor.diverged
         assert monitor.refit_curve is None or \
             monitor.refit_curve.r2 >= monitor.settings.min_refit_r2
+
+
+class TestMonitorIterationOffset:
+    """Post-switch segments compare the error-space check at the global
+    iteration, not the segment-local one (the speculated curve describes
+    decay from scratch)."""
+
+    def monitor(self, offset):
+        # error(i) = 2/i^3 reaches the 1e-3 target around i = 13.
+        curve = FittedCurve("power", (2.0, 3.0), 0.99, 50)
+        return ConvergenceMonitor(
+            target_tolerance=1e-3,
+            speculated_curve=curve,
+            predicted_iterations=1000,
+            predicted_per_iteration_s=1.0,
+            settings=AdaptiveSettings(refit_every=8, min_points=8,
+                                      divergence_factor=2.0),
+            iteration_offset=offset,
+        )
+
+    def test_segment_local_indices_fire_spuriously(self):
+        # Healthy post-switch plateau just above target: comparing it
+        # against the from-scratch curve at *local* indices calls it a
+        # 2x+ miss.  This is the pre-fix behaviour (offset 0 is correct
+        # only for a first segment, which genuinely starts at scratch).
+        stopped = feed(self.monitor(0), [3e-3] * 16)
+        assert stopped == 16
+
+    def test_global_indices_do_not_fire(self):
+        # Offset by the 40 iterations already completed, the curve has
+        # decayed below the target at every compared position; the
+        # error-space check correctly stands down (the overrun check
+        # owns the endgame).
+        monitor = self.monitor(40)
+        assert feed(monitor, [3e-3] * 40) is None
+        assert not monitor.diverged
+
+    def test_offset_does_not_blind_the_overrun_check(self):
+        monitor = ConvergenceMonitor(
+            target_tolerance=1e-3,
+            speculated_curve=FittedCurve("power", (2.0, 3.0), 0.99, 50),
+            predicted_iterations=10,   # remaining-budget prediction
+            predicted_per_iteration_s=1.0,
+            settings=AdaptiveSettings(refit_every=8, min_points=8,
+                                      divergence_factor=2.0),
+            iteration_offset=40,
+        )
+        stopped = feed(monitor, [3e-3] * 64)
+        assert stopped is not None
+        assert monitor.curve_diverged
+        assert "past the speculated" in monitor.reason
+
+
+class TestTraceForwardCompatibility:
+    """Traces written by a newer format must load on older-shaped
+    readers: unknown keys are ignored, not TypeErrors."""
+
+    def segment_payload(self):
+        return dict(
+            plan="SGD-lazy-shuffle", algorithm="sgd",
+            predicted_iterations=100, predicted_per_iteration_s=0.1,
+            predicted_total_s=10.0, iterations=50, sim_seconds=5.0,
+        )
+
+    def test_plan_segment_tolerates_unknown_keys(self):
+        from repro.runtime import PlanSegment
+
+        payload = self.segment_payload()
+        payload["a_future_field"] = {"nested": [1, 2]}
+        segment = PlanSegment.from_dict(payload)
+        assert segment.plan == "SGD-lazy-shuffle"
+        assert segment.iterations == 50
+
+    def test_switch_event_tolerates_unknown_keys(self):
+        from repro.runtime import SwitchEvent
+
+        event = SwitchEvent.from_dict({
+            "iteration": 40, "from_plan": "a", "to_plan": "b",
+            "reason": "because", "clock": 1.0,
+            "carried_state_summary": "whatever a v3 writer adds",
+        })
+        assert event.iteration == 40
+
+    def test_trace_round_trip_carries_format_and_state(self, spec,
+                                                       dataset, training):
+        from repro.runtime import TRACE_FORMAT, ExecutionTrace
+        import json
+
+        engine = fresh_engine(spec)
+        result = execute_plan(engine, dataset, GDPlan("bgd"), training)
+        from repro.runtime import segment_from_result
+        from repro.core.result import PlanCostEstimate
+
+        estimate = PlanCostEstimate(
+            plan=GDPlan("bgd"), estimated_iterations=10, one_time_s=1.0,
+            per_iteration_s=0.1, total_s=2.0, breakdown={},
+        )
+        trace = ExecutionTrace(workload="w", cluster_signature="c",
+                               tolerance=1e-3)
+        trace.segments.append(segment_from_result(
+            result, estimate, state_transfer=["offset carried"],
+        ))
+        payload = json.loads(json.dumps(trace.to_dict()))
+        assert payload["trace_format"] == TRACE_FORMAT
+        restored = ExecutionTrace.from_dict(payload)
+        assert restored.segments[0].state["iteration_offset"] == \
+            result.iterations
+        assert restored.segments[0].state_transfer == ["offset carried"]

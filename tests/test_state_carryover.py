@@ -1,0 +1,331 @@
+"""Optimizer-state carry-over: resume equivalence and transfer policy.
+
+The contract under test: ``run(N)`` is bit-identical to ``run(k)`` ->
+export :class:`OptimizerState` -> ``resume(N - k)`` for same-algorithm
+segments, at both the pure-math level (``run_loop`` / ``svrg``) and the
+plan-executor level, across the algorithm x updater matrix; plus the
+JSON round trip of the snapshot and the cross-algorithm transfer policy.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import SimulatedCluster
+from repro.core.executor import execute_plan
+from repro.core.plans import GDPlan, TrainingSpec
+from repro.errors import PlanError
+from repro.gd.base import (
+    AdaGradUpdater,
+    AdamUpdater,
+    MomentumUpdater,
+    full_batch_selector,
+    make_minibatch_selector,
+    run_loop,
+)
+from repro.gd.gradients import LogisticGradient
+from repro.gd.state import OptimizerState
+from repro.gd.step_size import OffsetStep, make_step_size, with_offset
+from repro.gd.svrg import svrg
+
+from support import make_dataset
+
+N_TOTAL = 60
+SPLITS = (1, 23, 59)
+
+SELECTORS = {
+    "bgd": lambda n: full_batch_selector,
+    "mgd": lambda n: make_minibatch_selector(n, 32),
+    "sgd": lambda n: make_minibatch_selector(n, 1),
+}
+UPDATERS = {
+    "vanilla": lambda: None,
+    "momentum": lambda: MomentumUpdater(),
+    "adagrad": lambda: AdaGradUpdater(),
+    "adam": lambda: AdamUpdater(),
+}
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(11)
+    X = rng.normal(size=(120, 6))
+    w_star = rng.normal(size=6)
+    y = (X @ w_star > 0).astype(float) * 2 - 1
+    return X, y, LogisticGradient()
+
+
+def json_round_trip(state) -> OptimizerState:
+    """Serialize/deserialize through actual JSON text, like a trace."""
+    return OptimizerState.from_dict(json.loads(json.dumps(state.to_dict())))
+
+
+class TestRunLoopResumeEquivalence:
+    @pytest.mark.parametrize("updater_name", sorted(UPDATERS))
+    @pytest.mark.parametrize("algorithm", sorted(SELECTORS))
+    @pytest.mark.parametrize("k", SPLITS)
+    def test_stop_and_resume_is_bit_identical(
+        self, problem, algorithm, updater_name, k
+    ):
+        X, y, gradient = problem
+        selector = SELECTORS[algorithm](X.shape[0])
+
+        def run(max_iter, w0=None, state=None, seed=5):
+            return run_loop(
+                X, y, gradient, selector,
+                step_size=1.0,            # MLlib beta/sqrt(i): position matters
+                tolerance=0.0,            # never converge: fixed-length runs
+                max_iter=max_iter,
+                w0=w0,
+                updater=UPDATERS[updater_name](),
+                rng=np.random.default_rng(seed),
+                state=state,
+            )
+
+        one_shot = run(N_TOTAL)
+        first = run(k)
+        # The snapshot survives real JSON (what a persisted trace holds).
+        carried = json_round_trip(first.state)
+        # A different seed proves the resume takes the *carried* stream.
+        second = run(N_TOTAL - k, w0=first.weights, state=carried, seed=999)
+
+        assert np.array_equal(one_shot.weights, second.weights)
+        np.testing.assert_array_equal(
+            one_shot.deltas, np.concatenate([first.deltas, second.deltas])
+        )
+        assert second.state.iteration_offset == N_TOTAL
+
+    def test_resume_without_state_restarts_the_schedule(self, problem):
+        X, y, gradient = problem
+        selector = SELECTORS["bgd"](X.shape[0])
+        one_shot = run_loop(X, y, gradient, selector, step_size=1.0,
+                            tolerance=0.0, max_iter=N_TOTAL)
+        first = run_loop(X, y, gradient, selector, step_size=1.0,
+                         tolerance=0.0, max_iter=23)
+        legacy = run_loop(X, y, gradient, selector, step_size=1.0,
+                          tolerance=0.0, max_iter=N_TOTAL - 23,
+                          w0=first.weights)
+        # Weights-only resume restarts beta/sqrt(i) at 1: not equivalent.
+        assert not np.array_equal(one_shot.weights, legacy.weights)
+
+
+class TestSVRGResumeEquivalence:
+    @pytest.mark.parametrize("k", (5, 23, 50))
+    def test_anchor_cadence_and_control_variate_survive(self, problem, k):
+        X, y, gradient = problem
+
+        def run(max_iter, w0=None, state=None, seed=5):
+            return svrg(
+                X, y, gradient, update_frequency=7, step_size=0.05,
+                tolerance=0.0, max_iter=max_iter, w0=w0, state=state,
+                rng=np.random.default_rng(seed),
+            )
+
+        one_shot = run(N_TOTAL)
+        first = run(k)
+        second = run(N_TOTAL - k, w0=first.weights,
+                     state=json_round_trip(first.state), seed=999)
+
+        assert np.array_equal(one_shot.weights, second.weights)
+        np.testing.assert_array_equal(
+            one_shot.deltas, np.concatenate([first.deltas, second.deltas])
+        )
+
+    def test_entry_without_svrg_state_recomputes_anchor(self, problem):
+        X, y, gradient = problem
+        # A cross-algorithm transfer drops SVRG state: entering with only
+        # an offset must anchor immediately at the carried weights.
+        w0 = np.full(X.shape[1], 0.1)
+        state = OptimizerState(iteration_offset=40)
+        result = svrg(X, y, gradient, update_frequency=7, step_size=0.05,
+                      tolerance=0.0, max_iter=3, w0=w0, state=state)
+        assert result.state.svrg["last_anchor"] == 41
+        # The anchor was taken at the resumed weights, not at zero.
+        np.testing.assert_allclose(
+            np.asarray(result.state.svrg["w_bar"]), w0, atol=0.05
+        )
+
+
+EXECUTOR_PLANS = [
+    GDPlan("bgd"),
+    GDPlan("mgd", "eager", "random", 64),
+    GDPlan("mgd", "eager", "bernoulli", 64),
+    GDPlan("sgd", "lazy", "shuffle"),
+    GDPlan("svrg", "eager", "random"),
+    GDPlan("momentum", "eager", "shuffle", 64),
+    GDPlan("adagrad", "eager", "random", 64),
+    GDPlan("adam", "lazy", "shuffle", 64),
+]
+
+
+class TestExecutorResumeEquivalence:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_dataset(n_phys=600, d=8, task="logreg", seed=4)
+
+    @pytest.mark.parametrize(
+        "plan", EXECUTOR_PLANS, ids=[str(p) for p in EXECUTOR_PLANS]
+    )
+    def test_stop_and_resume_matches_one_shot(self, spec, dataset, plan):
+        k = 23
+        training = TrainingSpec(task="logreg", step_size=1.0,
+                                tolerance=1e-12, max_iter=N_TOTAL, seed=3)
+        one_shot = execute_plan(
+            SimulatedCluster(spec, seed=0), dataset, plan, training
+        )
+
+        first = execute_plan(
+            SimulatedCluster(spec, seed=0), dataset, plan,
+            TrainingSpec(task="logreg", step_size=1.0, tolerance=1e-12,
+                         max_iter=k, seed=3),
+        )
+        second = execute_plan(
+            SimulatedCluster(spec, seed=0), dataset, plan,
+            TrainingSpec(task="logreg", step_size=1.0, tolerance=1e-12,
+                         max_iter=N_TOTAL - k, seed=3),
+            initial_weights=first.weights,
+            # Dict form: what a PlanSegment/trace carries.
+            initial_state=json.loads(json.dumps(first.state.to_dict())),
+        )
+
+        assert np.array_equal(one_shot.weights, second.weights)
+        np.testing.assert_array_equal(
+            one_shot.deltas, np.concatenate([first.deltas, second.deltas])
+        )
+        assert second.state.iteration_offset == N_TOTAL
+
+    def test_exported_state_names_the_updater(self, spec, dataset):
+        training = TrainingSpec(task="logreg", tolerance=1e-12, max_iter=5,
+                                seed=3)
+        result = execute_plan(
+            SimulatedCluster(spec, seed=0), dataset,
+            GDPlan("momentum", "eager", "shuffle", 64), training,
+        )
+        assert result.state.updater == MomentumUpdater().name
+        assert "v" in result.state.updater_buffers
+        assert result.state.convergence is not None
+        assert result.state.rng_state is not None
+
+
+class TestOptimizerStateSerialization:
+    def test_round_trip_preserves_every_field(self):
+        state = OptimizerState(
+            iteration_offset=123,
+            updater="adam",
+            updater_buffers={"m": [0.1, 0.2], "v": [0.3, 0.4]},
+            svrg={"w_bar": [1.0], "mu": [2.0], "last_anchor": 120},
+            convergence={"previous": [5.0, 6.0]},
+            rng_state=np.random.default_rng(3).bit_generator.state,
+            sampler={"pid": 1, "sim_cursor": 9, "phys_order": [3, 1],
+                     "phys_cursor": 1},
+        )
+        restored = json_round_trip(state)
+        assert restored == state
+
+    def test_unknown_keys_are_tolerated(self):
+        payload = OptimizerState(iteration_offset=7).to_dict()
+        payload["from_the_future"] = {"x": 1}
+        assert OptimizerState.from_dict(payload).iteration_offset == 7
+
+    def test_newer_format_is_refused(self):
+        payload = OptimizerState().to_dict()
+        payload["state_format"] = 99
+        with pytest.raises(PlanError):
+            OptimizerState.from_dict(payload)
+
+
+class TestTransferPolicy:
+    def momentum_state(self):
+        return OptimizerState(
+            iteration_offset=200,
+            updater=MomentumUpdater().name,
+            updater_buffers={"v": [0.5, -0.5]},
+            rng_state=np.random.default_rng(0).bit_generator.state,
+            sampler={"pid": 0, "sim_cursor": 3, "phys_order": [1, 0],
+                     "phys_cursor": 1},
+        )
+
+    def test_offset_and_rng_always_carry(self):
+        out = self.momentum_state().transfer_to("adam")
+        assert out.iteration_offset == 200
+        assert out.rng_state is not None
+        assert any("iteration offset 200 carried" in n for n in out.notes)
+
+    def test_matching_updater_buffers_carry(self):
+        out = self.momentum_state().transfer_to("momentum")
+        assert out.updater_buffers == {"v": [0.5, -0.5]}
+        assert any("buffers carried" in n for n in out.notes)
+
+    def test_mismatched_updater_buffers_drop_with_note(self):
+        out = self.momentum_state().transfer_to("adam")
+        assert out.updater_buffers == {}
+        assert any("buffers dropped" in n for n in out.notes)
+
+    def test_svrg_anchor_recomputed_on_entry(self):
+        state = OptimizerState(
+            iteration_offset=90,
+            svrg={"w_bar": [1.0], "mu": [0.1], "last_anchor": 85},
+        )
+        out = state.transfer_to("svrg")
+        assert out.svrg is None
+        assert any("anchor" in n for n in out.notes)
+
+    def test_sampler_cursors_drop_on_plan_change(self):
+        out = self.momentum_state().transfer_to("sgd")
+        assert out.sampler is None
+        assert any("sampler cursors dropped" in n for n in out.notes)
+
+
+class TestConvergenceWinsOrdering:
+    """A run that converges on its stopping iteration reports converged
+    (run_loop / svrg / PlanExecutor agree; the executor documented this
+    first)."""
+
+    def test_run_loop_convergence_beats_callback_stop(self, problem):
+        X, y, gradient = problem
+        result = run_loop(
+            X, y, gradient, full_batch_selector,
+            step_size="constant:0.05", tolerance=1e50, max_iter=10,
+            iteration_callback=lambda i, w, delta: True,
+        )
+        assert result.iterations == 1
+        assert result.converged
+
+    def test_svrg_convergence_beats_callback_stop(self, problem):
+        X, y, gradient = problem
+        result = svrg(
+            X, y, gradient, step_size=0.05, tolerance=1e50, max_iter=10,
+            iteration_callback=lambda t, w, delta: True,
+        )
+        assert result.iterations == 1
+        assert result.converged
+
+    def test_callback_still_stops_unconverged_runs(self, problem):
+        X, y, gradient = problem
+        result = run_loop(
+            X, y, gradient, full_batch_selector,
+            step_size="constant:0.05", tolerance=1e-12, max_iter=100,
+            iteration_callback=lambda i, w, delta: i >= 4,
+        )
+        assert result.iterations == 4
+        assert not result.converged
+
+
+class TestOffsetStep:
+    def test_continues_the_schedule(self):
+        base = make_step_size(1.0)            # beta/sqrt(i)
+        resumed = with_offset(1.0, 400)
+        assert resumed.step(1) == base.step(401)
+
+    def test_zero_offset_is_the_plain_schedule(self):
+        assert with_offset("constant:0.5", 0).step(3) == 0.5
+        assert not isinstance(with_offset(1.0, 0), OffsetStep)
+
+    def test_offsets_compose(self):
+        twice = with_offset(with_offset(1.0, 100), 50)
+        assert twice.step(1) == make_step_size(1.0).step(151)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(PlanError):
+            OffsetStep(1.0, -1)
