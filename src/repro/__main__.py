@@ -32,26 +32,48 @@ runtime and persist what the traces taught the calibration store:
     python -m repro calibrate adult --epsilon 0.01 --runs 3 \\
         --store calibration.json
 
+Train mode -- one durable, preemptible training job: progress is
+checkpointed to ``--checkpoint`` on a cadence and at every graceful
+stop, ``--max-iterations``/``--max-seconds`` bound this lease, and
+re-running the same command resumes the job bit-identically (a finished
+job returns its stored outcome):
+
+    python -m repro train adult epsilon=0.01 \\
+        --job-id nightly --checkpoint jobs.json --max-iterations 200
+
+Cache mode -- inspect or compact a plan-store / checkpoint-store file:
+
+    python -m repro cache plans.json
+    python -m repro cache jobs.json --compact --drop-done-jobs
+
 Request lines are ``<dataset> [key=value ...]`` with the keys of
 :meth:`ML4all.optimize` (``task``, ``epsilon``, ``max_iter``,
 ``time_budget``, ``algorithm``, ``batch``, ``step``, ``convergence``,
-``l2``, ``fixed_iterations``, ``seed``).  Blank lines and ``#`` comments
-are skipped.
+``l2``, ``fixed_iterations``, ``seed``) plus the durable-job keys
+(``job_id``, ``checkpoint_every``, ``lease_iterations``,
+``lease_seconds`` -- a line naming a ``job_id`` always trains).  Blank
+lines and ``#`` comments are skipped.  With ``--checkpoint``, a
+restarted ``repro serve`` finishes the store's in-flight jobs on
+startup instead of waiting to be asked (and instead of re-speculating
+them).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
 from repro.api import ML4all
 from repro.errors import ReproError
+from repro.service.checkpoint import JobLeaseError
 
 #: Request-line keys coerced to int / float; the rest stay strings.
-_INT_KEYS = {"max_iter", "batch", "fixed_iterations", "seed"}
-_FLOAT_KEYS = {"epsilon", "time_budget", "step", "l2"}
-_STR_KEYS = {"task", "algorithm", "convergence"}
+_INT_KEYS = {"max_iter", "batch", "fixed_iterations", "seed",
+             "checkpoint_every", "lease_iterations"}
+_FLOAT_KEYS = {"epsilon", "time_budget", "step", "l2", "lease_seconds"}
+_STR_KEYS = {"task", "algorithm", "convergence", "job_id"}
 _ALL_KEYS = _INT_KEYS | _FLOAT_KEYS | _STR_KEYS
 
 
@@ -135,24 +157,39 @@ def _service_parser(prog, description):
                              "-> SQLite, else JSON); a restarted server "
                              "answers previously seen workloads without "
                              "re-speculating")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="persist training-job checkpoints at PATH "
+                             "(same extension rules as --cache); request "
+                             "lines with job_id= become durable jobs, and "
+                             "a restarted server finishes the store's "
+                             "in-flight jobs on startup")
     return parser
 
 
-def _train_and_report(system, requests, args):
-    """Train-mode request loop shared by batch and serve."""
+def _train_and_report(system, requests, args, max_workers=None):
+    """Train-mode request loop shared by batch/serve/train.
+
+    Returns ``(results, lines)`` where ``lines`` holds one *group* of
+    output lines per request (the request's summary plus any mid-flight
+    switch lines), so callers that mix trained and optimize-only
+    requests can interleave output in the original request order.
+    """
     results = system.train_many(
-        requests, max_workers=args.workers, adaptive=args.adaptive
+        requests,
+        max_workers=args.workers if max_workers is None else max_workers,
+        adaptive=args.adaptive,
     )
-    lines = []
+    groups = []
     for request, result in zip(requests, results):
-        lines.append(f"{request['dataset']}: {result.summary()}")
+        group = [f"{request['dataset']}: {result.summary()}"]
         if result.trace is not None and result.trace.switches:
             for switch in result.trace.switches:
-                lines.append(
+                group.append(
                     f"  switched {switch.from_plan} -> {switch.to_plan} "
                     f"at iteration {switch.iteration}: {switch.reason}"
                 )
-    return results, lines
+        groups.append(group)
+    return results, groups
 
 
 def _save_calibration(system, args):
@@ -186,33 +223,94 @@ def batch_main(argv) -> int:
     requests = requests * max(1, args.repeat)
 
     system = ML4all(seed=args.seed, calibration_path=args.calibration,
-                    cache_path=args.cache)
+                    cache_path=args.cache, checkpoint_path=args.checkpoint)
     system.service(cache_size=args.cache_size)
-    train_mode = args.train or args.adaptive
+    # Per line, like serve: --train/--adaptive train everything, and a
+    # line naming a durable job always trains -- without dragging the
+    # file's optimize-only lines into training with it.
+    trains = [args.train or args.adaptive or "job_id" in r
+              for r in requests]
+    train_requests = [r for r, t in zip(requests, trains) if t]
+    plain_requests = [r for r, t in zip(requests, trains) if not t]
+    # Repeated leases of one job (--repeat, or duplicate job_id lines)
+    # must run in sequence: concurrently they would contend for the
+    # job's lease and the loser would abort the batch.
+    job_ids = [r["job_id"] for r in train_requests if "job_id" in r]
+    train_workers = 1 if len(job_ids) != len(set(job_ids)) else None
     start = time.perf_counter()
     try:
-        if train_mode:
-            results, lines = _train_and_report(system, requests, args)
-        else:
-            results = system.optimize_many(requests, max_workers=args.workers)
-            lines = [
-                f"{request['dataset']}: {result.summary()}"
-                for request, result in zip(requests, results)
-            ]
+        train_groups = (
+            _train_and_report(system, train_requests, args,
+                              max_workers=train_workers)[1]
+            if train_requests else []
+        )
+        plain_results = system.optimize_many(
+            plain_requests, max_workers=args.workers
+        )
+        plain_groups = [
+            [f"{request['dataset']}: {result.summary()}"]
+            for request, result in zip(plain_requests, plain_results)
+        ]
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     elapsed = time.perf_counter() - start
 
-    for line in lines:
-        print(line)
-    rate = len(results) / elapsed if elapsed > 0 else float("inf")
-    verb = "train" if train_mode else "optimize"
-    print(f"{len(results)} requests in {elapsed:.3f}s "
+    trained, plain = iter(train_groups), iter(plain_groups)
+    for is_train in trains:
+        for line in next(trained if is_train else plain):
+            print(line)
+    rate = len(requests) / elapsed if elapsed > 0 else float("inf")
+    verb = ("train" if all(trains) else
+            "optimize" if not any(trains) else "request")
+    print(f"{len(requests)} requests in {elapsed:.3f}s "
           f"({rate:.1f} {verb}/s)")
     print(system.service().stats_summary())
     _save_calibration(system, args)
     return 0
+
+
+def _finish_pending_jobs(system, service, args) -> int:
+    """Resume the checkpoint store's in-flight jobs at server startup.
+
+    A job whose process died mid-lease sits in the store as
+    ``running``/``preempted`` with banked progress and -- when it came
+    through the CLI -- the request line that started it.  A restarted
+    server re-issues exactly those, stripping the per-lease budget keys
+    so the resumed run finishes instead of re-preempting.  Jobs without
+    a request descriptor (started programmatically) are reported but
+    left for their owners.
+    """
+    if service.checkpoints is None:
+        return 0
+    finished = 0
+    for job_id, checkpoint in sorted(service.checkpoints.pending().items()):
+        request = checkpoint.request
+        if not isinstance(request, dict) or "dataset" not in request:
+            print(f"# in-flight job {job_id!r} has no request descriptor; "
+                  "leaving it for its owner", file=sys.stderr)
+            continue
+        request = {k: v for k, v in request.items()
+                   if k not in ("lease_iterations", "lease_seconds")}
+        print(f"# resuming in-flight job {job_id!r} from iteration "
+              f"{checkpoint.done_iterations}")
+        try:
+            _, groups = _train_and_report(system, [request], args)
+        except JobLeaseError as exc:
+            # Typically our own predecessor's unexpired lease after a
+            # hard kill: it expires lease_ttl_s after its last
+            # checkpoint write, so say when to try again.
+            print(f"# job {job_id!r} is still leased ({exc}); "
+                  "restart after the lease expires to resume it",
+                  file=sys.stderr)
+            continue
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            continue
+        for out in groups[0]:
+            print(out)
+        finished += 1
+    return finished
 
 
 def serve_main(argv) -> int:
@@ -223,10 +321,11 @@ def serve_main(argv) -> int:
     args = parser.parse_args(argv)
 
     system = ML4all(seed=args.seed, calibration_path=args.calibration,
-                    cache_path=args.cache)
+                    cache_path=args.cache, checkpoint_path=args.checkpoint)
     service = system.service(cache_size=args.cache_size)
     train_mode = args.train or args.adaptive
     served = failed = 0
+    served += _finish_pending_jobs(system, service, args)
     for line in sys.stdin:
         line = line.split("#", 1)[0].strip()
         if not line:
@@ -235,8 +334,9 @@ def serve_main(argv) -> int:
             break
         try:
             request = parse_request_line(line)
-            if train_mode:
-                _, lines = _train_and_report(system, [request], args)
+            if train_mode or "job_id" in request:
+                _, groups = _train_and_report(system, [request], args)
+                lines = groups[0]
             else:
                 (result,) = system.optimize_many([request])
                 lines = [f"{request['dataset']}: {result.summary()}"]
@@ -251,6 +351,132 @@ def serve_main(argv) -> int:
     print(service.stats_summary())
     _save_calibration(system, args)
     return 0 if failed == 0 or served > 0 else 1
+
+
+def train_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro train",
+        description="Run one durable, preemptible training job.  "
+                    "Progress is checkpointed to --checkpoint on a "
+                    "cadence and at every graceful stop; re-running the "
+                    "same command resumes a killed or preempted job "
+                    "bit-identically, and a finished job returns its "
+                    "stored outcome without retraining.",
+    )
+    parser.add_argument("request", nargs="+",
+                        help="<dataset> [key=value ...] (same keys as "
+                             "batch/serve request lines)")
+    parser.add_argument("--job-id", required=True,
+                        help="durable job identity within the store")
+    parser.add_argument("--checkpoint", metavar="PATH", required=True,
+                        help="checkpoint store (.db/.sqlite -> SQLite, "
+                             "else JSON)")
+    parser.add_argument("--checkpoint-every", type=int, default=25,
+                        help="persist every N training iterations "
+                             "(default 25)")
+    parser.add_argument("--max-iterations", type=int, default=None,
+                        help="preemption budget: at most N iterations "
+                             "this lease, then stop gracefully")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        help="preemption budget: at most S wall seconds "
+                             "this lease")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="train under the adaptive runtime")
+    parser.add_argument("--workers", type=int, default=1,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--calibration", metavar="PATH", default=None)
+    parser.add_argument("--cache", metavar="PATH", default=None)
+    args = parser.parse_args(argv)
+
+    try:
+        request = parse_request_line(" ".join(args.request))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    request["job_id"] = args.job_id
+    request["checkpoint_every"] = args.checkpoint_every
+    if args.max_iterations is not None:
+        request["lease_iterations"] = args.max_iterations
+    if args.max_seconds is not None:
+        request["lease_seconds"] = args.max_seconds
+
+    system = ML4all(seed=args.seed, calibration_path=args.calibration,
+                    cache_path=args.cache, checkpoint_path=args.checkpoint)
+    try:
+        _, groups = _train_and_report(system, [request], args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for line in groups[0]:
+        print(line)
+    progress = system.service().checkpoints.load(args.job_id)
+    if progress is not None and progress.status == "preempted":
+        print(f"job {args.job_id!r} preempted at iteration "
+              f"{progress.done_iterations}; re-run the same command to "
+              "resume")
+    print(system.service().stats_summary())
+    _save_calibration(system, args)
+    return 0
+
+
+def cache_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cache",
+        description="Inspect (entry counts, formats, ages, job statuses) "
+                    "and optionally compact a plan-store or "
+                    "checkpoint-store file.",
+    )
+    parser.add_argument("path", help="store file (.db/.sqlite -> SQLite, "
+                                     "else JSON)")
+    parser.add_argument("--compact", action="store_true",
+                        help="rewrite the store, dropping undecodable / "
+                             "outdated-format entries (and whatever the "
+                             "options below select)")
+    parser.add_argument("--ttl", type=float, default=None, metavar="SECONDS",
+                        help="with --compact: also drop plan entries "
+                             "written longer than SECONDS ago")
+    parser.add_argument("--drop-done-jobs", action="store_true",
+                        help="with --compact: also drop checkpoints of "
+                             "finished jobs")
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.path):
+        print(f"error: no store at {args.path!r}", file=sys.stderr)
+        return 1
+    from repro.service import compact_store, inspect_store
+
+    report = inspect_store(args.path)
+    print(f"{report['path']} ({report['backend']} backend): "
+          f"{report['entries']} entries")
+    for kind, label in (("plans", "plan entries"),
+                        ("jobs", "job checkpoints")):
+        bucket = report[kind]
+        if not bucket["count"]:
+            continue
+        line = f"  {label}: {bucket['count']}"
+        formats = ", ".join(
+            f"format {fmt} x{n}"
+            for fmt, n in sorted(bucket["formats"].items())
+        )
+        line += f" ({formats})"
+        if bucket["ages_s"]:
+            line += (f", age {min(bucket['ages_s']):.0f}s"
+                     f"..{max(bucket['ages_s']):.0f}s")
+        if kind == "jobs" and bucket["statuses"]:
+            line += ", " + ", ".join(
+                f"{status}: {n}"
+                for status, n in sorted(bucket["statuses"].items())
+            )
+        print(line)
+    if report["unknown"]:
+        print(f"  unknown entries: {report['unknown']}")
+    if args.compact:
+        outcome = compact_store(args.path, ttl_s=args.ttl,
+                                drop_done_jobs=args.drop_done_jobs)
+        print(f"compacted: kept {outcome['kept']}, "
+              f"dropped {outcome['dropped']}")
+    return 0
 
 
 def calibrate_main(argv) -> int:
@@ -383,6 +609,10 @@ def main(argv=None):
         return serve_main(argv[1:])
     if argv and argv[0] == "calibrate":
         return calibrate_main(argv[1:])
+    if argv and argv[0] == "train":
+        return train_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     return query_main(build_parser().parse_args(argv))
 
 

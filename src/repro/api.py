@@ -52,6 +52,10 @@ class TrainedModel:
     trace: object = None
     #: AdaptiveResult when trained with ``adaptive=True``.
     adaptive: object = None
+    #: :class:`~repro.service.JobProgress` when trained as a durable
+    #: job (``job_id=``); check ``job.preempted`` to see whether the
+    #: lease budget stopped the run before the job finished.
+    job: object = None
 
     @property
     def switched(self) -> bool:
@@ -121,6 +125,7 @@ class ML4all:
         algorithms=CORE_ALGORITHMS,
         calibration_path=None,
         cache_path=None,
+        checkpoint_path=None,
     ):
         self.spec = cluster_spec or ClusterSpec()
         self.seed = seed
@@ -132,6 +137,11 @@ class ML4all:
         #: plan decisions here and warm-starts from it (see
         #: :mod:`repro.service.backends`).
         self.cache_path = cache_path
+        #: Optional job-checkpoint-store path: durable training jobs
+        #: (``train(job_id=...)``) persist their progress here and a
+        #: restarted process resumes them (see
+        #: :mod:`repro.service.checkpoint`).
+        self.checkpoint_path = checkpoint_path
         self._calibration = None
         self._calibration_lock = threading.Lock()
         self._service = None
@@ -286,6 +296,7 @@ class ML4all:
                     # traces and serve the same corrected estimates.
                     calibration=self.calibration,
                     cache_path=self.cache_path,
+                    checkpoint_path=self.checkpoint_path,
                 )
                 return self._service
             service = self._service
@@ -336,6 +347,11 @@ class ML4all:
             else:
                 kwargs["dataset"] = request
             ref = kwargs.get("dataset")
+            if kwargs.get("job_id") is not None and isinstance(ref, str):
+                # Durable jobs checkpoint the *raw* request (dataset by
+                # name), which is what lets a restarted server re-issue
+                # an in-flight job it was never handed again.
+                kwargs["_raw_request"] = dict(kwargs)
             if isinstance(ref, str):
                 key = (ref, kwargs.get("task"))
                 if key not in self._dataset_memo:
@@ -366,7 +382,9 @@ class ML4all:
     def _service_request(self, dataset, task=None, epsilon=None,
                          max_iter=None, time_budget=None, algorithm=None,
                          batch=None, step=None, convergence=None, l2=0.0,
-                         fixed_iterations=None, seed=None):
+                         fixed_iterations=None, seed=None, job_id=None,
+                         checkpoint_every=None, lease_iterations=None,
+                         lease_seconds=None, _raw_request=None):
         from repro.service import ServiceRequest
 
         dataset = self.load_dataset(dataset, task=task)
@@ -374,19 +392,31 @@ class ML4all:
             dataset, task, epsilon, max_iter, time_budget, step,
             convergence, l2, seed,
         )
+        budget = None
+        if lease_iterations is not None or lease_seconds is not None:
+            from repro.runtime import JobBudget
+
+            budget = JobBudget(
+                max_iterations=lease_iterations, max_seconds=lease_seconds
+            )
         return ServiceRequest(
             dataset=dataset,
             training=training,
             fixed_iterations=fixed_iterations,
             algorithms=(algorithm,) if algorithm else None,
             batch_sizes={"mgd": batch} if batch is not None else None,
+            job_id=job_id,
+            checkpoint_every=checkpoint_every,
+            budget=budget,
+            job_request=_raw_request,
         )
 
     def train(self, dataset, task=None, epsilon=None, max_iter=None,
               time_budget=None, algorithm=None, sampler=None,
               transform=None, batch=None, step=None, convergence=None,
               l2=0.0, fixed_iterations=None, seed=None, operators=None,
-              adaptive=False, adaptive_settings=None):
+              adaptive=False, adaptive_settings=None, job_id=None,
+              checkpoint_every=None, budget=None):
         """Train a model, optimizing the plan unless it is fully pinned.
 
         When ``algorithm`` (and optionally ``sampler`` / ``transform``)
@@ -404,6 +434,15 @@ class ML4all:
         corrected estimates.  The returned model carries ``trace`` and
         ``adaptive``.  With ``adaptive=False`` (the default) the
         behaviour is bit-identical to the one-shot path.
+
+        ``job_id`` turns the request into a **durable, preemptible
+        job** through the service layer: progress is checkpointed every
+        ``checkpoint_every`` iterations (and at every graceful stop) to
+        this system's ``checkpoint_path`` store, ``budget``
+        (:class:`~repro.runtime.JobBudget`) bounds this lease, and a
+        fresh process with the same store and ``job_id`` resumes the
+        run mid-plan, bit-identically.  The returned model carries
+        ``job``.
         """
         dataset = self.load_dataset(dataset, task=task)
         training = self._training_spec(
@@ -412,6 +451,32 @@ class ML4all:
         )
         trace = None
         adaptive_result = None
+
+        if job_id is not None:
+            if sampler is not None or operators is not None:
+                raise PlanError(
+                    "durable jobs run through the service layer, which "
+                    "needs the optimizer in the loop and reconstructible "
+                    "operators; drop sampler=/operators= or job_id="
+                )
+            outcome = self.service().train(
+                dataset, training, fixed_iterations=fixed_iterations,
+                algorithms=(algorithm,) if algorithm else None,
+                batch_sizes={"mgd": batch} if batch is not None else None,
+                adaptive=adaptive, adaptive_settings=adaptive_settings,
+                job_id=job_id, checkpoint_every=checkpoint_every,
+                budget=budget,
+            )
+            return TrainedModel(
+                weights=outcome.result.weights,
+                task=training.task,
+                report=outcome.report,
+                result=outcome.result,
+                l2=l2,
+                trace=outcome.trace,
+                adaptive=outcome.adaptive,
+                job=outcome.job,
+            )
 
         if algorithm is not None and sampler is not None:
             if adaptive:

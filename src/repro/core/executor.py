@@ -66,12 +66,24 @@ class PlanExecutor:
     """
 
     def __init__(self, engine, dataset, plan, training, operators=None,
-                 monitor=None, initial_weights=None, initial_state=None):
+                 monitor=None, initial_weights=None, initial_state=None,
+                 checkpoint_every=None, checkpoint_callback=None):
         self.engine = engine
         self.dataset = dataset
         self.plan = plan
         self.training = training
         self.monitor = monitor
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise PlanError("checkpoint_every must be >= 1")
+        #: Mid-run state export: every ``checkpoint_every`` *global*
+        #: iterations the loop passes (and keeps going),
+        #: ``checkpoint_callback(global_iteration, weights_copy,
+        #: OptimizerState)`` fires.  Pure observation -- attaching it is
+        #: behaviour-preserving -- but each exported snapshot resumes the
+        #: run bit-identically, which is what makes crash-and-resume
+        #: training jobs equivalent to uninterrupted ones.
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_callback = checkpoint_callback
         self.initial_weights = (
             None if initial_weights is None
             else np.array(initial_weights, dtype=float, copy=True)
@@ -233,6 +245,19 @@ class PlanExecutor:
             if stop_requested:
                 stopped_by_monitor = True
                 break
+            if (
+                self.checkpoint_every is not None
+                and self.checkpoint_callback is not None
+                and i < training.max_iter
+                and (self._iteration_offset + i) % self.checkpoint_every == 0
+            ):
+                # Iterations the loop exits on are not exported here --
+                # the TrainResult's own state snapshot covers them.
+                self.checkpoint_callback(
+                    self._iteration_offset + i,
+                    context.require("weights").copy(),
+                    self._export_state(context, sampler, i),
+                )
 
         phase_seconds = {
             k: v.sim_seconds - phase0.get(k, 0.0)
@@ -407,10 +432,12 @@ class PlanExecutor:
 
 def execute_plan(engine, dataset, plan, training, operators=None,
                  monitor=None, initial_weights=None,
-                 initial_state=None) -> TrainResult:
+                 initial_state=None, checkpoint_every=None,
+                 checkpoint_callback=None) -> TrainResult:
     """Convenience wrapper: build a :class:`PlanExecutor` and run it."""
     return PlanExecutor(
         engine, dataset, plan, training, operators,
         monitor=monitor, initial_weights=initial_weights,
-        initial_state=initial_state,
+        initial_state=initial_state, checkpoint_every=checkpoint_every,
+        checkpoint_callback=checkpoint_callback,
     ).run()

@@ -197,6 +197,8 @@ def run_loop(
     time_budget_s=None,
     iteration_callback=None,
     state=None,
+    state_every=None,
+    state_callback=None,
 ):
     """Run the canonical GD loop; returns :class:`GDRunResult`.
 
@@ -216,6 +218,15 @@ def run_loop(
     ``w0`` set to the stopped run's weights this makes stop-and-resume
     bit-identical to an uninterrupted run.  Every run exports a fresh
     snapshot in ``GDRunResult.state``.
+
+    ``state_every``/``state_callback`` export snapshots *mid-run*, on a
+    cadence of global iterations, without perturbing the run:
+    ``state_callback(global_iteration, weights_copy, OptimizerState)``
+    fires whenever the loop passes a multiple of ``state_every`` and
+    keeps going -- the checkpoint substrate of preemptible training
+    (resuming from any snapshot reproduces the remaining iterations
+    bit-identically).  Iterations the loop *exits* on are not exported
+    here; the final ``GDRunResult.state`` covers them.
     """
     n, d = X.shape
     if n == 0:
@@ -236,6 +247,14 @@ def run_loop(
     w = np.zeros(d) if w0 is None else np.asarray(w0, dtype=float).copy()
     if w.shape != (d,):
         raise PlanError(f"w0 must have shape ({d},), got {w.shape}")
+
+    def snapshot(completed) -> OptimizerState:
+        return OptimizerState(
+            iteration_offset=offset + completed,
+            updater=updater.name,
+            updater_buffers=updater.state_dict(),
+            rng_state=capture_rng(rng),
+        )
 
     deltas = []
     losses = [] if record_loss else None
@@ -264,6 +283,10 @@ def run_loop(
             break
         if time_budget_s is not None and time.perf_counter() - start > time_budget_s:
             break
+        if (state_every is not None and state_callback is not None
+                and i < max_iter
+                and (offset + i) % state_every == 0):
+            state_callback(offset + i, w.copy(), snapshot(i))
 
     return GDRunResult(
         weights=w,
@@ -272,10 +295,5 @@ def run_loop(
         deltas=np.asarray(deltas),
         elapsed_s=time.perf_counter() - start,
         losses=np.asarray(losses) if record_loss else None,
-        state=OptimizerState(
-            iteration_offset=offset + iterations,
-            updater=updater.name,
-            updater_buffers=updater.state_dict(),
-            rng_state=capture_rng(rng),
-        ),
+        state=snapshot(iterations),
     )

@@ -37,6 +37,8 @@ def svrg(
     time_budget_s=None,
     iteration_callback=None,
     state=None,
+    state_every=None,
+    state_callback=None,
 ):
     """Run SVRG; returns :class:`~repro.gd.base.GDRunResult`.
 
@@ -55,6 +57,12 @@ def svrg(
     the first iteration is a full-batch anchor pass at the carried
     weights.  Convergence always wins over ``iteration_callback`` stops,
     matching :class:`~repro.core.executor.PlanExecutor`.
+
+    ``state_every``/``state_callback`` export mid-run snapshots on a
+    global-iteration cadence without perturbing the run (see
+    :func:`~repro.gd.base.run_loop`); the snapshots carry the anchor
+    state, so resuming from one *inside* an epoch keeps ``w_bar``,
+    ``mu`` and the anchor cadence -- no early re-anchor.
     """
     n, d = X.shape
     if n == 0:
@@ -81,6 +89,17 @@ def svrg(
             mu = np.asarray(state.svrg["mu"], dtype=float)
             last_anchor = state.svrg.get("last_anchor")
     step = with_offset(step, offset)
+
+    def snapshot(completed) -> OptimizerState:
+        return OptimizerState(
+            iteration_offset=offset + completed,
+            svrg={
+                "w_bar": w_bar.tolist(),
+                "mu": mu.tolist(),
+                "last_anchor": last_anchor,
+            },
+            rng_state=capture_rng(rng),
+        )
 
     deltas = []
     converged = False
@@ -118,6 +137,10 @@ def svrg(
             break
         if time_budget_s is not None and time.perf_counter() - start > time_budget_s:
             break
+        if (state_every is not None and state_callback is not None
+                and t < max_iter
+                and (offset + t) % state_every == 0):
+            state_callback(offset + t, w.copy(), snapshot(t))
 
     return GDRunResult(
         weights=w,
@@ -125,13 +148,5 @@ def svrg(
         converged=converged,
         deltas=np.asarray(deltas),
         elapsed_s=time.perf_counter() - start,
-        state=OptimizerState(
-            iteration_offset=offset + iterations,
-            svrg={
-                "w_bar": w_bar.tolist(),
-                "mu": mu.tolist(),
-                "last_anchor": last_anchor,
-            },
-            rng_state=capture_rng(rng),
-        ),
+        state=snapshot(iterations),
     )

@@ -19,6 +19,9 @@ this package adds the feedback loop:
 from repro.runtime.adaptive import (
     AdaptiveResult,
     AdaptiveTrainer,
+    JobBudget,
+    ResumePoint,
+    TrainerCheckpoint,
     remaining_iterations,
 )
 from repro.runtime.calibration import (
@@ -52,12 +55,15 @@ __all__ = [
     "Correction",
     "ExecutionTrace",
     "IterationRecord",
+    "JobBudget",
     "OptimizerState",
     "PerturbedCostModel",
     "PlanSegment",
+    "ResumePoint",
     "TRACE_FORMAT",
     "SwitchEvent",
     "TelemetryRecorder",
+    "TrainerCheckpoint",
     "cluster_signature",
     "remaining_iterations",
     "segment_from_result",

@@ -31,16 +31,139 @@ corrected estimates.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
 from repro.core.executor import execute_plan
 from repro.core.plan_space import enumerate_plans
 from repro.core.result import PlanCostEstimate
-from repro.errors import EstimationError
+from repro.errors import EstimationError, PlanError
+from repro.gd.state import OptimizerState
 from repro.runtime.calibration import cluster_signature, workload_signature
 from repro.runtime.telemetry import AdaptiveSettings, ConvergenceMonitor
-from repro.runtime.trace import ExecutionTrace, SwitchEvent, segment_from_result
+from repro.runtime.trace import (
+    ExecutionTrace,
+    PlanSegment,
+    SwitchEvent,
+    segment_from_result,
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class JobBudget:
+    """Per-lease preemption budget of one :meth:`AdaptiveTrainer.train`
+    call.
+
+    A preemptible job is deliberately sliced across processes: each
+    lease runs at most ``max_iterations`` training iterations and/or
+    ``max_seconds`` wall-clock seconds, then stops gracefully with a
+    ``preempted`` checkpoint that the next lease resumes bit-identically
+    from.  Both limits are *per call*, not per job -- the job-wide
+    iteration budget stays ``TrainingSpec.max_iter``.
+    """
+
+    max_iterations: int | None = None
+    max_seconds: float | None = None
+
+    def __post_init__(self):
+        # PlanError (a ReproError), not ValueError: budgets are built
+        # from user request lines, and the CLI's per-request error
+        # handling must catch a bad one instead of killing the server.
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise PlanError("budget max_iterations must be >= 1")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise PlanError("budget max_seconds must be positive")
+
+
+@dataclasses.dataclass
+class ResumePoint:
+    """Where a previous lease of a training job left off.
+
+    Everything :meth:`AdaptiveTrainer.train` needs to continue a run in
+    a fresh process exactly where a checkpoint stopped it: the model
+    weights, the exported :class:`~repro.gd.state.OptimizerState`, the
+    plan being executed (its :class:`PlanCostEstimate`, so monitoring
+    and segment records keep their predictions), the accumulated
+    :class:`~repro.runtime.trace.ExecutionTrace` (segment history --
+    switch accounting and trajectory continuity), and the global
+    iteration count already banked.
+    """
+
+    weights: object
+    state: object
+    chosen: PlanCostEstimate
+    trace: ExecutionTrace
+    done_iterations: int
+    #: Remaining mid-flight switch allowance; None derives it from the
+    #: trace's switch events (a "stay the course" decision that zeroed
+    #: it is persisted explicitly).
+    switches_left: int | None = None
+
+
+@dataclasses.dataclass
+class TrainerCheckpoint:
+    """One checkpointable moment of a training run.
+
+    Emitted through ``on_checkpoint`` at every cadence boundary, plan
+    switch, graceful preemption and completion; the service layer
+    persists it as a :class:`~repro.service.checkpoint.JobCheckpoint`.
+    ``status`` is ``"running"`` (more work to do), ``"preempted"`` (the
+    lease budget stopped the run) or ``"done"`` (converged or out of
+    iteration budget).
+    """
+
+    status: str
+    weights: object
+    state: object
+    chosen: PlanCostEstimate
+    trace: ExecutionTrace
+    done_iterations: int
+    switches_left: int
+
+
+class _LeaseMonitor:
+    """Wraps a segment monitor with the lease's preemption budget.
+
+    Delegates everything to the inner monitor (telemetry, divergence
+    verdicts, refits); additionally requests a graceful stop once this
+    lease has executed ``budget.max_iterations`` iterations or run for
+    ``budget.max_seconds`` wall seconds.  ``preempted`` distinguishes a
+    budget stop from a divergence stop -- the trainer checkpoints and
+    returns instead of re-optimizing.
+    """
+
+    def __init__(self, inner, budget, executed_before, lease_start):
+        self._inner = inner
+        self._budget = budget
+        self._executed_before = int(executed_before)
+        self._lease_start = lease_start
+        self.preempted = False
+        self.preempt_reason = None
+
+    def on_iteration(self, iteration, delta, clock) -> bool:
+        stop = bool(self._inner.on_iteration(iteration, delta, clock))
+        executed = self._executed_before + iteration
+        budget = self._budget
+        if (budget.max_iterations is not None
+                and executed >= budget.max_iterations):
+            self.preempted = True
+            self.preempt_reason = (
+                f"lease budget exhausted: {executed} iterations this lease "
+                f"(max {budget.max_iterations})"
+            )
+        elif (budget.max_seconds is not None
+                and time.perf_counter() - self._lease_start
+                >= budget.max_seconds):
+            self.preempted = True
+            self.preempt_reason = (
+                f"lease budget exhausted: {budget.max_seconds:g}s "
+                "wall clock"
+            )
+        return stop or self.preempted
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
 
 
 @dataclasses.dataclass
@@ -55,6 +178,9 @@ class AdaptiveResult:
     trace: ExecutionTrace
     #: Simulated seconds of the whole run (speculation + all segments).
     sim_seconds: float
+    #: True when a :class:`JobBudget` stopped this lease before the job
+    #: finished -- resume from the ``preempted`` checkpoint to continue.
+    preempted: bool = False
 
     @property
     def weights(self):
@@ -114,38 +240,73 @@ class AdaptiveTrainer:
 
     # ------------------------------------------------------------------
     def train(self, dataset, training, fixed_iterations=None,
-              report=None) -> AdaptiveResult:
+              report=None, resume=None, checkpoint_every=None,
+              budget=None, on_checkpoint=None) -> AdaptiveResult:
         """Adaptively train to ``training.tolerance``.
 
         ``report`` may carry a precomputed OptimizationReport (e.g. from
         the serving layer's plan cache) so no re-speculation happens; by
         default the trainer optimizes first, charging speculation wall
         time into the simulated clock like ``GDOptimizer.train``.
+
+        **Durable-job hooks.**  ``resume`` (a :class:`ResumePoint`)
+        continues a previous lease's run bit-identically instead of
+        starting fresh (with ``resume`` set, a missing ``report`` is
+        *not* recomputed -- the resumed plan is already decided).
+        ``on_checkpoint`` receives a :class:`TrainerCheckpoint` at every
+        ``checkpoint_every``-iteration cadence boundary (global
+        iterations, exported mid-segment without perturbing the run),
+        at every plan switch, on preemption and on completion.
+        ``budget`` (a :class:`JobBudget`) bounds *this call*: when it
+        runs out the lease stops gracefully, writes a ``preempted``
+        checkpoint and returns ``AdaptiveResult.preempted``.
         """
         optimizer, engine = self.optimizer, self.optimizer.engine
         run_start = engine.clock
-        if report is None:
+        if report is None and resume is None:
             report = optimizer.optimize(
                 dataset, training, fixed_iterations=fixed_iterations
             )
             report.speculation_sim_s += report.charge_speculation(engine)
 
-        estimates = report.iteration_estimates
-        trace = ExecutionTrace(
-            workload=dataset.stats.name,
-            cluster_signature=cluster_signature(engine.spec),
-            tolerance=training.tolerance,
-        )
-        chosen = report.chosen
-        weights = None
-        carried_state = None
-        entry_notes = []
-        switches_left = self.settings.max_switches
+        estimates = report.iteration_estimates if report is not None else None
         iteration_budget = (
             int(fixed_iterations) if fixed_iterations is not None
             else training.max_iter
         )
-        done_iterations = 0
+        if resume is not None:
+            trace = resume.trace
+            chosen = resume.chosen
+            weights = np.asarray(resume.weights, dtype=float)
+            carried_state = (
+                OptimizerState.from_dict(resume.state)
+                if isinstance(resume.state, dict) else resume.state
+            )
+            done_iterations = int(resume.done_iterations)
+            switches_left = (
+                max(0, self.settings.max_switches - len(trace.switches))
+                if resume.switches_left is None
+                else int(resume.switches_left)
+            )
+            entry_notes = [
+                f"resumed from checkpoint at global iteration "
+                f"{done_iterations}"
+            ]
+        else:
+            trace = ExecutionTrace(
+                workload=dataset.stats.name,
+                cluster_signature=cluster_signature(engine.spec),
+                tolerance=training.tolerance,
+            )
+            chosen = report.chosen
+            weights = None
+            carried_state = None
+            entry_notes = []
+            switches_left = self.settings.max_switches
+            done_iterations = 0
+        lease_start = time.perf_counter()
+        lease_executed = 0
+        preempted = False
         result = None
 
         while True:
@@ -153,6 +314,10 @@ class AdaptiveTrainer:
             monitor = self._monitor(chosen, estimates, training,
                                     monitoring=switches_left > 0,
                                     iteration_offset=done_iterations)
+            if budget is not None:
+                monitor = _LeaseMonitor(
+                    monitor, budget, lease_executed, lease_start
+                )
             segment_training = self._segment_training(
                 training, remaining, run_start
             )
@@ -160,6 +325,13 @@ class AdaptiveTrainer:
                 engine, dataset, chosen.plan, segment_training,
                 monitor=monitor, initial_weights=weights,
                 initial_state=carried_state,
+                checkpoint_every=(
+                    checkpoint_every if on_checkpoint is not None else None
+                ),
+                checkpoint_callback=self._cadence_callback(
+                    on_checkpoint, trace, chosen, monitor, engine,
+                    done_iterations, entry_notes, switches_left,
+                ),
             )
             segment = segment_from_result(
                 result, chosen,
@@ -168,6 +340,7 @@ class AdaptiveTrainer:
             )
             trace.segments.append(segment)
             done_iterations += result.iterations
+            lease_executed += result.iterations
             # Fold the observation in *now*, not at the end of the run:
             # a later re-optimization in this same run must remember
             # what this segment taught about its algorithm's true cost,
@@ -181,10 +354,25 @@ class AdaptiveTrainer:
                     workload=workload_signature(dataset.stats),
                 )
 
-            if not result.stopped_by_monitor:
-                break
             remaining = iteration_budget - done_iterations
-            if remaining < 1 or switches_left < 1:
+            if not result.stopped_by_monitor or remaining < 1:
+                # Natural end -- converged, timed out, or the job-wide
+                # iteration budget is spent.  The budget check must win
+                # over a simultaneous lease preemption: a lease that
+                # runs out exactly on the job's last iteration has
+                # *finished* the job, and stamping it "preempted" would
+                # make the next lease run past max_iter.
+                self._emit(on_checkpoint, "done", result, chosen, trace,
+                           done_iterations, switches_left)
+                break
+            if getattr(monitor, "preempted", False):
+                preempted = True
+                self._emit(on_checkpoint, "preempted", result, chosen,
+                           trace, done_iterations, switches_left)
+                break
+            if switches_left < 1:
+                self._emit(on_checkpoint, "done", result, chosen, trace,
+                           done_iterations, switches_left)
                 break
             weights = result.weights
             carried_state = result.state if self.carry_state else None
@@ -203,6 +391,9 @@ class AdaptiveTrainer:
                 )
                 if new_chosen is not None:
                     chosen = new_chosen
+                self._emit(on_checkpoint, "running", result, chosen, trace,
+                           done_iterations, switches_left,
+                           state=carried_state)
                 continue
             switches_left -= 1
             if carried_state is not None:
@@ -223,13 +414,89 @@ class AdaptiveTrainer:
                 clock=float(engine.clock),
             ))
             chosen = new_chosen
+            # Switch-boundary checkpoint: the state to persist is the
+            # *transferred* one the next segment will import, under the
+            # *new* plan -- exactly what a resume must replay.
+            self._emit(on_checkpoint, "running", result, chosen, trace,
+                       done_iterations, switches_left, state=carried_state)
 
         return AdaptiveResult(
             report=report,
             result=result,
             trace=trace,
             sim_seconds=float(engine.clock - run_start),
+            preempted=preempted,
         )
+
+    # ------------------------------------------------------------------
+    _UNSET = object()
+
+    def _emit(self, on_checkpoint, status, result, chosen, trace,
+              done_iterations, switches_left, state=_UNSET) -> None:
+        """Hand one segment-boundary checkpoint to ``on_checkpoint``."""
+        if on_checkpoint is None:
+            return
+        on_checkpoint(TrainerCheckpoint(
+            status=status,
+            weights=result.weights,
+            state=result.state if state is self._UNSET else state,
+            chosen=chosen,
+            trace=trace,
+            done_iterations=int(done_iterations),
+            switches_left=int(switches_left),
+        ))
+
+    def _cadence_callback(self, on_checkpoint, trace, chosen, monitor,
+                          engine, done_before, entry_notes, switches_left):
+        """The executor-level mid-segment checkpoint hook for one
+        segment (None when no ``on_checkpoint`` is attached).
+
+        The snapshot's trace ends in a ``partial`` segment -- the
+        in-flight prefix built from the monitor's telemetry -- so a
+        crash after this checkpoint loses no banked trajectory: the
+        resumed run keeps the prefix as history and continues after it.
+        """
+        if on_checkpoint is None:
+            return None
+        segment_clock_start = engine.clock
+        breakdown = chosen.breakdown or {}
+
+        def callback(global_iteration, weights, state):
+            partial = PlanSegment(
+                plan=str(chosen.plan),
+                algorithm=chosen.plan.algorithm,
+                predicted_iterations=int(chosen.estimated_iterations),
+                predicted_per_iteration_s=float(chosen.per_iteration_s),
+                predicted_total_s=float(chosen.total_s),
+                applied_cost_factor=float(
+                    breakdown.get("calibration:cost_factor", 1.0)
+                ),
+                applied_iterations_factor=float(
+                    breakdown.get("calibration:iterations_factor", 1.0)
+                ),
+                iterations=int(global_iteration - done_before),
+                sim_seconds=float(engine.clock - segment_clock_start),
+                converged=False,
+                stopped_by_monitor=False,
+                observed_per_iteration_s=float(
+                    monitor.observed_per_iteration_s() or 0.0
+                ),
+                deltas=[float(d) for d in monitor.deltas],
+                state=state.to_dict(),
+                state_transfer=list(entry_notes),
+                partial=True,
+            )
+            on_checkpoint(TrainerCheckpoint(
+                status="running",
+                weights=weights,
+                state=state,
+                chosen=chosen,
+                trace=trace.with_partial(partial),
+                done_iterations=int(global_iteration),
+                switches_left=int(switches_left),
+            ))
+
+        return callback
 
     # ------------------------------------------------------------------
     def _monitor(self, chosen, estimates, training, monitoring,

@@ -85,6 +85,13 @@ class PlanSegment:
     #: Transfer-policy notes applied when this segment's entry state was
     #: derived from the previous segment (empty for the first segment).
     state_transfer: list = dataclasses.field(default_factory=list)
+    #: True for the in-flight prefix of a segment captured by a mid-run
+    #: checkpoint: the run was still inside this segment when the
+    #: snapshot was taken, so its totals are not final.  A resume keeps
+    #: the prefix -- it is the crashed process's genuinely executed
+    #: history -- and continues with new segments after it.  (Additive
+    #: format-2 field; older readers drop it.)
+    partial: bool = False
 
     @property
     def effective_per_iteration_s(self) -> float:
@@ -162,6 +169,26 @@ class ExecutionTrace:
     @property
     def final_plan(self) -> str | None:
         return self.segments[-1].plan if self.segments else None
+
+    @property
+    def all_deltas(self) -> list:
+        """The run's full error sequence: per-segment deltas
+        concatenated in execution order (the trajectory resume-
+        equivalence checks compare bit-for-bit)."""
+        return [d for segment in self.segments for d in segment.deltas]
+
+    def with_partial(self, segment) -> "ExecutionTrace":
+        """A checkpointable snapshot: this trace's completed segments
+        plus one in-flight ``partial`` segment.  The segment lists are
+        copied, so mutating the live trace afterwards does not reach
+        into an already-written checkpoint."""
+        return ExecutionTrace(
+            workload=self.workload,
+            cluster_signature=self.cluster_signature,
+            tolerance=self.tolerance,
+            segments=list(self.segments) + [segment],
+            switches=list(self.switches),
+        )
 
     def summary(self) -> str:
         plans = " -> ".join(s.plan for s in self.segments) or "(no segments)"

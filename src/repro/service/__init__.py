@@ -15,9 +15,18 @@ from repro.service.backends import (
     JsonFileBackend,
     MemoryBackend,
     SqliteBackend,
+    compact_store,
+    inspect_store,
     open_backend,
 )
 from repro.service.cache import CacheStats, PlanCache, approx_nbytes
+from repro.service.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointError,
+    CheckpointStore,
+    JobCheckpoint,
+    JobLeaseError,
+)
 from repro.service.fingerprint import freeze, workload_fingerprint
 from repro.service.serialize import (
     PlanStoreError,
@@ -27,6 +36,7 @@ from repro.service.serialize import (
     report_to_dict,
 )
 from repro.service.service import (
+    JobProgress,
     OptimizerService,
     ServiceRequest,
     ServiceResult,
@@ -34,8 +44,14 @@ from repro.service.service import (
 )
 
 __all__ = [
+    "CHECKPOINT_FORMAT",
     "CacheBackend",
     "CacheStats",
+    "CheckpointError",
+    "CheckpointStore",
+    "JobCheckpoint",
+    "JobLeaseError",
+    "JobProgress",
     "JsonFileBackend",
     "MemoryBackend",
     "OptimizerService",
@@ -46,9 +62,11 @@ __all__ = [
     "SqliteBackend",
     "TrainServiceResult",
     "approx_nbytes",
+    "compact_store",
     "entry_from_dict",
     "entry_to_dict",
     "freeze",
+    "inspect_store",
     "open_backend",
     "report_from_dict",
     "report_to_dict",

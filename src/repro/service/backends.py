@@ -86,6 +86,46 @@ class CacheBackend:
         """Persist one entry (insert or overwrite)."""
         raise NotImplementedError
 
+    def update(self, key, fn):
+        """Atomic read-modify-write of one entry.
+
+        ``fn`` receives the current entry (or None) and returns the new
+        one (None deletes); the returned entry is also this method's
+        return value.  Raising out of ``fn`` aborts the mutation.  This
+        is the check-and-set primitive job leases are built on
+        (:class:`~repro.service.checkpoint.CheckpointStore`), so
+        implementations must hold their cross-process exclusion --
+        the JSON advisory flock, SQLite's ``BEGIN IMMEDIATE`` -- around
+        the whole read+apply+write, not just the write.  The base
+        implementation composes :meth:`get`/:meth:`store` and is only
+        atomic against writers sharing this object.
+        """
+        entry = fn(self.get(key))
+        if entry is None:
+            self.delete(key)
+        else:
+            self.store(key, entry)
+        return entry
+
+    def replace(self, entries) -> None:
+        """Swap the whole store for ``entries`` (used by compaction)."""
+        self.clear()
+        for key, entry in entries.items():
+            self.store(key, entry)
+
+    def mutate_all(self, fn) -> dict:
+        """Atomic whole-store read-modify-write: replace the contents
+        with ``fn(entries)``.  Like :meth:`update` this must hold the
+        backend's cross-process exclusion around the whole
+        read+apply+write -- compacting a *live* store must not discard
+        checkpoints or leases a concurrent writer lands mid-way.  The
+        base implementation composes load/replace and is only atomic
+        against writers sharing this object.
+        """
+        entries = fn(self.load())
+        self.replace(entries)
+        return entries
+
     def delete(self, key) -> None:
         """Drop one entry (missing keys are a no-op)."""
         raise NotImplementedError
@@ -123,6 +163,24 @@ class MemoryBackend(CacheBackend):
     def store(self, key, entry) -> None:
         with self._lock:
             self._data[key] = entry
+
+    def update(self, key, fn):
+        with self._lock:
+            entry = fn(self._data.get(key))
+            if entry is None:
+                self._data.pop(key, None)
+            else:
+                self._data[key] = entry
+            return entry
+
+    def replace(self, entries) -> None:
+        with self._lock:
+            self._data = dict(entries)
+
+    def mutate_all(self, fn) -> dict:
+        with self._lock:
+            self._data = dict(fn(dict(self._data)))
+            return dict(self._data)
 
     def delete(self, key) -> None:
         with self._lock:
@@ -263,6 +321,30 @@ class JsonFileBackend(CacheBackend):
             entries[key] = entry
             self._write(entries)
 
+    def update(self, key, fn):
+        # The whole read+apply+write runs under the advisory flock, so
+        # two processes CAS-ing the same key (job leases) serialize: the
+        # loser reads the winner's completed write, never a stale copy.
+        with self._lock, self._file_lock():
+            entries = dict(self._read_cached(warn=False))
+            entry = fn(entries.get(key))
+            if entry is None:
+                entries.pop(key, None)
+            else:
+                entries[key] = entry
+            self._write(entries)
+            return entry
+
+    def replace(self, entries) -> None:
+        with self._lock, self._file_lock():
+            self._write(dict(entries))
+
+    def mutate_all(self, fn) -> dict:
+        with self._lock, self._file_lock():
+            entries = dict(fn(dict(self._read_cached(warn=False))))
+            self._write(entries)
+            return entries
+
     def delete(self, key) -> None:
         with self._lock, self._file_lock():
             entries = dict(self._read_cached(warn=False))
@@ -272,6 +354,111 @@ class JsonFileBackend(CacheBackend):
     def clear(self) -> None:
         with self._lock, self._file_lock():
             self._write({})
+
+
+def inspect_store(path, clock=None) -> dict:
+    """Structured summary of one store file (``repro cache`` backs this).
+
+    Classifies every entry as a plan-cache entry (``entry_format``), a
+    job checkpoint (``checkpoint_format``) or unknown, and reports
+    per-kind counts, format-version histograms, age statistics (from the
+    ``written_at`` stamps) and job statuses.  Read-only.
+    """
+    import time as _time
+
+    now = (clock or _time.time)()
+    backend = open_backend(path)
+    try:
+        entries = backend.load()
+        report = {
+            "path": str(path),
+            "backend": backend.name,
+            "entries": len(entries),
+            "plans": {"count": 0, "formats": {}, "ages_s": []},
+            "jobs": {"count": 0, "formats": {}, "ages_s": [], "statuses": {}},
+            "unknown": 0,
+        }
+        for payload in entries.values():
+            if not isinstance(payload, dict):
+                report["unknown"] += 1
+                continue
+            if "entry_format" in payload:
+                bucket = report["plans"]
+                fmt = payload.get("entry_format")
+            elif "checkpoint_format" in payload:
+                bucket = report["jobs"]
+                fmt = payload.get("checkpoint_format")
+                status = str(payload.get("status"))
+                bucket["statuses"][status] = (
+                    bucket["statuses"].get(status, 0) + 1
+                )
+            else:
+                report["unknown"] += 1
+                continue
+            bucket["count"] += 1
+            bucket["formats"][str(fmt)] = bucket["formats"].get(str(fmt), 0) + 1
+            written = payload.get("written_at")
+            if isinstance(written, (int, float)):
+                bucket["ages_s"].append(max(0.0, now - float(written)))
+        return report
+    finally:
+        backend.close()
+
+
+def compact_store(path, ttl_s=None, drop_done_jobs=False, clock=None) -> dict:
+    """Rewrite a store keeping only the entries worth keeping.
+
+    Dropped: entries that fail to decode under the current formats
+    (undecodable leftovers of old versions would never be served, only
+    re-skipped on every load), plan entries older than ``ttl_s`` (when
+    given), and -- with ``drop_done_jobs`` -- checkpoints of jobs that
+    already finished.  Runs as one atomic whole-store RMW
+    (:meth:`CacheBackend.mutate_all`), so compacting a *live* store
+    cannot discard checkpoints or leases a concurrent writer lands
+    mid-compaction.  Returns ``{"kept": n, "dropped": n}``.
+    """
+    import time as _time
+
+    from repro.service.checkpoint import JobCheckpoint
+    from repro.service.serialize import PlanStoreError, entry_from_dict
+
+    now = (clock or _time.time)()
+    counts = {}
+
+    def keep_worthy(entries) -> dict:
+        kept = {}
+        for key, payload in entries.items():
+            if not isinstance(payload, dict):
+                continue
+            if "checkpoint_format" in payload:
+                try:
+                    checkpoint = JobCheckpoint.from_dict(payload)
+                except PlanStoreError:
+                    continue
+                if drop_done_jobs and checkpoint.status == "done":
+                    continue
+            else:
+                try:
+                    _, _, _, written_at = entry_from_dict(payload)
+                except PlanStoreError:
+                    continue
+                if (
+                    ttl_s is not None
+                    and written_at is not None
+                    and now - written_at > ttl_s
+                ):
+                    continue
+            kept[key] = payload
+        counts["kept"] = len(kept)
+        counts["dropped"] = len(entries) - len(kept)
+        return kept
+
+    backend = open_backend(path)
+    try:
+        backend.mutate_all(keep_worthy)
+        return dict(counts)
+    finally:
+        backend.close()
 
 
 class SqliteBackend(CacheBackend):
@@ -389,6 +576,98 @@ class SqliteBackend(CacheBackend):
                 "DO UPDATE SET payload = excluded.payload",
                 (key, json.dumps(entry)),
             )
+
+    def update(self, key, fn):
+        """Check-and-set under ``BEGIN IMMEDIATE``: the write lock is
+        taken *before* the read, so two processes CAS-ing the same key
+        (job leases) serialize instead of both reading the old value.
+        A broken store degrades to calling ``fn(None)`` without
+        persistence -- callers get an answer, not a crash."""
+        if self._broken:
+            return fn(None)
+        with self._lock:
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            try:
+                conn.isolation_level = None  # explicit transactions
+                conn.execute("BEGIN IMMEDIATE")
+                try:
+                    row = conn.execute(
+                        "SELECT payload FROM plan_store "
+                        "WHERE fingerprint = ?", (key,),
+                    ).fetchone()
+                    current = None
+                    if row is not None:
+                        try:
+                            current = json.loads(row[0])
+                        except ValueError:
+                            current = None
+                    entry = fn(current)
+                    if entry is None:
+                        conn.execute(
+                            "DELETE FROM plan_store WHERE fingerprint = ?",
+                            (key,),
+                        )
+                    else:
+                        conn.execute(
+                            "INSERT INTO plan_store (fingerprint, payload) "
+                            "VALUES (?, ?) ON CONFLICT (fingerprint) "
+                            "DO UPDATE SET payload = excluded.payload",
+                            (key, json.dumps(entry)),
+                        )
+                except BaseException:
+                    conn.execute("ROLLBACK")
+                    raise
+                conn.execute("COMMIT")
+            finally:
+                conn.close()
+            return entry
+
+    def replace(self, entries) -> None:
+        if self._broken:
+            return
+        with self._lock, self._connection() as conn:
+            conn.execute("DELETE FROM plan_store")
+            conn.executemany(
+                "INSERT INTO plan_store (fingerprint, payload) "
+                "VALUES (?, ?)",
+                [(key, json.dumps(entry)) for key, entry in entries.items()],
+            )
+
+    def mutate_all(self, fn) -> dict:
+        """Whole-store RMW in one ``BEGIN IMMEDIATE`` transaction, so a
+        concurrent writer's checkpoint/lease cannot land between the
+        read and the rewrite and be silently discarded."""
+        if self._broken:
+            return dict(fn({}))
+        with self._lock:
+            conn = sqlite3.connect(self.path, timeout=30.0)
+            try:
+                conn.isolation_level = None
+                conn.execute("BEGIN IMMEDIATE")
+                try:
+                    entries = {}
+                    for key, text in conn.execute(
+                        "SELECT fingerprint, payload FROM plan_store"
+                    ).fetchall():
+                        try:
+                            entries[key] = json.loads(text)
+                        except ValueError:
+                            continue
+                    entries = dict(fn(entries))
+                    conn.execute("DELETE FROM plan_store")
+                    conn.executemany(
+                        "INSERT INTO plan_store (fingerprint, payload) "
+                        "VALUES (?, ?)",
+                        [(key, json.dumps(entry))
+                         for key, entry in entries.items()],
+                    )
+                except BaseException:
+                    conn.execute("ROLLBACK")
+                    raise
+                conn.execute("COMMIT")
+            finally:
+                conn.close()
+            return entries
 
     def delete(self, key) -> None:
         if self._broken:

@@ -29,6 +29,7 @@ discarded.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
@@ -127,7 +128,8 @@ def report_to_dict(report) -> dict:
     }
 
 
-def entry_to_dict(report, calibration_version, calibration_digest) -> dict:
+def entry_to_dict(report, calibration_version, calibration_digest,
+                  written_at=None) -> dict:
     """One persisted plan-store entry: report + its pricing stamp.
 
     The stamp is the calibration store's *state digest* at pricing time
@@ -136,11 +138,18 @@ def entry_to_dict(report, calibration_version, calibration_digest) -> dict:
     restarted (or sibling) service recognises exactly whether the entry
     was priced under the correction factors it currently serves.  The
     version rides along for human inspection of the store file.
+
+    ``written_at`` (unix seconds, default: now) lets the disk tier age
+    entries out: the in-memory :class:`~repro.service.cache.PlanCache`
+    always had a TTL, but persisted entries used to live forever.  It is
+    an additive format-2 field -- entries written before it existed
+    decode with ``written_at=None`` and are treated as un-ageable.
     """
     return {
         "entry_format": ENTRY_FORMAT,
         "calibration_version": int(calibration_version),
         "calibration_digest": str(calibration_digest),
+        "written_at": float(time.time() if written_at is None else written_at),
         "report": report_to_dict(report),
     }
 
@@ -217,7 +226,8 @@ def report_from_dict(payload) -> OptimizationReport:
 
 def entry_from_dict(payload) -> tuple:
     """Decode one entry; returns ``(report, calibration_version,
-    calibration_digest)``.
+    calibration_digest, written_at)`` where ``written_at`` is None for
+    entries persisted before the stamp existed (they never age out).
 
     Raises :class:`PlanStoreError` on a format-version mismatch or any
     structural problem -- the caller skips the entry (cold compute),
@@ -230,10 +240,12 @@ def entry_from_dict(payload) -> tuple:
                 f"plan-store entry format {fmt!r} != supported "
                 f"{ENTRY_FORMAT}; entry ignored"
             )
+        written_at = payload.get("written_at")
         return (
             report_from_dict(payload["report"]),
             int(payload["calibration_version"]),
             str(payload["calibration_digest"]),
+            None if written_at is None else float(written_at),
         )
     except PlanStoreError:
         raise

@@ -49,17 +49,35 @@ import time
 import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 
+import numpy as np
+
 from repro.cluster import ClusterSpec, SimulatedCluster
 from repro.core.executor import execute_plan
 from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
 from repro.core.optimizer import GDOptimizer
+from repro.core.result import TrainResult
 from repro.gd.registry import CORE_ALGORITHMS
-from repro.runtime import AdaptiveTrainer, CalibrationStore
+from repro.gd.state import OptimizerState
+from repro.runtime import (
+    AdaptiveSettings,
+    AdaptiveTrainer,
+    CalibrationStore,
+    ExecutionTrace,
+    ResumePoint,
+)
 from repro.service.backends import open_backend
 from repro.service.cache import PlanCache
+from repro.service.checkpoint import (
+    CheckpointError,
+    CheckpointStore,
+    JobCheckpoint,
+    new_owner_token,
+)
 from repro.service.fingerprint import workload_fingerprint
 from repro.service.serialize import (
     PlanStoreError,
+    candidate_from_dict,
+    candidate_to_dict,
     entry_from_dict,
     entry_to_dict,
 )
@@ -72,6 +90,13 @@ class ServiceRequest:
     ``algorithms`` / ``batch_sizes`` optionally override the service's
     search-space configuration for this request only (e.g. pinning a
     single GD algorithm); they participate in the cache fingerprint.
+
+    The job fields only apply to train() requests: ``job_id`` turns the
+    request into a durable checkpointed job, ``checkpoint_every`` sets
+    the persistence cadence, ``budget`` bounds this lease
+    (:class:`~repro.runtime.JobBudget`) and ``job_request`` attaches a
+    caller-level descriptor to the checkpoints.  None of them changes
+    the optimizer's answer, so none participates in the fingerprint.
     """
 
     dataset: object
@@ -79,6 +104,10 @@ class ServiceRequest:
     fixed_iterations: int | None = None
     algorithms: tuple | None = None
     batch_sizes: object = None
+    job_id: str | None = None
+    checkpoint_every: int | None = None
+    budget: object = None
+    job_request: object = None
 
 
 @dataclasses.dataclass
@@ -120,6 +149,32 @@ class ServiceResult:
 
 
 @dataclasses.dataclass
+class JobProgress:
+    """What one train(job_id=...) call did to its durable job."""
+
+    job_id: str
+    #: ``running`` / ``preempted`` / ``done`` after this lease.
+    status: str
+    #: True when this call continued a persisted checkpoint.
+    resumed: bool
+    #: True when the lease budget stopped the run before the job ended.
+    preempted: bool
+    #: Global training iterations banked so far (all leases).
+    done_iterations: int
+    #: True when the job had already finished and the stored outcome was
+    #: returned without executing anything.
+    already_done: bool = False
+
+    def summary(self) -> str:
+        verb = "already done" if self.already_done else self.status
+        return (
+            f"job {self.job_id}: {verb} at iteration "
+            f"{self.done_iterations}"
+            + (" (resumed)" if self.resumed else "")
+        )
+
+
+@dataclasses.dataclass
 class TrainServiceResult:
     """Outcome of one train() request: plan decision plus execution."""
 
@@ -127,10 +182,13 @@ class TrainServiceResult:
     optimization: ServiceResult
     #: TrainResult of the executed (final) plan segment.
     result: object
-    #: ExecutionTrace of the run (None for non-adaptive requests).
+    #: ExecutionTrace of the run (None for non-adaptive, non-job
+    #: requests).
     trace: object = None
     #: AdaptiveResult when the request ran adaptively.
     adaptive: object = None
+    #: JobProgress when the request named a durable job_id.
+    job: object = None
 
     @property
     def report(self):
@@ -148,6 +206,8 @@ class TrainServiceResult:
         text = f"{self.optimization.summary()}; {self.result.summary()}"
         if self.switched:
             text += f"; {len(self.trace.switches)} mid-flight switch(es)"
+        if self.job is not None:
+            text += f"; {self.job.summary()}"
         return text
 
 
@@ -222,6 +282,10 @@ class OptimizerService:
         cost_model=None,
         cache_path=None,
         cache_backend=None,
+        store_ttl_s=None,
+        checkpoint_path=None,
+        checkpoint_store=None,
+        lease_ttl_s=300.0,
     ):
         self.spec = spec or ClusterSpec()
         self.seed = seed
@@ -256,6 +320,21 @@ class OptimizerService:
             cache_backend if cache_backend is not None
             else open_backend(cache_path) if cache_path else None
         )
+        #: Disk-tier TTL (seconds): persisted plan entries older than
+        #: this age out on warm-load and on read-through -- they are
+        #: deleted from the backend, not just skipped (the in-memory
+        #: PlanCache always expired; the disk tier used to live forever).
+        self.store_ttl_s = store_ttl_s
+        #: Durable training-job checkpoints
+        #: (:class:`~repro.service.checkpoint.CheckpointStore`); None
+        #: disables the job API.  ``checkpoint_path`` is the convenience
+        #: form (same extension rules as the plan store).
+        self.checkpoints = (
+            checkpoint_store if checkpoint_store is not None
+            else CheckpointStore(path=checkpoint_path,
+                                 lease_ttl_s=lease_ttl_s)
+            if checkpoint_path else None
+        )
         self._inflight = {}
         self._inflight_lock = threading.Lock()
         self._counter_lock = threading.Lock()
@@ -264,6 +343,12 @@ class OptimizerService:
         self.coalesced = 0
         self.recalibrated = 0
         self.trained = 0
+        self.jobs_started = 0
+        self.jobs_resumed = 0
+        self.jobs_preempted = 0
+        self.jobs_completed = 0
+        #: Persisted plan entries aged out by ``store_ttl_s``.
+        self.expired_persisted = 0
         #: Entries restored from the persistent backend at startup.
         self.warm_loaded = self._load_persisted()
 
@@ -282,16 +367,41 @@ class OptimizerService:
         loaded = 0
         for key, payload in self.backend.load().items():
             try:
-                report, version, digest = entry_from_dict(payload)
+                report, version, digest, written_at = entry_from_dict(payload)
             except PlanStoreError as exc:
                 warnings.warn(
                     f"skipping persisted plan {key[:12]}...: {exc}",
                     stacklevel=2,
                 )
                 continue
+            if self._store_expired(written_at):
+                self._expire_persisted(key)
+                continue
             self.cache.put(key, _CachedPlan(report, version, digest))
             loaded += 1
         return loaded
+
+    def _store_expired(self, written_at) -> bool:
+        """True when a persisted entry has outlived ``store_ttl_s``
+        (entries without a stamp -- written before it existed -- never
+        age out; they still recost on calibration drift)."""
+        return (
+            self.store_ttl_s is not None
+            and written_at is not None
+            and time.time() - written_at > self.store_ttl_s
+        )
+
+    def _expire_persisted(self, key) -> None:
+        """Age one entry out of the disk tier (best effort)."""
+        with self._counter_lock:
+            self.expired_persisted += 1
+        try:
+            self.backend.delete(key)
+        except Exception as exc:
+            warnings.warn(
+                f"plan store delete failed ({exc}); "
+                "expired entry left behind", stacklevel=2,
+            )
 
     def _stamp_current(self, entry) -> bool:
         """True when the entry was priced against the correction state
@@ -316,7 +426,7 @@ class OptimizerService:
             payload = self.backend.get(key)
             if payload is None:
                 return None
-            report, version, digest = entry_from_dict(payload)
+            report, version, digest, written_at = entry_from_dict(payload)
         except PlanStoreError:
             return None  # incompatible entry: compute cold
         except Exception as exc:
@@ -324,6 +434,9 @@ class OptimizerService:
                 f"plan store read failed ({exc}); computing cold",
                 stacklevel=2,
             )
+            return None
+        if self._store_expired(written_at):
+            self._expire_persisted(key)
             return None
         entry = _CachedPlan(report, version, digest)
         self.cache.put(key, entry)
@@ -347,10 +460,12 @@ class OptimizerService:
             )
 
     def close(self) -> None:
-        """Release the persistent backend (write-through means there is
-        nothing to flush)."""
+        """Release the persistent backends (write-through means there
+        is nothing to flush)."""
         if self.backend is not None:
             self.backend.close()
+        if self.checkpoints is not None:
+            self.checkpoints.close()
 
     # ------------------------------------------------------------------
     def fingerprint(self, dataset, training, fixed_iterations=None,
@@ -506,7 +621,8 @@ class OptimizerService:
     def train(self, dataset, training, fixed_iterations=None,
               algorithms=None, batch_sizes=None, adaptive=False,
               adaptive_settings=None, operators=None,
-              engine=None) -> TrainServiceResult:
+              engine=None, job_id=None, checkpoint_every=None,
+              budget=None, job_request=None) -> TrainServiceResult:
         """Optimize (through the plan cache), then execute the plan.
 
         Execution runs on a **per-caller engine clone** -- a fresh
@@ -520,7 +636,37 @@ class OptimizerService:
         into this service's calibration store -- subsequent requests for
         the same workload are then re-costed from cached speculation
         with the learned corrections (never re-speculated).
+
+        **Durable jobs.**  With ``job_id`` the request becomes a
+        checkpointed, preemptible job against this service's
+        :class:`~repro.service.checkpoint.CheckpointStore`
+        (``checkpoint_path=``): progress -- weights, optimizer state,
+        execution trace, the plan decision -- is persisted every
+        ``checkpoint_every`` global iterations and at every graceful
+        stop, under an advisory lease so sibling processes cannot
+        double-run the job.  A ``budget``
+        (:class:`~repro.runtime.JobBudget`) bounds this lease; when it
+        runs out the call returns with ``job.preempted`` and a fresh
+        process (same store, same request, same ``job_id``) resumes
+        mid-plan, bit-identically, without re-speculating.  A job that
+        already finished returns its stored outcome without executing
+        anything.  ``job_request`` optionally attaches a caller-level
+        request descriptor to the checkpoints (the CLI stores the parsed
+        request line, which is how a restarted server re-issues
+        in-flight jobs).
         """
+        if job_id is not None:
+            if operators is not None:
+                raise CheckpointError(
+                    "durable jobs cannot run custom operator bundles: "
+                    "a resuming process could not reconstruct them from "
+                    "the checkpoint; drop operators= or job_id="
+                )
+            return self._train_job(
+                dataset, training, fixed_iterations, algorithms,
+                batch_sizes, adaptive, adaptive_settings, job_id,
+                checkpoint_every, budget, job_request,
+            )
         optimization = self.optimize(
             dataset, training, fixed_iterations, algorithms, batch_sizes
         )
@@ -574,6 +720,290 @@ class OptimizerService:
             result=result,
             trace=trace,
             adaptive=adaptive_result,
+        )
+
+    # ------------------------------------------------------------------
+    def _report_from_entry(self, key, plan_entry):
+        """Restore a job's pricing report from its checkpointed
+        plan-store entry (and re-seed the plan cache/store with it), or
+        None when the entry is unusable.
+
+        The entry is re-persisted *verbatim* -- original calibration
+        stamp, original ``written_at`` -- so a resume neither mislabels
+        old pricing as freshly calibrated (the stamp staleness rule
+        must keep firing) nor rejuvenates an entry the disk-tier TTL
+        should age out.
+        """
+        if plan_entry is None:
+            return None
+        try:
+            report, version, digest, _ = entry_from_dict(plan_entry)
+        except PlanStoreError as exc:
+            warnings.warn(
+                f"job plan entry is unusable ({exc}); re-optimizing",
+                stacklevel=3,
+            )
+            return None
+        self.cache.put(key, _CachedPlan(report, version, digest))
+        if self.backend is not None:
+            try:
+                self.backend.store(key, plan_entry)
+            except Exception as exc:
+                warnings.warn(
+                    f"plan store write failed ({exc}); "
+                    "entry is served from memory only", stacklevel=2,
+                )
+        return report
+
+    def _finished_job_result(self, job_id, key, checkpoint, report,
+                             start) -> TrainServiceResult:
+        """The stored outcome of a job that already ran to completion
+        (idempotent re-submission: nothing executes, nothing
+        re-speculates)."""
+        trace = ExecutionTrace.from_dict(checkpoint.trace)
+        chosen = candidate_from_dict(checkpoint.chosen)
+        last = trace.segments[-1] if trace.segments else None
+        result = TrainResult(
+            plan=chosen.plan,
+            weights=np.asarray(checkpoint.weights, dtype=float),
+            iterations=trace.total_iterations,
+            converged=trace.converged,
+            deltas=np.asarray(last.deltas if last else [], dtype=float),
+            sim_seconds=trace.sim_seconds,
+            phase_seconds=dict(last.phase_seconds) if last else {},
+            metrics={},
+            state=(
+                OptimizerState.from_dict(checkpoint.state)
+                if checkpoint.state is not None else None
+            ),
+        )
+        return TrainServiceResult(
+            optimization=ServiceResult(
+                report=report,
+                fingerprint=key,
+                cache_hit=True,
+                coalesced=False,
+                wall_s=time.perf_counter() - start,
+            ),
+            result=result,
+            trace=trace,
+            job=JobProgress(
+                job_id=job_id,
+                status="done",
+                resumed=True,
+                preempted=False,
+                done_iterations=int(checkpoint.done_iterations),
+                already_done=True,
+            ),
+        )
+
+    def _train_job(self, dataset, training, fixed_iterations, algorithms,
+                   batch_sizes, adaptive, adaptive_settings, job_id,
+                   checkpoint_every, budget,
+                   job_request) -> TrainServiceResult:
+        """One lease of a durable training job (see :meth:`train`)."""
+        if self.checkpoints is None:
+            raise CheckpointError(
+                f"train(job_id={job_id!r}) needs a checkpoint store; "
+                "construct the service with checkpoint_path= or "
+                "checkpoint_store="
+            )
+        start = time.perf_counter()
+        key = self.fingerprint(
+            dataset, training, fixed_iterations, algorithms, batch_sizes
+        )
+        owner = new_owner_token()
+        # The lease is the double-run guard: acquired atomically through
+        # the backend (flock / BEGIN IMMEDIATE), raising JobLeaseError
+        # when a sibling process actively holds the job.
+        checkpoint = self.checkpoints.acquire(job_id, owner)
+        try:
+            if checkpoint is not None and checkpoint.fingerprint \
+                    and checkpoint.fingerprint != key:
+                raise CheckpointError(
+                    f"job {job_id!r} is bound to workload "
+                    f"{checkpoint.fingerprint[:12]}..., but this request "
+                    f"fingerprints as {key[:12]}...; refusing to resume a "
+                    "different workload under the same job id"
+                )
+            if checkpoint is not None and checkpoint.status == "done" \
+                    and checkpoint.resumable:
+                report = self._report_from_entry(key, checkpoint.plan_entry)
+                if report is not None:
+                    with self._counter_lock:
+                        self.requests += 1
+                else:
+                    # Undecodable plan entry: re-optimize (warm via the
+                    # plan store when possible) so every downstream
+                    # consumer still gets a real report.
+                    report = self.optimize(
+                        dataset, training, fixed_iterations, algorithms,
+                        batch_sizes,
+                    ).report
+                return self._finished_job_result(
+                    job_id, key, checkpoint, report, start
+                )
+
+            resume = None
+            restored_entry = False
+            if checkpoint is not None and checkpoint.resumable:
+                if bool(checkpoint.adaptive) != bool(adaptive):
+                    # The mode is part of the job, not of the lease: a
+                    # non-adaptive resume of an adaptive job would keep
+                    # the persisted switch allowance monitoring while
+                    # feeding no calibration (and vice versa would pin
+                    # a job that was promised switching).
+                    warnings.warn(
+                        f"job {job_id!r} was started with "
+                        f"adaptive={bool(checkpoint.adaptive)}; resuming "
+                        f"with that mode (requested adaptive={adaptive})",
+                        stacklevel=3,
+                    )
+                    adaptive = bool(checkpoint.adaptive)
+                # Resume mid-plan: the checkpoint carries the pricing
+                # decision, so nothing re-speculates -- not even when
+                # the plan store was lost.
+                report = self._report_from_entry(key, checkpoint.plan_entry)
+                restored_entry = report is not None
+                resume = ResumePoint(
+                    weights=checkpoint.weights,
+                    state=checkpoint.state,
+                    chosen=candidate_from_dict(checkpoint.chosen),
+                    trace=ExecutionTrace.from_dict(checkpoint.trace),
+                    done_iterations=checkpoint.done_iterations,
+                    switches_left=checkpoint.switches_left,
+                )
+                if report is not None:
+                    optimization = ServiceResult(
+                        report=report,
+                        fingerprint=key,
+                        cache_hit=True,
+                        coalesced=False,
+                        wall_s=time.perf_counter() - start,
+                    )
+                    with self._counter_lock:
+                        self.requests += 1
+                else:
+                    # The checkpointed pricing decision is unusable:
+                    # re-optimize for the report (the training itself
+                    # still resumes from the checkpointed plan/state).
+                    optimization = self.optimize(
+                        dataset, training, fixed_iterations, algorithms,
+                        batch_sizes,
+                    )
+                    report = optimization.report
+                with self._counter_lock:
+                    self.jobs_resumed += 1
+            else:
+                optimization = self.optimize(
+                    dataset, training, fixed_iterations, algorithms,
+                    batch_sizes,
+                )
+                report = optimization.report
+                with self._counter_lock:
+                    self.jobs_started += 1
+
+            engine = SimulatedCluster(self.spec, seed=self.seed)
+            if resume is None and not optimization.cache_hit \
+                    and not optimization.recalibrated:
+                report.charge_speculation(
+                    engine, include_sample_collection=True
+                )
+            if restored_entry:
+                # Carry the checkpointed entry verbatim: its original
+                # calibration stamp must keep driving the staleness
+                # rule, and its original written_at must keep driving
+                # disk-tier aging.  Only freshly optimized reports get
+                # a fresh stamp.
+                plan_entry = checkpoint.plan_entry
+            else:
+                plan_entry = entry_to_dict(
+                    report, self.calibration.version,
+                    self.calibration.state_digest(),
+                )
+
+            optimizer = GDOptimizer(
+                engine,
+                estimator=SpeculativeEstimator(
+                    self.speculation,
+                    seed=self.seed,
+                    max_workers=self.speculation_workers,
+                ),
+                algorithms=(
+                    self.algorithms if algorithms is None else algorithms
+                ),
+                batch_sizes=(
+                    self.batch_sizes if batch_sizes is None else batch_sizes
+                ),
+                cost_model=self.cost_model,
+                calibration=self.calibration,
+            )
+            trainer = AdaptiveTrainer(
+                optimizer,
+                settings=(
+                    (adaptive_settings or self.adaptive_settings)
+                    if adaptive
+                    # Non-adaptive jobs run the same single-plan
+                    # execution as plain train(): telemetry only, no
+                    # mid-flight switching.
+                    else AdaptiveSettings(max_switches=0)
+                ),
+                calibration=self.calibration if adaptive else None,
+            )
+
+            def persist(snapshot):
+                # NOT best-effort: a job that cannot checkpoint has lost
+                # its durability guarantee, so store errors propagate
+                # (they also release the lease in the finally below).
+                self.checkpoints.save(JobCheckpoint(
+                    job_id=job_id,
+                    status=snapshot.status,
+                    fingerprint=key,
+                    weights=np.asarray(
+                        snapshot.weights, dtype=float
+                    ).tolist(),
+                    state=(
+                        snapshot.state.to_dict()
+                        if snapshot.state is not None else None
+                    ),
+                    chosen=candidate_to_dict(snapshot.chosen),
+                    trace=snapshot.trace.to_dict(),
+                    done_iterations=snapshot.done_iterations,
+                    switches_left=snapshot.switches_left,
+                    adaptive=adaptive,
+                    plan_entry=plan_entry,
+                    request=job_request,
+                ), owner=owner)
+
+            adaptive_result = trainer.train(
+                dataset, training, fixed_iterations=fixed_iterations,
+                report=report, resume=resume,
+                checkpoint_every=checkpoint_every, budget=budget,
+                on_checkpoint=persist,
+            )
+        finally:
+            self.checkpoints.release(job_id, owner)
+
+        with self._counter_lock:
+            self.trained += 1
+            if adaptive_result.preempted:
+                self.jobs_preempted += 1
+            else:
+                self.jobs_completed += 1
+        return TrainServiceResult(
+            optimization=optimization,
+            result=adaptive_result.result,
+            trace=adaptive_result.trace,
+            adaptive=adaptive_result if adaptive else None,
+            job=JobProgress(
+                job_id=job_id,
+                status=(
+                    "preempted" if adaptive_result.preempted else "done"
+                ),
+                resumed=resume is not None,
+                preempted=adaptive_result.preempted,
+                done_iterations=adaptive_result.trace.total_iterations,
+            ),
         )
 
     def save_calibration(self, path=None) -> str | None:
@@ -634,6 +1064,10 @@ class OptimizerService:
                 request.dataset, request.training, request.fixed_iterations,
                 request.algorithms, request.batch_sizes,
                 adaptive=adaptive, adaptive_settings=adaptive_settings,
+                job_id=request.job_id,
+                checkpoint_every=request.checkpoint_every,
+                budget=request.budget,
+                job_request=request.job_request,
             )
 
         if max_workers == 1 or len(normalized) == 1:
@@ -678,6 +1112,17 @@ class OptimizerService:
         if self.backend is not None:
             text += (
                 f"; plan store: {self.backend.name}"
-                f" ({self.warm_loaded} warm-loaded)"
+                f" ({self.warm_loaded} warm-loaded"
+                + (f", {self.expired_persisted} aged out"
+                   if self.expired_persisted else "")
+                + ")"
+            )
+        jobs = self.jobs_started + self.jobs_resumed
+        if jobs:
+            text += (
+                f"; {jobs} job lease(s) "
+                f"({self.jobs_resumed} resumed, "
+                f"{self.jobs_preempted} preempted, "
+                f"{self.jobs_completed} completed)"
             )
         return text

@@ -181,6 +181,203 @@ class TestCLIServe:
         assert "adult:" in captured.out
 
 
+class TestCLITrainJobs:
+    ARGS = ["adult", "epsilon=0.001", "max_iter=400", "algorithm=mgd"]
+
+    def run_lease(self, store, extra, capsys):
+        code = main(["train", *self.ARGS, "--job-id", "nightly",
+                     "--checkpoint", str(store), "--checkpoint-every",
+                     "25", *extra])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        return captured.out
+
+    def test_preempt_then_resume_then_idempotent(self, tmp_path, capsys):
+        store = tmp_path / "jobs.json"
+        out = self.run_lease(store, ["--max-iterations", "50"], capsys)
+        assert "preempted at iteration 50" in out
+        assert "re-run the same command to resume" in out
+
+        out = self.run_lease(store, [], capsys)
+        assert "done" in out
+        assert "(resumed)" in out
+        assert "1 job lease(s) (1 resumed" in out
+
+        # A third run returns the stored outcome without retraining.
+        out = self.run_lease(store, [], capsys)
+        assert "already done" in out
+
+    def test_train_requires_job_id_and_store(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["train", "adult"])
+
+    def test_bad_request_line_reports_error(self, tmp_path, capsys):
+        code = main(["train", "adult", "bogus=1", "--job-id", "j",
+                     "--checkpoint", str(tmp_path / "jobs.json")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCLIBatchJobs:
+    def test_job_lines_train_without_dragging_plain_lines_along(
+        self, tmp_path, capsys
+    ):
+        """One job_id line in a batch file trains *that line only*; the
+        other lines keep the cheap optimize-only path, in file order."""
+        path = tmp_path / "requests.txt"
+        path.write_text(
+            "adult epsilon=0.05 fixed_iterations=50\n"
+            "adult epsilon=0.001 max_iter=400 algorithm=mgd "
+            "job_id=b1 lease_iterations=40\n"
+            "adult epsilon=0.05 fixed_iterations=80\n"
+        )
+        assert main(["batch", str(path), "--workers", "1",
+                     "--checkpoint", str(tmp_path / "jobs.json")]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if l.startswith("adult:")]
+        assert len(lines) == 3
+        # Only the middle (job) line executed a plan.
+        assert "iterations" not in lines[0]
+        assert "job b1: preempted at iteration 40" in lines[1]
+        assert "iterations" not in lines[2]
+        assert "request/s" in out  # mixed-mode rate label
+
+    def test_repeat_with_a_job_line_serializes_the_leases(
+        self, tmp_path, capsys
+    ):
+        """--repeat duplicates a job_id line; run concurrently the
+        copies would contend for one lease and abort the batch, so
+        batch serializes them (the second copy sees 'already done')."""
+        path = tmp_path / "requests.txt"
+        path.write_text("adult epsilon=0.05 max_iter=200 job_id=r1\n")
+        assert main(["batch", str(path), "--repeat", "2", "--workers",
+                     "4", "--checkpoint", str(tmp_path / "jobs.json")]) == 0
+        out = capsys.readouterr().out
+        assert "job r1: done at iteration" in out
+        assert "already done" in out
+
+
+class TestCLIServeJobs:
+    def test_restarted_serve_finishes_in_flight_jobs(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        store = tmp_path / "jobs.json"
+        # Lease 1: preempted via the request-line budget keys.
+        monkeypatch.setattr(sys, "stdin", io.StringIO(
+            "adult epsilon=0.001 max_iter=400 algorithm=mgd "
+            "job_id=inflight checkpoint_every=25 lease_iterations=50\n"
+            "quit\n"
+        ))
+        assert main(["serve", "--checkpoint", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "preempted at iteration 50" in out
+
+        # Restarted server, no input: it re-issues the stored request
+        # (budget keys stripped) and finishes the job from the store.
+        monkeypatch.setattr(sys, "stdin", io.StringIO("quit\n"))
+        assert main(["serve", "--checkpoint", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "resuming in-flight job 'inflight' from iteration 50" in out
+        assert "job inflight: done" in out
+        # The decision came from the checkpoint, not re-speculation.
+        assert "[cache" in out
+
+    def test_bad_lease_budget_line_does_not_kill_the_server(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(sys, "stdin", io.StringIO(
+            "adult epsilon=0.05 job_id=bad lease_iterations=0\n"
+            "adult epsilon=0.05 fixed_iterations=50\n"
+        ))
+        assert main(["serve", "--checkpoint",
+                     str(tmp_path / "jobs.json")]) == 0
+        captured = capsys.readouterr()
+        assert "error: budget max_iterations" in captured.err
+        assert "adult:" in captured.out  # the next line still served
+
+    def test_still_leased_pending_job_is_reported_not_crashed(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """A hard-killed server's lease outlives it; the restarted
+        server must say so (and when to retry), not die or silently
+        skip."""
+        from repro.service import CheckpointStore, JobCheckpoint
+
+        store = tmp_path / "jobs.json"
+        holder = CheckpointStore(path=str(store))
+        holder.save(JobCheckpoint(
+            job_id="held", status="running", fingerprint="f",
+            weights=[0.0], state=None, chosen={"plan": {}},
+            trace={"segments": []}, done_iterations=5,
+            request={"dataset": "adult", "epsilon": 0.05,
+                     "job_id": "held"},
+        ), owner="the-dead-server")
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO("quit\n"))
+        assert main(["serve", "--checkpoint", str(store)]) == 0
+        captured = capsys.readouterr()
+        assert "still leased" in captured.err
+        assert "restart after the lease expires" in captured.err
+
+
+class TestCLICache:
+    def populate(self, store, capsys, lease=None):
+        args = ["train", "adult", "epsilon=0.001", "max_iter=400",
+                "algorithm=mgd", "--job-id", "j1",
+                "--checkpoint", str(store)]
+        if lease:
+            args += ["--max-iterations", str(lease)]
+        assert main(args) == 0
+        capsys.readouterr()
+
+    def test_inspect_reports_jobs_and_plans(self, tmp_path, capsys):
+        store = tmp_path / "jobs.json"
+        self.populate(store, capsys)
+        assert main(["cache", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "(json backend): 1 entries" in out
+        assert "job checkpoints: 1 (format 1 x1)" in out
+        assert "done: 1" in out
+
+    def test_inspect_plan_store(self, tmp_path, capsys):
+        plans = tmp_path / "plans.json"
+        path = tmp_path / "requests.txt"
+        path.write_text("adult epsilon=0.05 fixed_iterations=50\n")
+        assert main(["batch", str(path), "--workers", "1",
+                     "--cache", str(plans)]) == 0
+        capsys.readouterr()
+        assert main(["cache", str(plans)]) == 0
+        out = capsys.readouterr().out
+        assert "plan entries: 1 (format 2 x1)" in out
+
+    def test_compact_drops_done_jobs_and_junk(self, tmp_path, capsys):
+        store = tmp_path / "jobs.json"
+        self.populate(store, capsys)
+        from repro.service import JsonFileBackend
+
+        backend = JsonFileBackend(str(store))
+        backend.store("junk", {"neither": "plan nor checkpoint"})
+        assert main(["cache", str(store), "--compact",
+                     "--drop-done-jobs"]) == 0
+        out = capsys.readouterr().out
+        assert "unknown entries: 1" in out
+        assert "compacted: kept 0, dropped 2" in out
+        assert JsonFileBackend(str(store)).load() == {}
+
+    def test_compact_keeps_live_jobs(self, tmp_path, capsys):
+        store = tmp_path / "jobs.db"
+        self.populate(store, capsys, lease=50)  # preempted -> pending
+        assert main(["cache", str(store), "--compact",
+                     "--drop-done-jobs"]) == 0
+        out = capsys.readouterr().out
+        assert "preempted: 1" in out
+        assert "compacted: kept 1, dropped 0" in out
+
+    def test_missing_store_reports_error(self, tmp_path, capsys):
+        assert main(["cache", str(tmp_path / "nope.json")]) == 1
+        assert "no store" in capsys.readouterr().err
+
+
 @pytest.mark.slow
 class TestCLISubprocess:
     def test_module_invocation(self):

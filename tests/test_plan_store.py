@@ -254,12 +254,27 @@ class TestSerialization:
         report = self._report(spec, dataset, training)
         entry = entry_to_dict(report, calibration_version=7,
                               calibration_digest="abc123")
-        restored, version, digest = entry_from_dict(
+        restored, version, digest, written_at = entry_from_dict(
             json.loads(json.dumps(entry))
         )
         assert version == 7
         assert digest == "abc123"
         assert restored.chosen_plan == report.chosen_plan
+        # The write stamp defaults to "now" and survives the round trip.
+        assert written_at == pytest.approx(time.time(), abs=60)
+
+    def test_stampless_entry_decodes_with_unknown_age(
+        self, spec, dataset, training
+    ):
+        # Entries persisted before written_at existed (same format
+        # version) must keep loading; they report no age and never
+        # expire.
+        report = self._report(spec, dataset, training)
+        entry = entry_to_dict(report, calibration_version=1,
+                              calibration_digest="abc")
+        del entry["written_at"]
+        _, _, _, written_at = entry_from_dict(entry)
+        assert written_at is None
 
     def test_entry_format_mismatch_is_rejected(self, spec, dataset, training):
         report = self._report(spec, dataset, training)
@@ -456,7 +471,7 @@ class TestWarmRestart:
         result = service.optimize(dataset, training)
         persisted = backend.load()
         assert set(persisted) == {result.fingerprint}
-        report, version, digest = entry_from_dict(
+        report, version, digest, _ = entry_from_dict(
             persisted[result.fingerprint]
         )
         assert str(report.chosen_plan) == str(result.chosen_plan)

@@ -5,6 +5,13 @@ export :class:`OptimizerState` -> ``resume(N - k)`` for same-algorithm
 segments, at both the pure-math level (``run_loop`` / ``svrg``) and the
 plan-executor level, across the algorithm x updater matrix; plus the
 JSON round trip of the snapshot and the cross-algorithm transfer policy.
+
+The randomized kill-point suites push the same contract through the
+checkpoint substrate: snapshots exported on a cadence mid-run
+(``state_every`` / executor ``checkpoint_every``), a seeded harness
+that "kills" training at an arbitrary iteration -- including inside an
+SVRG epoch and one iteration after a mid-flight plan switch -- and
+durable service jobs resumed over json and sqlite stores.
 """
 
 import json
@@ -310,6 +317,279 @@ class TestConvergenceWinsOrdering:
         )
         assert result.iterations == 4
         assert not result.converged
+
+
+def kill_point(label, low=1, high=N_TOTAL - 1, forbid=None):
+    """Deterministic 'arbitrary' kill iteration for one scenario.
+
+    Seeded from the scenario label (crc32: stable across processes,
+    unlike ``hash``), so every run of the suite kills at the same --
+    but not hand-picked -- iteration; ``forbid`` re-draws e.g. anchor
+    boundaries.
+    """
+    import zlib
+
+    rng = np.random.default_rng(zlib.crc32(label.encode()))
+    for _ in range(100):
+        k = int(rng.integers(low, high + 1))
+        if forbid is None or not forbid(k):
+            return k
+    raise AssertionError("no admissible kill point")
+
+
+class TestStateExportCadence:
+    """gd-level ``state_every``/``state_callback``: mid-run snapshots
+    that perturb nothing and each resume bit-identically."""
+
+    @pytest.mark.parametrize("updater_name", sorted(UPDATERS))
+    @pytest.mark.parametrize("algorithm", sorted(SELECTORS))
+    def test_random_kill_resumes_bit_identically(
+        self, problem, algorithm, updater_name
+    ):
+        X, y, gradient = problem
+        selector = SELECTORS[algorithm](X.shape[0])
+        snapshots = {}
+
+        def run(max_iter, w0=None, state=None, seed=5, capture=False):
+            return run_loop(
+                X, y, gradient, selector,
+                step_size=1.0, tolerance=0.0, max_iter=max_iter,
+                w0=w0, updater=UPDATERS[updater_name](),
+                rng=np.random.default_rng(seed), state=state,
+                state_every=1 if capture else None,
+                state_callback=(
+                    (lambda i, w, s: snapshots.__setitem__(i, (w, s)))
+                    if capture else None
+                ),
+            )
+
+        plain = run(N_TOTAL)
+        captured = run(N_TOTAL, capture=True)
+        # Attaching the cadence hook is behaviour-preserving.
+        assert np.array_equal(plain.weights, captured.weights)
+        assert set(snapshots) == set(range(1, N_TOTAL))  # not the exit
+
+        k = kill_point(f"run_loop/{algorithm}/{updater_name}")
+        w_k, state_k = snapshots[k]
+        resumed = run(N_TOTAL - k, w0=w_k,
+                      state=json_round_trip(state_k), seed=999)
+        assert np.array_equal(plain.weights, resumed.weights)
+        np.testing.assert_array_equal(
+            plain.deltas, np.concatenate([plain.deltas[:k], resumed.deltas])
+        )
+
+    def test_svrg_kill_inside_an_epoch(self, problem):
+        X, y, gradient = problem
+        m = 7
+        snapshots = {}
+
+        def run(max_iter, w0=None, state=None, seed=5, capture=False):
+            return svrg(
+                X, y, gradient, update_frequency=m, step_size=0.05,
+                tolerance=0.0, max_iter=max_iter, w0=w0, state=state,
+                rng=np.random.default_rng(seed),
+                state_every=1 if capture else None,
+                state_callback=(
+                    (lambda i, w, s: snapshots.__setitem__(i, (w, s)))
+                    if capture else None
+                ),
+            )
+
+        plain = run(N_TOTAL)
+        run(N_TOTAL, capture=True)
+        # Kill strictly inside an epoch: not an anchor iteration (the
+        # anchor fires when gt - last_anchor >= m, i.e. at 1, 1+m, ...).
+        k = kill_point("svrg/epoch", low=2,
+                       forbid=lambda i: (i - 1) % m == 0)
+        w_k, state_k = snapshots[k]
+        assert state_k.svrg["last_anchor"] < k  # genuinely mid-epoch
+        resumed = run(N_TOTAL - k, w0=w_k,
+                      state=json_round_trip(state_k), seed=999)
+        assert np.array_equal(plain.weights, resumed.weights)
+        # The resumed run must not have re-anchored early.
+        assert resumed.state.svrg["last_anchor"] == \
+            plain.state.svrg["last_anchor"]
+
+    def test_snapshot_cadence_is_global_on_resume(self, problem):
+        X, y, gradient = problem
+        seen = []
+        first = run_loop(X, y, gradient, full_batch_selector,
+                         step_size=1.0, tolerance=0.0, max_iter=20)
+        run_loop(X, y, gradient, full_batch_selector,
+                 step_size=1.0, tolerance=0.0, max_iter=20,
+                 w0=first.weights, state=first.state,
+                 state_every=8,
+                 state_callback=lambda i, w, s: seen.append(i))
+        assert seen == [24, 32]  # global multiples, not local ones
+
+
+class TestExecutorCheckpointCadence:
+    """Executor-level ``checkpoint_every``: global-iteration cadence,
+    behaviour-preserving, every exported snapshot resumes exactly."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_dataset(n_phys=600, d=8, task="logreg", seed=4)
+
+    @pytest.mark.parametrize(
+        "plan", EXECUTOR_PLANS, ids=[str(p) for p in EXECUTOR_PLANS]
+    )
+    def test_random_kill_resumes_bit_identically(self, spec, dataset, plan):
+        training = TrainingSpec(task="logreg", step_size=1.0,
+                                tolerance=1e-12, max_iter=N_TOTAL, seed=3)
+        plain = execute_plan(
+            SimulatedCluster(spec, seed=0), dataset, plan, training
+        )
+        checkpoints = {}
+        observed = execute_plan(
+            SimulatedCluster(spec, seed=0), dataset, plan, training,
+            checkpoint_every=1,
+            checkpoint_callback=(
+                lambda i, w, s: checkpoints.__setitem__(i, (w, s))
+            ),
+        )
+        assert np.array_equal(plain.weights, observed.weights)
+        np.testing.assert_array_equal(plain.deltas, observed.deltas)
+
+        k = kill_point(f"executor/{plan}")
+        w_k, state_k = checkpoints[k]
+        resumed = execute_plan(
+            SimulatedCluster(spec, seed=0), dataset, plan,
+            TrainingSpec(task="logreg", step_size=1.0, tolerance=1e-12,
+                         max_iter=N_TOTAL - k, seed=3),
+            initial_weights=w_k,
+            initial_state=json.loads(json.dumps(state_k.to_dict())),
+        )
+        assert np.array_equal(plain.weights, resumed.weights)
+        np.testing.assert_array_equal(
+            plain.deltas,
+            np.concatenate([plain.deltas[:k], resumed.deltas]),
+        )
+        assert resumed.state.iteration_offset == N_TOTAL
+
+
+class TestRandomKillJobs:
+    """Service-level jobs: kill at a seeded arbitrary iteration, resume
+    in a fresh service over a json and a sqlite store -- weights and the
+    whole delta trajectory must match the uninterrupted job."""
+
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_dataset(n_phys=600, d=8, task="logreg", seed=4)
+
+    @pytest.fixture(scope="class")
+    def training(self):
+        return TrainingSpec(task="logreg", step_size=1.0, tolerance=1e-12,
+                            max_iter=N_TOTAL, seed=3)
+
+    def job(self, spec, dataset, training, path, job_id, plan, **kwargs):
+        from repro.service import OptimizerService
+
+        service = OptimizerService(spec=spec, seed=5, checkpoint_path=path)
+        return service.train(
+            dataset, training, fixed_iterations=N_TOTAL,
+            algorithms=(plan.algorithm,),
+            batch_sizes=(
+                {plan.algorithm: plan.batch_size}
+                if plan.batch_size is not None else None
+            ),
+            job_id=job_id, **kwargs,
+        )
+
+    @pytest.mark.parametrize("store", ["jobs.json", "jobs.db"])
+    @pytest.mark.parametrize(
+        "plan", EXECUTOR_PLANS, ids=[str(p) for p in EXECUTOR_PLANS]
+    )
+    def test_kill_and_resume_matches_uninterrupted(
+        self, spec, dataset, training, tmp_path, plan, store
+    ):
+        from repro.runtime import JobBudget
+
+        baseline = self.job(
+            spec, dataset, training, str(tmp_path / ("base-" + store)),
+            "u", plan,
+        )
+        assert baseline.job.status == "done"
+
+        k = kill_point(f"job/{plan}/{store}")
+        path = str(tmp_path / store)
+        killed = self.job(
+            spec, dataset, training, path, "victim", plan,
+            checkpoint_every=10, budget=JobBudget(max_iterations=k),
+        )
+        assert killed.job.preempted
+        assert killed.job.done_iterations == k
+
+        resumed = self.job(spec, dataset, training, path, "victim", plan)
+        assert resumed.job.resumed
+        assert resumed.job.status == "done"
+        assert np.array_equal(baseline.weights, resumed.weights)
+        assert baseline.trace.all_deltas == resumed.trace.all_deltas
+
+
+class TestPostSwitchKill:
+    """Kill an adaptive job one iteration after a mid-flight plan
+    switch; the resumed run must keep the switched-to plan, the
+    transferred state, and the uninterrupted run's exact trajectory."""
+
+    def scenario(self, spec, dataset, path, job_id, **kwargs):
+        from repro.runtime import AdaptiveSettings, PerturbedCostModel
+        from repro.service import OptimizerService
+
+        # The fault: mgd's per-iteration cost under-estimated 20x, so
+        # the optimizer mis-picks it; the monitor notices the true cost
+        # after min_points iterations and switches to sgd.
+        service = OptimizerService(
+            spec=spec, seed=5,
+            algorithms=("mgd", "sgd"),
+            batch_sizes={"mgd": 256},
+            cost_model=PerturbedCostModel(spec, {"mgd": 0.05}),
+            checkpoint_path=path,
+        )
+        training = TrainingSpec(task="logreg", step_size=1.0,
+                                tolerance=1e-12, max_iter=N_TOTAL, seed=3)
+        settings = AdaptiveSettings(refit_every=5, min_points=5,
+                                    max_switches=2)
+        return service.train(
+            dataset, training, fixed_iterations=N_TOTAL,
+            adaptive=True, adaptive_settings=settings,
+            job_id=job_id, **kwargs,
+        )
+
+    def test_kill_one_iteration_after_the_switch(self, spec, tmp_path):
+        from repro.runtime import JobBudget
+
+        dataset = make_dataset(n_phys=600, d=8, task="logreg", seed=4)
+        baseline = self.scenario(
+            spec, dataset, str(tmp_path / "base.json"), "u"
+        )
+        assert baseline.trace.switched, "scenario must force a switch"
+        switch_at = baseline.trace.switches[0].iteration
+        assert baseline.trace.segments[0].algorithm == "mgd"
+        assert baseline.trace.segments[-1].algorithm == "sgd"
+
+        path = str(tmp_path / "jobs.json")
+        killed = self.scenario(
+            spec, dataset, path, "victim",
+            budget=JobBudget(max_iterations=switch_at + 1),
+        )
+        assert killed.job.preempted
+        assert killed.job.done_iterations == switch_at + 1
+        assert len(killed.trace.switches) == 1  # killed *after* switching
+
+        resumed = self.scenario(spec, dataset, path, "victim")
+        assert resumed.job.resumed
+        assert resumed.job.status == "done"
+        # The resumed lease continues the switched-to plan: no fresh
+        # switch events, same final algorithm.
+        assert len(resumed.trace.switches) == 1
+        assert resumed.trace.segments[-1].algorithm == "sgd"
+        # The post-switch transfer notes were persisted and re-imported.
+        post_switch = resumed.trace.segments[-1]
+        assert any("resumed from checkpoint" in note
+                   for note in post_switch.state_transfer)
+        assert np.array_equal(baseline.weights, resumed.weights)
+        assert baseline.trace.all_deltas == resumed.trace.all_deltas
 
 
 class TestOffsetStep:
