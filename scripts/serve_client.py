@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Concurrent client for ``repro serve --listen`` (CI smoke + manual load).
+
+Opens N threads, each with its own TCP connection, fires M request lines
+per thread with correlation ids, and verifies that *every* request got a
+response -- the front-end's contract is zero dropped responses, with
+overload expressed as structured rejections.  Finishes with a ``metrics``
+request and prints its counters.
+
+Exit status: 0 when every request was answered (rejections included,
+unless ``--require-ok``), 1 otherwise.
+
+    python scripts/serve_client.py --port 7654 --threads 16 --requests 3 \\
+        --line "adult epsilon=0.05 fixed_iterations=60"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import socket
+import sys
+import threading
+import time
+
+
+def run_thread(host, port, line, count, worker, responses, errors):
+    try:
+        sock = socket.create_connection((host, port), timeout=30)
+        handle = sock.makefile("rw", encoding="utf-8", newline="\n")
+        try:
+            for i in range(count):
+                handle.write(f"{line} id={worker}-{i}\n")
+                handle.flush()
+                raw = handle.readline()
+                if not raw:
+                    raise OSError("connection closed before response")
+                responses.append(json.loads(raw))
+        finally:
+            sock.close()
+    except Exception as exc:  # noqa: BLE001 - reported via exit status
+        errors.append(f"thread {worker}: {type(exc).__name__}: {exc}")
+
+
+def fetch_metrics(host, port):
+    sock = socket.create_connection((host, port), timeout=30)
+    handle = sock.makefile("rw", encoding="utf-8", newline="\n")
+    try:
+        handle.write("metrics\n")
+        handle.flush()
+        return json.loads(handle.readline())
+    finally:
+        sock.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--threads", type=int, default=16)
+    parser.add_argument("--requests", type=int, default=3,
+                        help="requests per thread (default 3)")
+    parser.add_argument("--line",
+                        default="adult epsilon=0.05 fixed_iterations=60",
+                        help="request line to send (id= is appended)")
+    parser.add_argument("--require-ok", action="store_true",
+                        help="fail on any non-ok response (by default "
+                             "structured rejections count as answered)")
+    args = parser.parse_args(argv)
+
+    responses, errors = [], []
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(
+            target=run_thread,
+            args=(args.host, args.port, args.line, args.requests,
+                  worker, responses, errors),
+        )
+        for worker in range(args.threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    elapsed = time.perf_counter() - start
+
+    expected = args.threads * args.requests
+    ok = sum(1 for r in responses if r.get("ok"))
+    rejected = {}
+    for response in responses:
+        if not response.get("ok"):
+            kind = response.get("error", "unknown")
+            rejected[kind] = rejected.get(kind, 0) + 1
+    rate = len(responses) / elapsed if elapsed > 0 else float("inf")
+    print(f"{len(responses)}/{expected} responses in {elapsed:.2f}s "
+          f"({rate:.1f} req/s): {ok} ok"
+          + (f", rejected {rejected}" if rejected else ""))
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+
+    try:
+        metrics = fetch_metrics(args.host, args.port)
+        counters = metrics.get("metrics", {}).get("counters", {})
+        print("metrics:", json.dumps(counters, sort_keys=True))
+        if not metrics.get("ok") or "frontend.requests" not in counters:
+            print("error: metrics reply is not sane", file=sys.stderr)
+            return 1
+    except OSError as exc:
+        print(f"error: metrics request failed: {exc}", file=sys.stderr)
+        return 1
+
+    if errors or len(responses) != expected:
+        return 1
+    if args.require_ok and ok != expected:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

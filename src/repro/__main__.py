@@ -61,6 +61,7 @@ them).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
@@ -69,51 +70,19 @@ from repro.api import ML4all
 from repro.errors import ReproError
 from repro.service.checkpoint import JobLeaseError
 
-#: Request-line keys coerced to int / float; the rest stay strings.
-_INT_KEYS = {"max_iter", "batch", "fixed_iterations", "seed",
-             "checkpoint_every", "lease_iterations"}
-_FLOAT_KEYS = {"epsilon", "time_budget", "step", "l2", "lease_seconds"}
-_STR_KEYS = {"task", "algorithm", "convergence", "job_id"}
-_ALL_KEYS = _INT_KEYS | _FLOAT_KEYS | _STR_KEYS
-
-
-def parse_request_line(line) -> dict:
-    """Parse one ``<dataset> key=value ...`` request line."""
-    tokens = line.split()
-    if not tokens or "=" in tokens[0]:
-        raise ReproError(
-            f"request line must start with a dataset reference: {line!r}"
-        )
-    request = {"dataset": tokens[0]}
-    for token in tokens[1:]:
-        key, sep, value = token.partition("=")
-        if not sep or not key or not value:
-            raise ReproError(f"expected key=value, got {token!r}")
-        if key not in _ALL_KEYS:
-            raise ReproError(
-                f"unknown request key {key!r}; expected one of "
-                f"{sorted(_ALL_KEYS)}"
-            )
-        try:
-            if key in _INT_KEYS:
-                request[key] = int(value)
-            elif key in _FLOAT_KEYS:
-                request[key] = float(value)
-            else:
-                request[key] = value
-        except ValueError:
-            raise ReproError(
-                f"invalid value for {key}: {value!r}"
-            ) from None
-    return request
-
-
-def iter_request_lines(handle):
-    """Yield parsed request dicts from a line stream, skipping comments."""
-    for line in handle:
-        line = line.split("#", 1)[0].strip()
-        if line:
-            yield parse_request_line(line)
+# Request-line parsing lives with the rest of the protocol code in the
+# service front-end; re-exported here because the CLI is its historical
+# home (tests and user code import it from repro.__main__).
+from repro.service.frontend import (  # noqa: F401  (re-exports)
+    _ALL_KEYS,
+    _FLOAT_KEYS,
+    _INT_KEYS,
+    _STR_KEYS,
+    Dispatcher,
+    SocketFrontend,
+    iter_request_lines,
+    parse_request_line,
+)
 
 
 def build_parser():
@@ -316,37 +285,70 @@ def _finish_pending_jobs(system, service, args) -> int:
 def serve_main(argv) -> int:
     parser = _service_parser(
         "python -m repro serve",
-        "Answer optimize() request lines from stdin until EOF.",
+        "Answer optimize() request lines from stdin until EOF, or -- "
+        "with --listen -- serve JSON lines over TCP with admission "
+        "control (load shedding, per-tenant quotas, deadlines).",
     )
+    parser.add_argument("--listen", metavar="PORT", type=int, default=None,
+                        help="serve a TCP line protocol on PORT instead of "
+                             "stdin (0 picks a free port)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface for --listen (default 127.0.0.1)")
+    parser.add_argument("--shed-after", type=int, default=64,
+                        help="admission bound: reject new requests with a "
+                             "structured 'overloaded' response while this "
+                             "many are queued or running (default 64)")
+    parser.add_argument("--max-inflight", type=int, default=None,
+                        help="per-tenant inflight quota; over-quota "
+                             "requests get a structured 'quota_exceeded' "
+                             "response (default: no quota)")
     args = parser.parse_args(argv)
 
     system = ML4all(seed=args.seed, calibration_path=args.calibration,
                     cache_path=args.cache, checkpoint_path=args.checkpoint)
     service = system.service(cache_size=args.cache_size)
-    train_mode = args.train or args.adaptive
+    dispatcher = Dispatcher(system, train=args.train, adaptive=args.adaptive,
+                            workers=args.workers)
     served = failed = 0
     served += _finish_pending_jobs(system, service, args)
+
+    if args.listen is not None:
+        frontend = SocketFrontend(
+            dispatcher, host=args.host, port=args.listen,
+            max_workers=args.workers or 8,
+            shed_after=args.shed_after, max_inflight=args.max_inflight,
+        )
+        port = frontend.start()
+        print(f"listening on {args.host}:{port}", flush=True)
+        try:
+            frontend.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            frontend.stop()
+            print(service.stats_summary())
+            _save_calibration(system, args)
+        return 0
+
     for line in sys.stdin:
         line = line.split("#", 1)[0].strip()
         if not line:
             continue
         if line in ("quit", "exit"):
             break
-        try:
-            request = parse_request_line(line)
-            if train_mode or "job_id" in request:
-                _, groups = _train_and_report(system, [request], args)
-                lines = groups[0]
-            else:
-                (result,) = system.optimize_many([request])
-                lines = [f"{request['dataset']}: {result.summary()}"]
-        except ReproError as exc:
+        response = dispatcher.handle_line(line)
+        if response.get("ok"):
+            served += 1
+            for out in response.get("lines", []):
+                print(out)
+        else:
+            # Structured error on stdout (machine-readable, same shape
+            # as the socket protocol) plus the legacy stderr line; the
+            # loop always continues.
             failed += 1
-            print(f"error: {exc}", file=sys.stderr)
-            continue
-        served += 1
-        for out in lines:
-            print(out)
+            print(json.dumps(response))
+            detail = response.get("detail", response.get("error"))
+            print(f"error: {detail}", file=sys.stderr)
         sys.stdout.flush()
     print(service.stats_summary())
     _save_calibration(system, args)

@@ -316,6 +316,13 @@ class ML4all:
             )
         return service
 
+    @property
+    def metrics(self):
+        """The service's :class:`~repro.service.MetricsRegistry`
+        (operational counters/gauges/timers across every layer);
+        creates the service if it does not exist yet."""
+        return self.service().metrics
+
     def optimize_many(self, requests, max_workers=None, **shared):
         """Serve a batch of optimize() requests through the plan cache.
 

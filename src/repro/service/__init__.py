@@ -2,12 +2,26 @@
 
 The one-shot :class:`~repro.core.optimizer.GDOptimizer` answers a single
 query; this package turns it into a component that serves *many* users
-across *many* processes: :class:`OptimizerService` caches optimization
-reports per workload fingerprint, coalesces concurrent identical
-requests (cold computes and recalibration re-costs alike), fans a batch
-of requests over a thread pool, and -- via the pluggable
-:class:`CacheBackend` plan store -- persists every decision so a
-restarted service starts warm.
+across *many* processes, in explicit layers:
+
+* :mod:`repro.service.core` -- :class:`OptimizerService`: caches
+  optimization reports per workload fingerprint, coalesces concurrent
+  identical requests (cold computes and recalibration re-costs alike),
+  and -- via the pluggable :class:`CacheBackend` plan store -- persists
+  every decision so a restarted service starts warm;
+* :mod:`repro.service.jobs` -- the execution layer: ``train()``,
+  durable checkpointed jobs, budgets and leases;
+* :mod:`repro.service.requests` -- the request/result dataclasses;
+* :mod:`repro.service.frontend` -- the protocol tier: request-line
+  parsing, the :class:`Dispatcher` shared by ``repro serve`` stdin and
+  socket modes, and the admission-controlled :class:`SocketFrontend`;
+* :mod:`repro.service.metrics` -- the :class:`MetricsRegistry` counters
+  /gauges/timers threaded through all of the above;
+* :mod:`repro.service.storetools` -- offline store inspection and
+  compaction (``repro cache``).
+
+``repro.service.service`` remains as a compatibility shim for pre-split
+imports.
 """
 
 from repro.service.backends import (
@@ -15,8 +29,6 @@ from repro.service.backends import (
     JsonFileBackend,
     MemoryBackend,
     SqliteBackend,
-    compact_store,
-    inspect_store,
     open_backend,
 )
 from repro.service.cache import CacheStats, PlanCache, approx_nbytes
@@ -27,7 +39,24 @@ from repro.service.checkpoint import (
     JobCheckpoint,
     JobLeaseError,
 )
+from repro.service.core import OptimizerService
 from repro.service.fingerprint import freeze, workload_fingerprint
+from repro.service.frontend import (
+    Dispatcher,
+    SocketFrontend,
+    WireRequest,
+    iter_request_lines,
+    parse_request_line,
+    parse_wire_line,
+)
+from repro.service.metrics import MetricsRegistry
+from repro.service.requests import (
+    JobProgress,
+    ServiceRequest,
+    ServiceResult,
+    TrainServiceResult,
+    normalize_request,
+)
 from repro.service.serialize import (
     PlanStoreError,
     entry_from_dict,
@@ -35,13 +64,7 @@ from repro.service.serialize import (
     report_from_dict,
     report_to_dict,
 )
-from repro.service.service import (
-    JobProgress,
-    OptimizerService,
-    ServiceRequest,
-    ServiceResult,
-    TrainServiceResult,
-)
+from repro.service.storetools import compact_store, inspect_store
 
 __all__ = [
     "CHECKPOINT_FORMAT",
@@ -49,25 +72,33 @@ __all__ = [
     "CacheStats",
     "CheckpointError",
     "CheckpointStore",
+    "Dispatcher",
     "JobCheckpoint",
     "JobLeaseError",
     "JobProgress",
     "JsonFileBackend",
     "MemoryBackend",
+    "MetricsRegistry",
     "OptimizerService",
     "PlanCache",
     "PlanStoreError",
     "ServiceRequest",
     "ServiceResult",
+    "SocketFrontend",
     "SqliteBackend",
     "TrainServiceResult",
+    "WireRequest",
     "approx_nbytes",
     "compact_store",
     "entry_from_dict",
     "entry_to_dict",
     "freeze",
     "inspect_store",
+    "iter_request_lines",
+    "normalize_request",
     "open_backend",
+    "parse_request_line",
+    "parse_wire_line",
     "report_from_dict",
     "report_to_dict",
     "workload_fingerprint",

@@ -1,0 +1,599 @@
+"""The optimizer core of the service: plan cache, stamping, persistence.
+
+:class:`OptimizerService` sits above :class:`~repro.core.optimizer.GDOptimizer`
+and turns the one-shot optimizer into a serving component: many callers,
+many workloads, repeated queries.  Three mechanisms make the hot path
+cheap:
+
+* a **plan cache** (:mod:`repro.service.cache`) keyed by a fingerprint of
+  ``(DatasetStats, TrainingSpec, ClusterSpec)`` plus the service's own
+  configuration, so a repeated workload skips re-speculation and
+  re-costing entirely;
+* **request coalescing** -- concurrent requests for the same fingerprint
+  share one computation instead of racing to duplicate it;
+* the **vectorized cost model** and **parallel speculation** underneath
+  (:meth:`CostModel.estimate_batch`,
+  :meth:`SpeculativeEstimator.estimate_all` with
+  ``speculation_workers="auto"``; plain ``SpeculativeEstimator`` use
+  elsewhere stays sequential and fully reproducible).
+
+Each computed request runs on a fresh :class:`SimulatedCluster` so the
+simulated clock of one caller never leaks into another -- the service
+object itself holds no per-request mutable state outside the cache and
+the calibration store.
+
+This module is the *lookup/pricing* layer of the service; execution
+(train, durable jobs, budgets) lives in :mod:`repro.service.jobs`, the
+request/result shapes in :mod:`repro.service.requests`, and the network
+protocol in :mod:`repro.service.frontend`.  Operational counters live in
+a :class:`~repro.service.metrics.MetricsRegistry` shared by all three
+layers; the legacy counter attributes (``service.computed`` etc.) are
+read-only views over it.
+
+The **adaptive runtime** (:mod:`repro.runtime`) plugs in here: every
+service owns a :class:`~repro.runtime.calibration.CalibrationStore`
+(optionally disk-persisted), :meth:`OptimizerService.train` executes the
+chosen plan on a per-caller engine clone (adaptively, if asked) and
+folds the resulting execution trace back into the store, and cached
+plans remember which calibration version priced them -- a stale entry is
+*re-costed* from its cached speculation results instead of being thrown
+away, so repeated workloads get calibrated answers without ever
+re-speculating.  Re-costs go through the same coalescing table as cold
+computes, so concurrent callers never duplicate one.
+
+A **persistent plan store** (:mod:`repro.service.backends`) extends all
+of this across process restarts: with ``cache_path`` (or an explicit
+``cache_backend``) every cached decision -- report, speculation
+artifacts, calibration stamp -- is written through to disk and reloaded
+on startup, so ``repro serve --cache plans.json`` restarted answers
+previously seen workloads warm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+import warnings
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.cluster import ClusterSpec, SimulatedCluster
+from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
+from repro.core.optimizer import GDOptimizer
+from repro.gd.registry import CORE_ALGORITHMS
+from repro.runtime import CalibrationStore
+from repro.service.backends import open_backend
+from repro.service.cache import PlanCache
+from repro.service.checkpoint import CheckpointStore
+from repro.service.fingerprint import workload_fingerprint
+from repro.service.jobs import TrainingJobs
+from repro.service.metrics import MetricsRegistry
+from repro.service.requests import ServiceResult, normalize_request
+from repro.service.serialize import (
+    PlanStoreError,
+    entry_from_dict,
+    entry_to_dict,
+)
+
+
+@dataclasses.dataclass
+class _CachedPlan:
+    """One plan-cache value: a report plus its pricing stamp.
+
+    ``calibration_digest`` is the calibration store's *content digest*
+    (:meth:`CalibrationStore.state_digest`) at the moment the report
+    was priced -- a fingerprint of the correction factors themselves,
+    not a counter, so it stays comparable across restarts and across
+    processes sharing one store.  A lookup whose stamp does not match
+    the live digest is *stale*: the service re-costs it from the
+    report's cached ``iteration_estimates`` (no re-speculation) and
+    re-stamps it.  The same stamp is what a persistent backend stores,
+    so a restarted service applies the identical staleness rule to
+    warm-loaded entries (``calibration_version`` rides along for
+    inspection).
+    """
+
+    report: object
+    calibration_version: int
+    calibration_digest: str
+
+
+def _counter(metric, doc):
+    """A read-only attribute view over one metrics-registry counter."""
+    def get(self):
+        return self.metrics.value(metric)
+    get.__doc__ = doc
+    return property(get)
+
+
+class OptimizerService(TrainingJobs):
+    """Concurrent, caching facade over the cost-based GD optimizer.
+
+    **Cache stamping.**  Every cached decision is stored with the
+    :class:`~repro.runtime.calibration.CalibrationStore` version it was
+    priced against.  A hit whose stamp equals the live version is served
+    as-is; a hit whose stamp trails it is *re-costed* from the entry's
+    cached speculation artifacts (cheap vectorized costing, no
+    speculative GD runs) and re-stamped.  The stamp is read *before*
+    pricing, so a calibration update racing a computation leaves the
+    entry stale rather than silently current.
+
+    **Eviction.**  The in-memory :class:`~repro.service.cache.PlanCache`
+    composes LRU entry-count (``cache_size``), byte-budget
+    (``cache_max_bytes``) and TTL (``cache_ttl_s``) eviction; eviction
+    only affects the in-memory tier -- entries in a persistent backend
+    (``cache_path`` / ``cache_backend``) outlive it and reload on the
+    next construction.
+
+    **Calibration factors.**  The shared store learns multiplicative
+    cost/iteration corrections from adaptive :meth:`train` traces, keyed
+    two-level (workload-specific with algorithm-level fallback).  Every
+    optimizer this service builds prices plans through those factors, so
+    one tenant's observed mis-estimates correct every tenant's future
+    estimates on the same cluster.
+
+    **Concurrency.**  Identical concurrent requests coalesce onto one
+    computation (cold computes and recalibration re-costs alike); each
+    computed request runs on a fresh :class:`SimulatedCluster` so no
+    simulated state leaks between callers.
+    """
+
+    def __init__(
+        self,
+        spec=None,
+        seed=0,
+        speculation=None,
+        algorithms=CORE_ALGORITHMS,
+        batch_sizes=None,
+        cache_size=256,
+        speculation_workers="auto",
+        cache_ttl_s=None,
+        cache_max_bytes=None,
+        calibration=None,
+        calibration_path=None,
+        adaptive_settings=None,
+        cost_model=None,
+        cache_path=None,
+        cache_backend=None,
+        store_ttl_s=None,
+        checkpoint_path=None,
+        checkpoint_store=None,
+        lease_ttl_s=300.0,
+        metrics=None,
+    ):
+        self.spec = spec or ClusterSpec()
+        self.seed = seed
+        self.speculation = speculation or SpeculationSettings()
+        self.algorithms = tuple(algorithms)
+        self.batch_sizes = dict(batch_sizes or {})
+        self.speculation_workers = speculation_workers
+        self.cache = PlanCache(
+            cache_size, max_bytes=cache_max_bytes, ttl_s=cache_ttl_s
+        )
+        #: Operational counters/gauges/timers for every service layer
+        #: (:class:`~repro.service.metrics.MetricsRegistry`); pass one in
+        #: to share a registry with a front-end, or read it back through
+        #: the legacy counter attributes (``service.computed`` ...).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Learned cost/iteration corrections; loaded from
+        #: ``calibration_path`` when it exists, so a restarted service
+        #: starts calibrated.  Adaptive train() traces feed it.
+        self.calibration = (
+            calibration
+            if calibration is not None
+            else CalibrationStore.open(calibration_path)
+        )
+        self.adaptive_settings = adaptive_settings
+        #: Optional CostModel shared by every optimizer this service
+        #: builds (cost models are stateless).  Used to inject e.g. a
+        #: PerturbedCostModel when evaluating the adaptive runtime.
+        self.cost_model = cost_model
+        #: Optional :class:`~repro.service.backends.CacheBackend`: every
+        #: cached decision is written through to it, and its entries
+        #: warm-start the in-memory cache here at construction -- a
+        #: restarted service answers previously seen workloads without
+        #: re-speculating.  ``cache_path`` is the convenience form
+        #: (extension picks JSON vs SQLite, see
+        #: :func:`~repro.service.backends.open_backend`).
+        self.backend = (
+            cache_backend if cache_backend is not None
+            else open_backend(cache_path) if cache_path else None
+        )
+        #: Disk-tier TTL (seconds): persisted plan entries older than
+        #: this age out on warm-load and on read-through -- they are
+        #: deleted from the backend, not just skipped (the in-memory
+        #: PlanCache always expired; the disk tier used to live forever).
+        self.store_ttl_s = store_ttl_s
+        #: Durable training-job checkpoints
+        #: (:class:`~repro.service.checkpoint.CheckpointStore`); None
+        #: disables the job API.  ``checkpoint_path`` is the convenience
+        #: form (same extension rules as the plan store).
+        self.checkpoints = (
+            checkpoint_store if checkpoint_store is not None
+            else CheckpointStore(path=checkpoint_path,
+                                 lease_ttl_s=lease_ttl_s)
+            if checkpoint_path else None
+        )
+        self._inflight = {}
+        self._inflight_lock = threading.Lock()
+        #: Entries restored from the persistent backend at startup.
+        self.warm_loaded = self._load_persisted()
+
+    # Legacy counter attributes, now read-only views over the shared
+    # metrics registry (one writer path, one source of truth).
+    requests = _counter(
+        "service.requests", "optimize() requests answered (any source).")
+    computed = _counter(
+        "service.computed", "Requests that speculated from scratch.")
+    hits = _counter(
+        "service.hits", "Requests served straight from the plan cache.")
+    coalesced = _counter(
+        "service.coalesced",
+        "Requests that piggybacked on a concurrent identical one.")
+    recalibrated = _counter(
+        "service.recalibrated",
+        "Stale entries re-costed from cached speculation.")
+    trained = _counter(
+        "service.trained", "train() requests executed.")
+    jobs_started = _counter(
+        "service.jobs_started", "Durable job leases started cold.")
+    jobs_resumed = _counter(
+        "service.jobs_resumed", "Durable job leases resumed mid-plan.")
+    jobs_preempted = _counter(
+        "service.jobs_preempted", "Job leases stopped by their budget.")
+    jobs_completed = _counter(
+        "service.jobs_completed", "Job leases that ran to completion.")
+    expired_persisted = _counter(
+        "service.expired_persisted",
+        "Persisted plan entries aged out by store_ttl_s.")
+
+    # ------------------------------------------------------------------
+    def _load_persisted(self) -> int:
+        """Warm-start the in-memory cache from the persistent backend.
+
+        Unreadable or format-incompatible entries are skipped (those
+        workloads compute cold); entries stamped with a calibration
+        version the live store has moved past load normally and are
+        re-costed from their persisted speculation on first use -- the
+        same staleness rule as in-memory entries.
+        """
+        if self.backend is None:
+            return 0
+        loaded = 0
+        for key, payload in self.backend.load().items():
+            try:
+                report, version, digest, written_at = entry_from_dict(payload)
+            except PlanStoreError as exc:
+                warnings.warn(
+                    f"skipping persisted plan {key[:12]}...: {exc}",
+                    stacklevel=2,
+                )
+                continue
+            if self._store_expired(written_at):
+                self._expire_persisted(key)
+                continue
+            self.cache.put(key, _CachedPlan(report, version, digest))
+            loaded += 1
+        return loaded
+
+    def _store_expired(self, written_at) -> bool:
+        """True when a persisted entry has outlived ``store_ttl_s``
+        (entries without a stamp -- written before it existed -- never
+        age out; they still recost on calibration drift)."""
+        return (
+            self.store_ttl_s is not None
+            and written_at is not None
+            and time.time() - written_at > self.store_ttl_s
+        )
+
+    def _expire_persisted(self, key) -> None:
+        """Age one entry out of the disk tier (best effort)."""
+        self.metrics.inc("service.expired_persisted")
+        try:
+            self.backend.delete(key)
+        except Exception as exc:
+            warnings.warn(
+                f"plan store delete failed ({exc}); "
+                "expired entry left behind", stacklevel=2,
+            )
+
+    def _stamp_current(self, entry) -> bool:
+        """True when the entry was priced against the correction state
+        the live store serves right now.  Content comparison, not
+        counter comparison: every pristine store digests identically
+        (which is what lets a calibration-free restart serve warm-loaded
+        entries as plain hits), and two stores that evolved different
+        histories never collide."""
+        return entry.calibration_digest == self.calibration.state_digest()
+
+    def _lookup(self, key):
+        """Cache lookup with backend read-through.
+
+        An entry the in-memory cache evicted (size/TTL bounds) or never
+        loaded still exists in the persistent store; fetch and promote
+        it rather than re-speculating a workload that is sitting on
+        disk."""
+        entry = self.cache.get(key)
+        if entry is not None or self.backend is None:
+            return entry
+        try:
+            payload = self.backend.get(key)
+            if payload is None:
+                return None
+            report, version, digest, written_at = entry_from_dict(payload)
+        except PlanStoreError:
+            return None  # incompatible entry: compute cold
+        except Exception as exc:
+            warnings.warn(
+                f"plan store read failed ({exc}); computing cold",
+                stacklevel=2,
+            )
+            return None
+        if self._store_expired(written_at):
+            self._expire_persisted(key)
+            return None
+        entry = _CachedPlan(report, version, digest)
+        self.cache.put(key, entry)
+        return entry
+
+    def _cache_restored(self, key, report, version, digest) -> None:
+        """Re-seed the in-memory cache with an entry restored from a
+        job checkpoint (the job layer's half of :meth:`_lookup`)."""
+        self.cache.put(key, _CachedPlan(report, version, digest))
+
+    def _persist(self, key, cached) -> None:
+        """Write one cache entry through to the backend (best effort:
+        a failing store must degrade persistence, not requests)."""
+        if self.backend is None:
+            return
+        try:
+            self.backend.store(
+                key,
+                entry_to_dict(cached.report, cached.calibration_version,
+                              cached.calibration_digest),
+            )
+        except Exception as exc:
+            warnings.warn(
+                f"plan store write failed ({exc}); "
+                "entry is served from memory only", stacklevel=2,
+            )
+
+    def close(self) -> None:
+        """Release the persistent backends (write-through means there
+        is nothing to flush)."""
+        if self.backend is not None:
+            self.backend.close()
+        if self.checkpoints is not None:
+            self.checkpoints.close()
+
+    # ------------------------------------------------------------------
+    def fingerprint(self, dataset, training, fixed_iterations=None,
+                    algorithms=None, batch_sizes=None) -> str:
+        """Cache key of one workload under this service's configuration.
+
+        With ``fixed_iterations`` the optimizer's answer depends only on
+        ``(DatasetStats, TrainingSpec, ClusterSpec)``; without it,
+        speculation runs GD on the *actual* data, so the physical
+        content digest joins the key -- two datasets with coinciding
+        statistics but different data must not share a report.
+        """
+        return workload_fingerprint(
+            dataset.stats,
+            training,
+            self.spec,
+            data_digest=(
+                None if fixed_iterations is not None
+                else dataset.content_digest()
+            ),
+            representation=dataset.representation,
+            algorithms=(
+                self.algorithms if algorithms is None else tuple(algorithms)
+            ),
+            batch_sizes=(
+                self.batch_sizes if batch_sizes is None else dict(batch_sizes)
+            ),
+            fixed_iterations=fixed_iterations,
+            speculation=self.speculation,
+            speculation_workers=self.speculation_workers,
+            seed=self.seed,
+        )
+
+    def _make_optimizer(self, algorithms=None, batch_sizes=None,
+                        engine=None) -> GDOptimizer:
+        """A fresh optimizer for one computation (on a fresh simulated
+        cluster unless the caller supplies its own engine clone)."""
+        if engine is None:
+            engine = SimulatedCluster(self.spec, seed=self.seed)
+        estimator = SpeculativeEstimator(
+            self.speculation,
+            seed=self.seed,
+            max_workers=self.speculation_workers,
+        )
+        return GDOptimizer(
+            engine,
+            estimator=estimator,
+            algorithms=self.algorithms if algorithms is None else algorithms,
+            batch_sizes=(
+                self.batch_sizes if batch_sizes is None else batch_sizes
+            ),
+            cost_model=self.cost_model,
+            calibration=self.calibration,
+        )
+
+    # ------------------------------------------------------------------
+    def optimize(self, dataset, training, fixed_iterations=None,
+                 algorithms=None, batch_sizes=None) -> ServiceResult:
+        """Answer one optimize() request, from cache when possible.
+
+        Identical concurrent requests coalesce onto a single computation
+        -- for cold computes *and* for recalibration re-costs: a stale
+        cache entry is re-priced exactly once however many callers see
+        it go stale together; everyone gets the same report object.
+        """
+        start = time.perf_counter()
+        self.metrics.inc("service.requests")
+        key = self.fingerprint(
+            dataset, training, fixed_iterations, algorithms, batch_sizes
+        )
+
+        entry = self._lookup(key)
+        if entry is not None and self._stamp_current(entry):
+            self.metrics.inc("service.hits")
+            wall_s = time.perf_counter() - start
+            self.metrics.observe("service.optimize_s", wall_s)
+            return ServiceResult(
+                report=entry.report,
+                fingerprint=key,
+                cache_hit=True,
+                coalesced=False,
+                wall_s=wall_s,
+            )
+
+        # A miss, or a stale entry (the calibration store learned
+        # something since it was priced).  Both routes go through the
+        # in-flight table, so concurrent identical requests share one
+        # computation instead of duplicating it.
+        self.metrics.inc("service.misses")
+        with self._inflight_lock:
+            future = self._inflight.get(key)
+            owner = future is None
+            if owner:
+                future = Future()
+                self._inflight[key] = future
+
+        if not owner:
+            report, recalibrated = future.result()
+            self.metrics.inc("service.coalesced")
+            wall_s = time.perf_counter() - start
+            self.metrics.observe("service.optimize_s", wall_s)
+            return ServiceResult(
+                report=report,
+                fingerprint=key,
+                cache_hit=False,
+                coalesced=True,
+                wall_s=wall_s,
+                recalibrated=recalibrated,
+            )
+
+        try:
+            # Stamp with the calibration state the report is priced
+            # against, read before optimizing -- a concurrent
+            # calibration update while this computation runs must leave
+            # the entry stale (the next request must re-cost again, not
+            # serve part-stale numbers).
+            version = self.calibration.version
+            digest = self.calibration.state_digest()
+            # A stale entry is re-costed from its cached speculation
+            # results -- calibrated estimates with no re-speculation; a
+            # plain miss speculates from scratch.
+            recalibrated = entry is not None
+            report = self._make_optimizer(algorithms, batch_sizes).optimize(
+                dataset,
+                training,
+                fixed_iterations=fixed_iterations,
+                iteration_estimates=(
+                    entry.report.iteration_estimates if recalibrated else None
+                ),
+            )
+        except BaseException as exc:
+            # Waiters coalesced onto this computation see the same error.
+            future.set_exception(exc)
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            raise
+        # Populate the cache *before* dropping the in-flight entry, so a
+        # concurrent identical request always finds one of the two.
+        cached = _CachedPlan(report, version, digest)
+        self.cache.put(key, cached)
+        self._persist(key, cached)
+        future.set_result((report, recalibrated))
+        with self._inflight_lock:
+            self._inflight.pop(key, None)
+        self.metrics.inc(
+            "service.recalibrated" if recalibrated else "service.computed"
+        )
+        wall_s = time.perf_counter() - start
+        self.metrics.observe("service.optimize_s", wall_s)
+        return ServiceResult(
+            report=report,
+            fingerprint=key,
+            cache_hit=False,
+            coalesced=False,
+            wall_s=wall_s,
+            recalibrated=recalibrated,
+        )
+
+    def save_calibration(self, path=None) -> str | None:
+        """Persist the calibration store (no-op without a path)."""
+        if path is None and self.calibration.path is None:
+            return None
+        return self.calibration.save(path)
+
+    # ------------------------------------------------------------------
+    def optimize_many(self, requests, max_workers=None) -> list:
+        """Serve a batch of requests concurrently; order is preserved.
+
+        ``requests`` is an iterable of :class:`ServiceRequest`,
+        ``(dataset, training)`` pairs, or
+        ``(dataset, training, fixed_iterations)`` triples.
+        """
+        normalized = [normalize_request(r) for r in requests]
+        if not normalized:
+            return []
+        if max_workers is None:
+            max_workers = min(8, len(normalized))
+        max_workers = max(1, min(max_workers, len(normalized)))
+        if max_workers == 1 or len(normalized) == 1:
+            return [
+                self.optimize(r.dataset, r.training, r.fixed_iterations,
+                              r.algorithms, r.batch_sizes)
+                for r in normalized
+            ]
+        with ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="optimize"
+        ) as pool:
+            futures = [
+                pool.submit(
+                    self.optimize, r.dataset, r.training, r.fixed_iterations,
+                    r.algorithms, r.batch_sizes,
+                )
+                for r in normalized
+            ]
+            return [f.result() for f in futures]
+
+    # Kept as a static method for pre-split callers; new code should use
+    # repro.service.requests.normalize_request directly.
+    _normalize = staticmethod(normalize_request)
+
+    # ------------------------------------------------------------------
+    def cache_stats(self):
+        return self.cache.stats()
+
+    def stats_summary(self) -> str:
+        stats = self.cache.stats()
+        text = (
+            f"{stats.summary()}; {self.requests} requests "
+            f"({self.computed} computed, {self.coalesced} coalesced, "
+            f"{self.recalibrated} recalibrated)"
+        )
+        if self.trained:
+            text += f"; {self.trained} trained"
+        if self.calibration.observations:
+            text += f"; calibration v{self.calibration.version}"
+        if self.backend is not None:
+            text += (
+                f"; plan store: {self.backend.name}"
+                f" ({self.warm_loaded} warm-loaded"
+                + (f", {self.expired_persisted} aged out"
+                   if self.expired_persisted else "")
+                + ")"
+            )
+        jobs = self.jobs_started + self.jobs_resumed
+        if jobs:
+            text += (
+                f"; {jobs} job lease(s) "
+                f"({self.jobs_resumed} resumed, "
+                f"{self.jobs_preempted} preempted, "
+                f"{self.jobs_completed} completed)"
+            )
+        return text

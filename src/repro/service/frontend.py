@@ -1,0 +1,606 @@
+"""The protocol front-end of the optimizer service.
+
+This module is the serving tier the paper's "declarative GD service"
+story needs above :class:`~repro.service.core.OptimizerService`: parse a
+request line, dispatch it to the optimizer core, and -- for the socket
+server -- decide *whether to accept it at all*.  Three pieces:
+
+* **Line parsing** (:func:`parse_request_line`, :func:`parse_wire_line`)
+  -- the CLI's ``<dataset> key=value ...`` grammar, extended on the wire
+  with JSON-object lines and three wire-only keys: ``verb`` (``optimize``
+  / ``train`` / ``metrics``), ``tenant`` (quota accounting) and
+  ``deadline_s`` (per-request deadline).
+* **Dispatch** (:class:`Dispatcher`) -- turns one parsed request into
+  one structured response dict, catching request errors into
+  ``{"ok": false, "error": ...}`` instead of letting them kill a serve
+  loop.  The stdin loop (``repro serve``) and the socket server share
+  this path, so a malformed line behaves identically on both.
+* **Admission control** (:class:`SocketFrontend`) -- a thread-pool TCP
+  server speaking JSON lines, with a bounded admission count
+  (load-shedding above ``shed_after``), per-tenant max-inflight quotas,
+  and per-request deadlines that map into
+  :class:`~repro.runtime.JobBudget` ``max_seconds`` so a deadline does
+  not just reject queued work -- it preempts running work gracefully,
+  checkpoint included.
+
+Rejections are cheap and structured (``overloaded`` /
+``quota_exceeded`` / ``deadline_exceeded``), which is the point of
+admission control: under overload the server sheds load in O(1) instead
+of queueing unboundedly and timing everyone out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import ReproError
+from repro.service.metrics import MetricsRegistry
+
+#: Request-line keys coerced to int / float; the rest stay strings.
+_INT_KEYS = {"max_iter", "batch", "fixed_iterations", "seed",
+             "checkpoint_every", "lease_iterations"}
+_FLOAT_KEYS = {"epsilon", "time_budget", "step", "l2", "lease_seconds"}
+_STR_KEYS = {"task", "algorithm", "convergence", "job_id"}
+_ALL_KEYS = _INT_KEYS | _FLOAT_KEYS | _STR_KEYS
+
+#: Wire-only keys: protocol envelope, never part of the optimizer
+#: request (they must not reach ML4all.optimize/train kwargs).
+_WIRE_KEYS = {"verb", "tenant", "deadline_s", "id"}
+_VERBS = {"optimize", "train", "metrics"}
+
+#: Tenant used when a request does not name one.
+DEFAULT_TENANT = "default"
+
+
+def _coerce(key, value):
+    """Coerce one request value to its declared type (int/float/str)."""
+    try:
+        if key in _INT_KEYS:
+            return int(value)
+        if key in _FLOAT_KEYS:
+            return float(value)
+        return str(value)
+    except (TypeError, ValueError):
+        raise ReproError(f"invalid value for {key}: {value!r}") from None
+
+
+def parse_request_line(line) -> dict:
+    """Parse one ``<dataset> key=value ...`` request line."""
+    tokens = line.split()
+    if not tokens or "=" in tokens[0]:
+        raise ReproError(
+            f"request line must start with a dataset reference: {line!r}"
+        )
+    request = {"dataset": tokens[0]}
+    for token in tokens[1:]:
+        key, sep, value = token.partition("=")
+        if not sep or not key or not value:
+            raise ReproError(f"expected key=value, got {token!r}")
+        if key not in _ALL_KEYS:
+            raise ReproError(
+                f"unknown request key {key!r}; expected one of "
+                f"{sorted(_ALL_KEYS)}"
+            )
+        request[key] = _coerce(key, value)
+    return request
+
+
+def iter_request_lines(handle):
+    """Yield parsed request dicts from a line stream, skipping comments."""
+    for line in handle:
+        line = line.split("#", 1)[0].strip()
+        if line:
+            yield parse_request_line(line)
+
+
+@dataclasses.dataclass(frozen=True)
+class WireRequest:
+    """One parsed protocol line: envelope plus optimizer request."""
+
+    #: ``optimize`` / ``train`` / ``metrics``; None means "server
+    #: default" (train mode, or a line naming a job_id, trains).
+    verb: str | None
+    #: The optimizer request dict (None for ``metrics``).
+    request: dict | None
+    #: Tenant the per-tenant inflight quota accounts this request to.
+    tenant: str = DEFAULT_TENANT
+    #: Relative deadline in seconds; maps into JobBudget.max_seconds.
+    deadline_s: float | None = None
+    #: Opaque client correlation id, echoed on the response.
+    id: object = None
+
+
+def _split_envelope(pairs) -> tuple:
+    """Split ``(key, value)`` pairs into (envelope dict, request dict)."""
+    wire, request = {}, {}
+    for key, value in pairs:
+        if key in _WIRE_KEYS:
+            wire[key] = value
+        elif key == "dataset":
+            request[key] = str(value)
+        elif key in _ALL_KEYS:
+            request[key] = _coerce(key, value)
+        else:
+            raise ReproError(
+                f"unknown request key {key!r}; expected one of "
+                f"{sorted(_ALL_KEYS | _WIRE_KEYS | {'dataset'})}"
+            )
+    verb = wire.get("verb")
+    if verb is not None:
+        verb = str(verb)
+        if verb not in _VERBS:
+            raise ReproError(
+                f"unknown verb {verb!r}; expected one of {sorted(_VERBS)}"
+            )
+    deadline = wire.get("deadline_s")
+    if deadline is not None:
+        try:
+            deadline = float(deadline)
+        except (TypeError, ValueError):
+            raise ReproError(
+                f"invalid value for deadline_s: {deadline!r}"
+            ) from None
+        if deadline <= 0:
+            raise ReproError("deadline_s must be positive")
+    tenant = str(wire.get("tenant", DEFAULT_TENANT))
+    return verb, request, tenant, deadline, wire.get("id")
+
+
+def parse_wire_line(line) -> WireRequest:
+    """Parse one protocol line into a :class:`WireRequest`.
+
+    Two syntaxes, one grammar:
+
+    * a JSON object per line -- ``{"dataset": "adult", "epsilon": 0.01,
+      "verb": "train", "tenant": "t1", "deadline_s": 2.5}``;
+    * the CLI request-line syntax, optionally carrying the wire keys as
+      ``key=value`` tokens -- ``adult epsilon=0.01 deadline_s=2.5`` --
+      plus the bare verb line ``metrics``.
+    """
+    text = line.strip()
+    if text.startswith("{"):
+        try:
+            payload = json.loads(text)
+        except ValueError as exc:
+            raise ReproError(f"invalid JSON request: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ReproError(
+                f"JSON request must be an object, got {type(payload).__name__}"
+            )
+        verb, request, tenant, deadline, rid = _split_envelope(
+            payload.items()
+        )
+    else:
+        text = text.split("#", 1)[0].strip()
+        tokens = text.split()
+        if len(tokens) == 1 and tokens[0] in _VERBS:
+            verb, request, tenant, deadline, rid = tokens[0], {}, \
+                DEFAULT_TENANT, None, None
+        else:
+            pairs = []
+            rest = []
+            for token in tokens[1:] if tokens else []:
+                key, sep, value = token.partition("=")
+                if sep and key in _WIRE_KEYS:
+                    pairs.append((key, value))
+                else:
+                    rest.append(token)
+            request_line = " ".join(tokens[:1] + rest)
+            request = parse_request_line(request_line)
+            verb, _, tenant, deadline, rid = _split_envelope(pairs)
+    if verb != "metrics" and "dataset" not in request:
+        raise ReproError(
+            "request line must name a dataset (or use the 'metrics' verb)"
+        )
+    return WireRequest(
+        verb=verb,
+        request=request if verb != "metrics" else None,
+        tenant=tenant,
+        deadline_s=deadline,
+        id=rid,
+    )
+
+
+class Dispatcher:
+    """Turn parsed requests into structured responses over one ML4all.
+
+    This is the protocol-independent half of the front-end: the stdin
+    serve loop and :class:`SocketFrontend` both feed lines through it,
+    so a malformed request produces the identical structured error on
+    both -- and neither loop dies.
+
+    Response dicts always carry ``ok``; successful ones add ``verb``,
+    ``summary`` and the human-readable ``lines`` the stdin loop prints,
+    failed ones ``error`` (a stable kind: ``bad_request``,
+    ``request_failed``, ``internal``, or the front-end's admission kinds)
+    plus a ``detail`` message.
+    """
+
+    def __init__(self, system, train=False, adaptive=False, workers=None,
+                 metrics=None):
+        self.system = system
+        self.adaptive = adaptive
+        self.train_mode = train or adaptive
+        self.workers = workers
+        self.metrics = (
+            metrics if metrics is not None else system.service().metrics
+        )
+
+    # ------------------------------------------------------------------
+    def handle_line(self, line, tenant=None) -> dict:
+        """Parse and dispatch one protocol line; never raises for
+        request-level failures."""
+        try:
+            wire = parse_wire_line(line)
+        except ReproError as exc:
+            self.metrics.inc("frontend.bad_requests")
+            return {"ok": False, "error": "bad_request", "detail": str(exc)}
+        if tenant is not None and wire.tenant == DEFAULT_TENANT:
+            wire = dataclasses.replace(wire, tenant=tenant)
+        return self.handle(wire)
+
+    def handle(self, wire, remaining_s=None) -> dict:
+        """Dispatch one :class:`WireRequest` (already admitted).
+
+        ``remaining_s`` is the deadline budget left *after* queueing;
+        it defaults to the request's full ``deadline_s``.
+        """
+        start = time.perf_counter()
+        self.metrics.inc("frontend.requests")
+        if wire.verb == "metrics":
+            snapshot = self.metrics.snapshot()
+            return self._respond(wire, {
+                "verb": "metrics",
+                "metrics": snapshot,
+                "lines": self.metrics.summary_lines(),
+            })
+        request = dict(wire.request)
+        trains = (
+            wire.verb == "train"
+            or (wire.verb is None
+                and (self.train_mode or "job_id" in request))
+        )
+        if remaining_s is None:
+            remaining_s = wire.deadline_s
+        if remaining_s is not None and trains:
+            # The deadline bounds *execution*, not just queueing: it
+            # tightens the request's lease budget, so the run stops
+            # gracefully (checkpointing, for durable jobs) instead of
+            # being cut off.
+            current = request.get("lease_seconds")
+            request["lease_seconds"] = (
+                remaining_s if current is None
+                else min(current, remaining_s)
+            )
+        try:
+            if trains:
+                (result,) = self.system.train_many(
+                    [request], max_workers=1, adaptive=self.adaptive,
+                )
+                body = self._train_body(request, result)
+            else:
+                (result,) = self.system.optimize_many(
+                    [request], max_workers=1,
+                )
+                body = self._optimize_body(request, result)
+        except ReproError as exc:
+            self.metrics.inc("frontend.request_failed")
+            return {
+                "ok": False,
+                "error": "request_failed",
+                "detail": str(exc),
+                **({"id": wire.id} if wire.id is not None else {}),
+            }
+        except Exception as exc:  # noqa: BLE001 - serve loops must live
+            self.metrics.inc("frontend.internal_errors")
+            return {
+                "ok": False,
+                "error": "internal",
+                "detail": f"{type(exc).__name__}: {exc}",
+                **({"id": wire.id} if wire.id is not None else {}),
+            }
+        finally:
+            self.metrics.observe(
+                "frontend.latency_s", time.perf_counter() - start
+            )
+        self.metrics.inc("frontend.served")
+        return self._respond(wire, body)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _respond(wire, body) -> dict:
+        response = {"ok": True}
+        if wire.id is not None:
+            response["id"] = wire.id
+        response.update(body)
+        return response
+
+    @staticmethod
+    def _optimize_body(request, result) -> dict:
+        summary = result.summary()
+        return {
+            "verb": "optimize",
+            "dataset": request["dataset"],
+            "summary": summary,
+            "lines": [f"{request['dataset']}: {summary}"],
+            "plan": str(result.chosen_plan),
+            "cache_hit": result.cache_hit,
+            "coalesced": result.coalesced,
+            "recalibrated": result.recalibrated,
+            "wall_s": result.wall_s,
+        }
+
+    @staticmethod
+    def _train_body(request, result) -> dict:
+        summary = result.summary()
+        lines = [f"{request['dataset']}: {summary}"]
+        if result.trace is not None and result.trace.switches:
+            for switch in result.trace.switches:
+                lines.append(
+                    f"  switched {switch.from_plan} -> {switch.to_plan} "
+                    f"at iteration {switch.iteration}: {switch.reason}"
+                )
+        body = {
+            "verb": "train",
+            "dataset": request["dataset"],
+            "summary": summary,
+            "lines": lines,
+            "plan": str(result.report.chosen_plan),
+            "cache_hit": result.optimization.cache_hit,
+            "coalesced": result.optimization.coalesced,
+            "recalibrated": result.optimization.recalibrated,
+            "iterations": int(result.result.iterations),
+            "converged": bool(result.result.converged),
+            "preempted": bool(result.preempted),
+            "switches": (
+                len(result.trace.switches) if result.trace is not None else 0
+            ),
+        }
+        if result.job is not None:
+            body["job"] = {
+                "job_id": result.job.job_id,
+                "status": result.job.status,
+                "resumed": result.job.resumed,
+                "preempted": result.job.preempted,
+                "done_iterations": int(result.job.done_iterations),
+                "already_done": result.job.already_done,
+            }
+        return body
+
+
+class SocketFrontend:
+    """Concurrent TCP front-end with admission control.
+
+    One line in, one JSON object out (pipelined responses carry the
+    request's ``id`` for correlation; they may complete out of order).
+    Admission happens *at receipt*, before any optimizer work:
+
+    * more than ``shed_after`` requests admitted (queued or running) ->
+      ``{"ok": false, "error": "overloaded"}``;
+    * ``max_inflight`` requests already inflight for the request's
+      tenant -> ``"quota_exceeded"``;
+    * deadline already spent by queueing when a worker picks the
+      request up -> ``"deadline_exceeded"`` (a request that *starts*
+      within its deadline instead gets the remainder as its
+      execution budget -- see :meth:`Dispatcher.handle`).
+
+    ``metrics`` requests bypass admission entirely: observability must
+    keep answering precisely when the server is saturated.
+    """
+
+    def __init__(self, dispatcher, host="127.0.0.1", port=0,
+                 max_workers=8, shed_after=64, max_inflight=None):
+        self.dispatcher = dispatcher
+        self.metrics = dispatcher.metrics
+        self.host = host
+        self.port = port
+        self.max_workers = max(1, int(max_workers))
+        self.shed_after = max(1, int(shed_after))
+        #: Per-tenant inflight cap; None disables the quota.
+        self.max_inflight = max_inflight
+        self._admitted = 0
+        self._per_tenant = {}
+        self._admission_lock = threading.Lock()
+        self._pool = None
+        self._listener = None
+        self._accept_thread = None
+        self._stop = threading.Event()
+        self._clients = set()
+        self._clients_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def start(self) -> int:
+        """Bind, listen and serve in background threads; returns the
+        bound port (useful with ``port=0``)."""
+        self._listener = socket.create_server(
+            (self.host, self.port), reuse_port=False
+        )
+        self.port = self._listener.getsockname()[1]
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.max_workers, thread_name_prefix="frontend"
+        )
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="frontend-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.port
+
+    def stop(self) -> None:
+        """Stop accepting, close every connection, drain the pool."""
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._clients_lock:
+            clients = list(self._clients)
+        for client in clients:
+            try:
+                client.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                client.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def wait(self) -> None:
+        """Block until the server is stopped."""
+        while not self._stop.wait(timeout=0.5):
+            pass
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            with self._clients_lock:
+                self._clients.add(client)
+            threading.Thread(
+                target=self._serve_connection, args=(client,),
+                name="frontend-conn", daemon=True,
+            ).start()
+
+    def _serve_connection(self, client) -> None:
+        write_lock = threading.Lock()
+        try:
+            reader = client.makefile("r", encoding="utf-8", newline="\n")
+            writer = client.makefile("w", encoding="utf-8", newline="\n")
+            for line in reader:
+                line = line.strip()
+                if not line:
+                    continue
+                if line in ("quit", "exit"):
+                    break
+                self._handle_line(line, writer, write_lock)
+        except (OSError, ValueError):
+            pass  # connection torn down mid-read
+        finally:
+            with self._clients_lock:
+                self._clients.discard(client)
+            try:
+                client.close()
+            except OSError:
+                pass
+
+    def _write(self, writer, write_lock, response) -> None:
+        payload = json.dumps(response, default=str)
+        try:
+            with write_lock:
+                writer.write(payload + "\n")
+                writer.flush()
+        except (OSError, ValueError):
+            pass  # client went away; nothing to tell it
+
+    # ------------------------------------------------------------------
+    def _handle_line(self, line, writer, write_lock) -> None:
+        """Parse, admit and enqueue one request (runs on the
+        connection's reader thread -- must stay O(1))."""
+        try:
+            wire = parse_wire_line(line)
+        except ReproError as exc:
+            self.metrics.inc("frontend.bad_requests")
+            self._write(writer, write_lock, {
+                "ok": False, "error": "bad_request", "detail": str(exc),
+            })
+            return
+        if wire.verb == "metrics":
+            # Observability bypasses admission: it must answer while
+            # the server sheds everything else.
+            self._write(writer, write_lock, self.dispatcher.handle(wire))
+            return
+
+        with self._admission_lock:
+            if self._admitted >= self.shed_after:
+                self.metrics.inc("frontend.shed")
+                rejection = {
+                    "ok": False,
+                    "error": "overloaded",
+                    "detail": (
+                        f"{self._admitted} requests already admitted "
+                        f"(shed_after={self.shed_after}); retry later"
+                    ),
+                }
+            elif (
+                self.max_inflight is not None
+                and self._per_tenant.get(wire.tenant, 0) >= self.max_inflight
+            ):
+                self.metrics.inc("frontend.quota_rejected")
+                rejection = {
+                    "ok": False,
+                    "error": "quota_exceeded",
+                    "detail": (
+                        f"tenant {wire.tenant!r} already has "
+                        f"{self._per_tenant[wire.tenant]} requests inflight "
+                        f"(max_inflight={self.max_inflight})"
+                    ),
+                }
+            else:
+                rejection = None
+                self._admitted += 1
+                self._per_tenant[wire.tenant] = (
+                    self._per_tenant.get(wire.tenant, 0) + 1
+                )
+                self.metrics.gauge("frontend.queue_depth", self._admitted)
+        if rejection is not None:
+            if wire.id is not None:
+                rejection["id"] = wire.id
+            self._write(writer, write_lock, rejection)
+            return
+
+        admitted_at = time.monotonic()
+        self._pool.submit(
+            self._run_admitted, wire, admitted_at, writer, write_lock
+        )
+
+    def _run_admitted(self, wire, admitted_at, writer, write_lock) -> None:
+        """Execute one admitted request on a pool worker."""
+        try:
+            waited = time.monotonic() - admitted_at
+            remaining = None
+            if wire.deadline_s is not None:
+                remaining = wire.deadline_s - waited
+                if remaining <= 0:
+                    self.metrics.inc("frontend.deadline_rejected")
+                    response = {
+                        "ok": False,
+                        "error": "deadline_exceeded",
+                        "detail": (
+                            f"deadline of {wire.deadline_s:g}s expired "
+                            "while queued"
+                        ),
+                    }
+                    if wire.id is not None:
+                        response["id"] = wire.id
+                    self._write(writer, write_lock, response)
+                    return
+            response = self.dispatcher.handle(wire, remaining_s=remaining)
+            self._write(writer, write_lock, response)
+        finally:
+            with self._admission_lock:
+                self._admitted -= 1
+                count = self._per_tenant.get(wire.tenant, 1) - 1
+                if count <= 0:
+                    self._per_tenant.pop(wire.tenant, None)
+                else:
+                    self._per_tenant[wire.tenant] = count
+                self.metrics.gauge("frontend.queue_depth", self._admitted)

@@ -1,0 +1,131 @@
+"""A small counter/gauge/timer registry threaded through the service.
+
+One :class:`MetricsRegistry` is shared by the optimizer core
+(:mod:`repro.service.core`: hits, misses, recosts, coalesced requests),
+the job layer (:mod:`repro.service.jobs`: leases started / resumed /
+preempted / completed) and the front-end (:mod:`repro.service.frontend`:
+served, shed, quota rejections, queue depth, request latency), so one
+``metrics`` request against a running server answers for every layer at
+once.
+
+Three instrument kinds, all thread-safe behind one lock:
+
+* **counters** -- monotonically increasing ints (:meth:`inc`);
+* **gauges** -- last-written values (:meth:`gauge`), for levels like the
+  admission queue depth;
+* **timers** -- a bounded reservoir of recent observations
+  (:meth:`observe`), summarised as count / mean / p50 / p95 / max.
+
+The registry is deliberately dependency-free and samples nothing by
+itself; :meth:`snapshot` returns plain JSON-ready dicts, which is what
+the ``metrics`` verb of the line protocol serves.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: Observations kept per timer; old ones fall off so percentiles track
+#: *recent* latency, not the whole process lifetime.
+TIMER_WINDOW = 2048
+
+
+def quantile(sorted_values, q):
+    """The ``q``-quantile of an ascending list (nearest-rank, ``0<=q<=1``)."""
+    if not sorted_values:
+        return None
+    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[index]
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges and latency timers."""
+
+    def __init__(self, timer_window=TIMER_WINDOW):
+        self._lock = threading.Lock()
+        self._counters = {}
+        self._gauges = {}
+        self._timers = {}
+        self._timer_window = timer_window
+
+    # -- counters --------------------------------------------------------
+    def inc(self, name, value=1) -> int:
+        """Add ``value`` to counter ``name`` (created at 0); returns the
+        new total."""
+        with self._lock:
+            total = self._counters.get(name, 0) + value
+            self._counters[name] = total
+            return total
+
+    def value(self, name) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    # -- gauges ----------------------------------------------------------
+    def gauge(self, name, value) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge_value(self, name, default=None):
+        with self._lock:
+            return self._gauges.get(name, default)
+
+    # -- timers ----------------------------------------------------------
+    def observe(self, name, seconds) -> None:
+        """Record one duration into timer ``name``."""
+        with self._lock:
+            timer = self._timers.get(name)
+            if timer is None:
+                timer = self._timers[name] = deque(maxlen=self._timer_window)
+            timer.append(float(seconds))
+
+    def timer_stats(self, name) -> dict | None:
+        """count / mean / p50 / p95 / max of timer ``name`` (None when
+        it has no observations)."""
+        with self._lock:
+            timer = self._timers.get(name)
+            values = sorted(timer) if timer else None
+        if not values:
+            return None
+        return {
+            "count": len(values),
+            "mean_s": sum(values) / len(values),
+            "p50_s": quantile(values, 0.50),
+            "p95_s": quantile(values, 0.95),
+            "max_s": values[-1],
+        }
+
+    # -- export ----------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Every instrument as one JSON-ready dict (counters sorted by
+        name; timers summarised, not dumped raw)."""
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            gauges = dict(sorted(self._gauges.items()))
+            timer_names = list(self._timers)
+        timers = {}
+        for name in sorted(timer_names):
+            stats = self.timer_stats(name)
+            if stats is not None:
+                timers[name] = stats
+        return {"counters": counters, "gauges": gauges, "timers": timers}
+
+    def summary_lines(self) -> list:
+        """The snapshot rendered as ``name value`` text lines (what the
+        stdin serve loop prints for a ``metrics`` request)."""
+        snapshot = self.snapshot()
+        lines = []
+        for name, value in snapshot["counters"].items():
+            lines.append(f"{name} {value}")
+        for name, value in snapshot["gauges"].items():
+            lines.append(f"{name} {value}")
+        for name, stats in snapshot["timers"].items():
+            lines.append(
+                f"{name} count={stats['count']} "
+                f"p50={stats['p50_s'] * 1e3:.1f}ms "
+                f"p95={stats['p95_s'] * 1e3:.1f}ms"
+            )
+        return lines

@@ -1,1128 +1,40 @@
-"""The concurrent optimizer service.
+"""Backward-compatibility shim for the pre-split service module.
 
-:class:`OptimizerService` sits above :class:`~repro.core.optimizer.GDOptimizer`
-and turns the one-shot optimizer into a serving component: many callers,
-many workloads, repeated queries.  Three mechanisms make the hot path
-cheap:
+The service monolith that used to live here is now three layers:
 
-* a **plan cache** (:mod:`repro.service.cache`) keyed by a fingerprint of
-  ``(DatasetStats, TrainingSpec, ClusterSpec)`` plus the service's own
-  configuration, so a repeated workload skips re-speculation and
-  re-costing entirely;
-* **request coalescing** -- concurrent requests for the same fingerprint
-  share one computation instead of racing to duplicate it;
-* the **vectorized cost model** and **parallel speculation** underneath
-  (:meth:`CostModel.estimate_batch`,
-  :meth:`SpeculativeEstimator.estimate_all` with
-  ``speculation_workers="auto"``; plain ``SpeculativeEstimator`` use
-  elsewhere stays sequential and fully reproducible).
+* :mod:`repro.service.core` -- :class:`OptimizerService`: fingerprint,
+  plan cache lookup/stamping, persistence, ``optimize()``;
+* :mod:`repro.service.jobs` -- the train/execute layer: ``train()``,
+  durable checkpointed jobs, budgets/leases;
+* :mod:`repro.service.requests` -- the request/result dataclasses.
 
-Each computed request runs on a fresh :class:`SimulatedCluster` so the
-simulated clock of one caller never leaks into another -- the service
-object itself holds no per-request mutable state outside the cache and
-the calibration store.
+(Plus :mod:`repro.service.frontend` for the line protocol / socket
+server and :mod:`repro.service.metrics` for the counter registry --
+neither ever lived here.)
 
-The **adaptive runtime** (:mod:`repro.runtime`) plugs in here: every
-service owns a :class:`~repro.runtime.calibration.CalibrationStore`
-(optionally disk-persisted), :meth:`OptimizerService.train` executes the
-chosen plan on a per-caller engine clone (adaptively, if asked) and
-folds the resulting execution trace back into the store, and cached
-plans remember which calibration version priced them -- a stale entry is
-*re-costed* from its cached speculation results instead of being thrown
-away, so repeated workloads get calibrated answers without ever
-re-speculating.  Re-costs go through the same coalescing table as cold
-computes, so concurrent callers never duplicate one.
+Every pre-split import path keeps working::
 
-A **persistent plan store** (:mod:`repro.service.backends`) extends all
-of this across process restarts: with ``cache_path`` (or an explicit
-``cache_backend``) every cached decision -- report, speculation
-artifacts, calibration stamp -- is written through to disk and reloaded
-on startup, so ``repro serve --cache plans.json`` restarted answers
-previously seen workloads warm.
+    from repro.service.service import OptimizerService, ServiceRequest
+
+New code should import from :mod:`repro.service` (the package re-exports
+the public names) or from the layer modules directly.
 """
 
-from __future__ import annotations
-
-import dataclasses
-import threading
-import time
-import warnings
-from concurrent.futures import Future, ThreadPoolExecutor
-
-import numpy as np
-
-from repro.cluster import ClusterSpec, SimulatedCluster
-from repro.core.executor import execute_plan
-from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
-from repro.core.optimizer import GDOptimizer
-from repro.core.result import TrainResult
-from repro.gd.registry import CORE_ALGORITHMS
-from repro.gd.state import OptimizerState
-from repro.runtime import (
-    AdaptiveSettings,
-    AdaptiveTrainer,
-    CalibrationStore,
-    ExecutionTrace,
-    ResumePoint,
-)
-from repro.service.backends import open_backend
-from repro.service.cache import PlanCache
-from repro.service.checkpoint import (
-    CheckpointError,
-    CheckpointStore,
-    JobCheckpoint,
-    new_owner_token,
-)
-from repro.service.fingerprint import workload_fingerprint
-from repro.service.serialize import (
-    PlanStoreError,
-    candidate_from_dict,
-    candidate_to_dict,
-    entry_from_dict,
-    entry_to_dict,
+from repro.service.core import OptimizerService, _CachedPlan
+from repro.service.requests import (
+    JobProgress,
+    ServiceRequest,
+    ServiceResult,
+    TrainServiceResult,
+    normalize_request,
 )
 
-
-@dataclasses.dataclass(frozen=True)
-class ServiceRequest:
-    """One optimize() request: a dataset plus its training spec.
-
-    ``algorithms`` / ``batch_sizes`` optionally override the service's
-    search-space configuration for this request only (e.g. pinning a
-    single GD algorithm); they participate in the cache fingerprint.
-
-    The job fields only apply to train() requests: ``job_id`` turns the
-    request into a durable checkpointed job, ``checkpoint_every`` sets
-    the persistence cadence, ``budget`` bounds this lease
-    (:class:`~repro.runtime.JobBudget`) and ``job_request`` attaches a
-    caller-level descriptor to the checkpoints.  None of them changes
-    the optimizer's answer, so none participates in the fingerprint.
-    """
-
-    dataset: object
-    training: object
-    fixed_iterations: int | None = None
-    algorithms: tuple | None = None
-    batch_sizes: object = None
-    job_id: str | None = None
-    checkpoint_every: int | None = None
-    budget: object = None
-    job_request: object = None
-
-
-@dataclasses.dataclass
-class ServiceResult:
-    """Outcome of one service request."""
-
-    #: The (possibly cached) OptimizationReport.
-    report: object
-    #: Workload fingerprint the plan cache was keyed on.
-    fingerprint: str
-    #: True when the report came out of the plan cache.
-    cache_hit: bool
-    #: True when the request piggybacked on a concurrent identical one.
-    coalesced: bool
-    #: Wall seconds this request spent inside the service.
-    wall_s: float
-    #: True when a cached entry was re-costed with fresh calibration
-    #: factors (reusing its cached speculation -- no re-speculation).
-    recalibrated: bool = False
-
-    @property
-    def chosen_plan(self):
-        return self.report.chosen_plan
-
-    def summary(self) -> str:
-        if self.cache_hit:
-            source = "cache"
-        elif self.recalibrated:
-            source = "recalibrated"
-        elif self.coalesced:
-            source = "coalesced"
-        else:
-            source = "computed"
-        return (
-            f"{self.report.chosen_plan} "
-            f"(est. {self.report.chosen.total_s:.2f}s simulated) "
-            f"[{source}, {self.wall_s * 1e3:.1f} ms]"
-        )
-
-
-@dataclasses.dataclass
-class JobProgress:
-    """What one train(job_id=...) call did to its durable job."""
-
-    job_id: str
-    #: ``running`` / ``preempted`` / ``done`` after this lease.
-    status: str
-    #: True when this call continued a persisted checkpoint.
-    resumed: bool
-    #: True when the lease budget stopped the run before the job ended.
-    preempted: bool
-    #: Global training iterations banked so far (all leases).
-    done_iterations: int
-    #: True when the job had already finished and the stored outcome was
-    #: returned without executing anything.
-    already_done: bool = False
-
-    def summary(self) -> str:
-        verb = "already done" if self.already_done else self.status
-        return (
-            f"job {self.job_id}: {verb} at iteration "
-            f"{self.done_iterations}"
-            + (" (resumed)" if self.resumed else "")
-        )
-
-
-@dataclasses.dataclass
-class TrainServiceResult:
-    """Outcome of one train() request: plan decision plus execution."""
-
-    #: The plan-selection ServiceResult (cache/coalescing semantics).
-    optimization: ServiceResult
-    #: TrainResult of the executed (final) plan segment.
-    result: object
-    #: ExecutionTrace of the run (None for non-adaptive, non-job
-    #: requests).
-    trace: object = None
-    #: AdaptiveResult when the request ran adaptively.
-    adaptive: object = None
-    #: JobProgress when the request named a durable job_id.
-    job: object = None
-
-    @property
-    def report(self):
-        return self.optimization.report
-
-    @property
-    def weights(self):
-        return self.result.weights
-
-    @property
-    def switched(self) -> bool:
-        return self.trace is not None and bool(self.trace.switches)
-
-    def summary(self) -> str:
-        text = f"{self.optimization.summary()}; {self.result.summary()}"
-        if self.switched:
-            text += f"; {len(self.trace.switches)} mid-flight switch(es)"
-        if self.job is not None:
-            text += f"; {self.job.summary()}"
-        return text
-
-
-@dataclasses.dataclass
-class _CachedPlan:
-    """One plan-cache value: a report plus its pricing stamp.
-
-    ``calibration_digest`` is the calibration store's *content digest*
-    (:meth:`CalibrationStore.state_digest`) at the moment the report
-    was priced -- a fingerprint of the correction factors themselves,
-    not a counter, so it stays comparable across restarts and across
-    processes sharing one store.  A lookup whose stamp does not match
-    the live digest is *stale*: the service re-costs it from the
-    report's cached ``iteration_estimates`` (no re-speculation) and
-    re-stamps it.  The same stamp is what a persistent backend stores,
-    so a restarted service applies the identical staleness rule to
-    warm-loaded entries (``calibration_version`` rides along for
-    inspection).
-    """
-
-    report: object
-    calibration_version: int
-    calibration_digest: str
-
-
-class OptimizerService:
-    """Concurrent, caching facade over the cost-based GD optimizer.
-
-    **Cache stamping.**  Every cached decision is stored with the
-    :class:`~repro.runtime.calibration.CalibrationStore` version it was
-    priced against.  A hit whose stamp equals the live version is served
-    as-is; a hit whose stamp trails it is *re-costed* from the entry's
-    cached speculation artifacts (cheap vectorized costing, no
-    speculative GD runs) and re-stamped.  The stamp is read *before*
-    pricing, so a calibration update racing a computation leaves the
-    entry stale rather than silently current.
-
-    **Eviction.**  The in-memory :class:`~repro.service.cache.PlanCache`
-    composes LRU entry-count (``cache_size``), byte-budget
-    (``cache_max_bytes``) and TTL (``cache_ttl_s``) eviction; eviction
-    only affects the in-memory tier -- entries in a persistent backend
-    (``cache_path`` / ``cache_backend``) outlive it and reload on the
-    next construction.
-
-    **Calibration factors.**  The shared store learns multiplicative
-    cost/iteration corrections from adaptive :meth:`train` traces, keyed
-    two-level (workload-specific with algorithm-level fallback).  Every
-    optimizer this service builds prices plans through those factors, so
-    one tenant's observed mis-estimates correct every tenant's future
-    estimates on the same cluster.
-
-    **Concurrency.**  Identical concurrent requests coalesce onto one
-    computation (cold computes and recalibration re-costs alike); each
-    computed request runs on a fresh :class:`SimulatedCluster` so no
-    simulated state leaks between callers.
-    """
-
-    def __init__(
-        self,
-        spec=None,
-        seed=0,
-        speculation=None,
-        algorithms=CORE_ALGORITHMS,
-        batch_sizes=None,
-        cache_size=256,
-        speculation_workers="auto",
-        cache_ttl_s=None,
-        cache_max_bytes=None,
-        calibration=None,
-        calibration_path=None,
-        adaptive_settings=None,
-        cost_model=None,
-        cache_path=None,
-        cache_backend=None,
-        store_ttl_s=None,
-        checkpoint_path=None,
-        checkpoint_store=None,
-        lease_ttl_s=300.0,
-    ):
-        self.spec = spec or ClusterSpec()
-        self.seed = seed
-        self.speculation = speculation or SpeculationSettings()
-        self.algorithms = tuple(algorithms)
-        self.batch_sizes = dict(batch_sizes or {})
-        self.speculation_workers = speculation_workers
-        self.cache = PlanCache(
-            cache_size, max_bytes=cache_max_bytes, ttl_s=cache_ttl_s
-        )
-        #: Learned cost/iteration corrections; loaded from
-        #: ``calibration_path`` when it exists, so a restarted service
-        #: starts calibrated.  Adaptive train() traces feed it.
-        self.calibration = (
-            calibration
-            if calibration is not None
-            else CalibrationStore.open(calibration_path)
-        )
-        self.adaptive_settings = adaptive_settings
-        #: Optional CostModel shared by every optimizer this service
-        #: builds (cost models are stateless).  Used to inject e.g. a
-        #: PerturbedCostModel when evaluating the adaptive runtime.
-        self.cost_model = cost_model
-        #: Optional :class:`~repro.service.backends.CacheBackend`: every
-        #: cached decision is written through to it, and its entries
-        #: warm-start the in-memory cache here at construction -- a
-        #: restarted service answers previously seen workloads without
-        #: re-speculating.  ``cache_path`` is the convenience form
-        #: (extension picks JSON vs SQLite, see
-        #: :func:`~repro.service.backends.open_backend`).
-        self.backend = (
-            cache_backend if cache_backend is not None
-            else open_backend(cache_path) if cache_path else None
-        )
-        #: Disk-tier TTL (seconds): persisted plan entries older than
-        #: this age out on warm-load and on read-through -- they are
-        #: deleted from the backend, not just skipped (the in-memory
-        #: PlanCache always expired; the disk tier used to live forever).
-        self.store_ttl_s = store_ttl_s
-        #: Durable training-job checkpoints
-        #: (:class:`~repro.service.checkpoint.CheckpointStore`); None
-        #: disables the job API.  ``checkpoint_path`` is the convenience
-        #: form (same extension rules as the plan store).
-        self.checkpoints = (
-            checkpoint_store if checkpoint_store is not None
-            else CheckpointStore(path=checkpoint_path,
-                                 lease_ttl_s=lease_ttl_s)
-            if checkpoint_path else None
-        )
-        self._inflight = {}
-        self._inflight_lock = threading.Lock()
-        self._counter_lock = threading.Lock()
-        self.requests = 0
-        self.computed = 0
-        self.coalesced = 0
-        self.recalibrated = 0
-        self.trained = 0
-        self.jobs_started = 0
-        self.jobs_resumed = 0
-        self.jobs_preempted = 0
-        self.jobs_completed = 0
-        #: Persisted plan entries aged out by ``store_ttl_s``.
-        self.expired_persisted = 0
-        #: Entries restored from the persistent backend at startup.
-        self.warm_loaded = self._load_persisted()
-
-    # ------------------------------------------------------------------
-    def _load_persisted(self) -> int:
-        """Warm-start the in-memory cache from the persistent backend.
-
-        Unreadable or format-incompatible entries are skipped (those
-        workloads compute cold); entries stamped with a calibration
-        version the live store has moved past load normally and are
-        re-costed from their persisted speculation on first use -- the
-        same staleness rule as in-memory entries.
-        """
-        if self.backend is None:
-            return 0
-        loaded = 0
-        for key, payload in self.backend.load().items():
-            try:
-                report, version, digest, written_at = entry_from_dict(payload)
-            except PlanStoreError as exc:
-                warnings.warn(
-                    f"skipping persisted plan {key[:12]}...: {exc}",
-                    stacklevel=2,
-                )
-                continue
-            if self._store_expired(written_at):
-                self._expire_persisted(key)
-                continue
-            self.cache.put(key, _CachedPlan(report, version, digest))
-            loaded += 1
-        return loaded
-
-    def _store_expired(self, written_at) -> bool:
-        """True when a persisted entry has outlived ``store_ttl_s``
-        (entries without a stamp -- written before it existed -- never
-        age out; they still recost on calibration drift)."""
-        return (
-            self.store_ttl_s is not None
-            and written_at is not None
-            and time.time() - written_at > self.store_ttl_s
-        )
-
-    def _expire_persisted(self, key) -> None:
-        """Age one entry out of the disk tier (best effort)."""
-        with self._counter_lock:
-            self.expired_persisted += 1
-        try:
-            self.backend.delete(key)
-        except Exception as exc:
-            warnings.warn(
-                f"plan store delete failed ({exc}); "
-                "expired entry left behind", stacklevel=2,
-            )
-
-    def _stamp_current(self, entry) -> bool:
-        """True when the entry was priced against the correction state
-        the live store serves right now.  Content comparison, not
-        counter comparison: every pristine store digests identically
-        (which is what lets a calibration-free restart serve warm-loaded
-        entries as plain hits), and two stores that evolved different
-        histories never collide."""
-        return entry.calibration_digest == self.calibration.state_digest()
-
-    def _lookup(self, key):
-        """Cache lookup with backend read-through.
-
-        An entry the in-memory cache evicted (size/TTL bounds) or never
-        loaded still exists in the persistent store; fetch and promote
-        it rather than re-speculating a workload that is sitting on
-        disk."""
-        entry = self.cache.get(key)
-        if entry is not None or self.backend is None:
-            return entry
-        try:
-            payload = self.backend.get(key)
-            if payload is None:
-                return None
-            report, version, digest, written_at = entry_from_dict(payload)
-        except PlanStoreError:
-            return None  # incompatible entry: compute cold
-        except Exception as exc:
-            warnings.warn(
-                f"plan store read failed ({exc}); computing cold",
-                stacklevel=2,
-            )
-            return None
-        if self._store_expired(written_at):
-            self._expire_persisted(key)
-            return None
-        entry = _CachedPlan(report, version, digest)
-        self.cache.put(key, entry)
-        return entry
-
-    def _persist(self, key, cached) -> None:
-        """Write one cache entry through to the backend (best effort:
-        a failing store must degrade persistence, not requests)."""
-        if self.backend is None:
-            return
-        try:
-            self.backend.store(
-                key,
-                entry_to_dict(cached.report, cached.calibration_version,
-                              cached.calibration_digest),
-            )
-        except Exception as exc:
-            warnings.warn(
-                f"plan store write failed ({exc}); "
-                "entry is served from memory only", stacklevel=2,
-            )
-
-    def close(self) -> None:
-        """Release the persistent backends (write-through means there
-        is nothing to flush)."""
-        if self.backend is not None:
-            self.backend.close()
-        if self.checkpoints is not None:
-            self.checkpoints.close()
-
-    # ------------------------------------------------------------------
-    def fingerprint(self, dataset, training, fixed_iterations=None,
-                    algorithms=None, batch_sizes=None) -> str:
-        """Cache key of one workload under this service's configuration.
-
-        With ``fixed_iterations`` the optimizer's answer depends only on
-        ``(DatasetStats, TrainingSpec, ClusterSpec)``; without it,
-        speculation runs GD on the *actual* data, so the physical
-        content digest joins the key -- two datasets with coinciding
-        statistics but different data must not share a report.
-        """
-        return workload_fingerprint(
-            dataset.stats,
-            training,
-            self.spec,
-            data_digest=(
-                None if fixed_iterations is not None
-                else dataset.content_digest()
-            ),
-            representation=dataset.representation,
-            algorithms=(
-                self.algorithms if algorithms is None else tuple(algorithms)
-            ),
-            batch_sizes=(
-                self.batch_sizes if batch_sizes is None else dict(batch_sizes)
-            ),
-            fixed_iterations=fixed_iterations,
-            speculation=self.speculation,
-            speculation_workers=self.speculation_workers,
-            seed=self.seed,
-        )
-
-    def _make_optimizer(self, algorithms=None, batch_sizes=None) -> GDOptimizer:
-        """A fresh optimizer (and simulated cluster) for one computation."""
-        engine = SimulatedCluster(self.spec, seed=self.seed)
-        estimator = SpeculativeEstimator(
-            self.speculation,
-            seed=self.seed,
-            max_workers=self.speculation_workers,
-        )
-        return GDOptimizer(
-            engine,
-            estimator=estimator,
-            algorithms=self.algorithms if algorithms is None else algorithms,
-            batch_sizes=(
-                self.batch_sizes if batch_sizes is None else batch_sizes
-            ),
-            cost_model=self.cost_model,
-            calibration=self.calibration,
-        )
-
-    # ------------------------------------------------------------------
-    def optimize(self, dataset, training, fixed_iterations=None,
-                 algorithms=None, batch_sizes=None) -> ServiceResult:
-        """Answer one optimize() request, from cache when possible.
-
-        Identical concurrent requests coalesce onto a single computation
-        -- for cold computes *and* for recalibration re-costs: a stale
-        cache entry is re-priced exactly once however many callers see
-        it go stale together; everyone gets the same report object.
-        """
-        start = time.perf_counter()
-        with self._counter_lock:
-            self.requests += 1
-        key = self.fingerprint(
-            dataset, training, fixed_iterations, algorithms, batch_sizes
-        )
-
-        entry = self._lookup(key)
-        if entry is not None and self._stamp_current(entry):
-            return ServiceResult(
-                report=entry.report,
-                fingerprint=key,
-                cache_hit=True,
-                coalesced=False,
-                wall_s=time.perf_counter() - start,
-            )
-
-        # A miss, or a stale entry (the calibration store learned
-        # something since it was priced).  Both routes go through the
-        # in-flight table, so concurrent identical requests share one
-        # computation instead of duplicating it.
-        with self._inflight_lock:
-            future = self._inflight.get(key)
-            owner = future is None
-            if owner:
-                future = Future()
-                self._inflight[key] = future
-
-        if not owner:
-            report, recalibrated = future.result()
-            with self._counter_lock:
-                self.coalesced += 1
-            return ServiceResult(
-                report=report,
-                fingerprint=key,
-                cache_hit=False,
-                coalesced=True,
-                wall_s=time.perf_counter() - start,
-                recalibrated=recalibrated,
-            )
-
-        try:
-            # Stamp with the calibration state the report is priced
-            # against, read before optimizing -- a concurrent
-            # calibration update while this computation runs must leave
-            # the entry stale (the next request must re-cost again, not
-            # serve part-stale numbers).
-            version = self.calibration.version
-            digest = self.calibration.state_digest()
-            # A stale entry is re-costed from its cached speculation
-            # results -- calibrated estimates with no re-speculation; a
-            # plain miss speculates from scratch.
-            recalibrated = entry is not None
-            report = self._make_optimizer(algorithms, batch_sizes).optimize(
-                dataset,
-                training,
-                fixed_iterations=fixed_iterations,
-                iteration_estimates=(
-                    entry.report.iteration_estimates if recalibrated else None
-                ),
-            )
-        except BaseException as exc:
-            # Waiters coalesced onto this computation see the same error.
-            future.set_exception(exc)
-            with self._inflight_lock:
-                self._inflight.pop(key, None)
-            raise
-        # Populate the cache *before* dropping the in-flight entry, so a
-        # concurrent identical request always finds one of the two.
-        cached = _CachedPlan(report, version, digest)
-        self.cache.put(key, cached)
-        self._persist(key, cached)
-        future.set_result((report, recalibrated))
-        with self._inflight_lock:
-            self._inflight.pop(key, None)
-        with self._counter_lock:
-            if recalibrated:
-                self.recalibrated += 1
-            else:
-                self.computed += 1
-        return ServiceResult(
-            report=report,
-            fingerprint=key,
-            cache_hit=False,
-            coalesced=False,
-            wall_s=time.perf_counter() - start,
-            recalibrated=recalibrated,
-        )
-
-    # ------------------------------------------------------------------
-    def train(self, dataset, training, fixed_iterations=None,
-              algorithms=None, batch_sizes=None, adaptive=False,
-              adaptive_settings=None, operators=None,
-              engine=None, job_id=None, checkpoint_every=None,
-              budget=None, job_request=None) -> TrainServiceResult:
-        """Optimize (through the plan cache), then execute the plan.
-
-        Execution runs on a **per-caller engine clone** -- a fresh
-        :class:`SimulatedCluster` per request (or the caller's own via
-        ``engine``), so one caller's simulated clock, cache residency
-        and metrics never leak into another's.
-
-        With ``adaptive=True`` the plan runs under the adaptive runtime:
-        convergence/cost monitoring, mid-flight re-optimization, and the
-        resulting :class:`~repro.runtime.trace.ExecutionTrace` is folded
-        into this service's calibration store -- subsequent requests for
-        the same workload are then re-costed from cached speculation
-        with the learned corrections (never re-speculated).
-
-        **Durable jobs.**  With ``job_id`` the request becomes a
-        checkpointed, preemptible job against this service's
-        :class:`~repro.service.checkpoint.CheckpointStore`
-        (``checkpoint_path=``): progress -- weights, optimizer state,
-        execution trace, the plan decision -- is persisted every
-        ``checkpoint_every`` global iterations and at every graceful
-        stop, under an advisory lease so sibling processes cannot
-        double-run the job.  A ``budget``
-        (:class:`~repro.runtime.JobBudget`) bounds this lease; when it
-        runs out the call returns with ``job.preempted`` and a fresh
-        process (same store, same request, same ``job_id``) resumes
-        mid-plan, bit-identically, without re-speculating.  A job that
-        already finished returns its stored outcome without executing
-        anything.  ``job_request`` optionally attaches a caller-level
-        request descriptor to the checkpoints (the CLI stores the parsed
-        request line, which is how a restarted server re-issues
-        in-flight jobs).
-        """
-        if job_id is not None:
-            if operators is not None:
-                raise CheckpointError(
-                    "durable jobs cannot run custom operator bundles: "
-                    "a resuming process could not reconstruct them from "
-                    "the checkpoint; drop operators= or job_id="
-                )
-            return self._train_job(
-                dataset, training, fixed_iterations, algorithms,
-                batch_sizes, adaptive, adaptive_settings, job_id,
-                checkpoint_every, budget, job_request,
-            )
-        optimization = self.optimize(
-            dataset, training, fixed_iterations, algorithms, batch_sizes
-        )
-        if engine is None:
-            engine = SimulatedCluster(self.spec, seed=self.seed)
-        report = optimization.report
-        if not optimization.cache_hit and not optimization.recalibrated:
-            # This request paid for speculation: reflect it in the
-            # caller's simulated clock (sample collection + trial wall),
-            # like GDOptimizer.train does.  Cached/recalibrated requests
-            # skip it -- that saving is the point of the plan cache.
-            report.charge_speculation(engine, include_sample_collection=True)
-
-        if adaptive:
-            optimizer = GDOptimizer(
-                engine,
-                estimator=SpeculativeEstimator(
-                    self.speculation,
-                    seed=self.seed,
-                    max_workers=self.speculation_workers,
-                ),
-                algorithms=(
-                    self.algorithms if algorithms is None else algorithms
-                ),
-                batch_sizes=(
-                    self.batch_sizes if batch_sizes is None else batch_sizes
-                ),
-                cost_model=self.cost_model,
-                calibration=self.calibration,
-            )
-            trainer = AdaptiveTrainer(
-                optimizer,
-                settings=adaptive_settings or self.adaptive_settings,
-                calibration=self.calibration,
-            )
-            adaptive_result = trainer.train(
-                dataset, training, fixed_iterations=fixed_iterations,
-                report=report,
-            )
-            result, trace = adaptive_result.result, adaptive_result.trace
-        else:
-            adaptive_result = None
-            trace = None
-            result = execute_plan(
-                engine, dataset, report.chosen_plan, training, operators
-            )
-        with self._counter_lock:
-            self.trained += 1
-        return TrainServiceResult(
-            optimization=optimization,
-            result=result,
-            trace=trace,
-            adaptive=adaptive_result,
-        )
-
-    # ------------------------------------------------------------------
-    def _report_from_entry(self, key, plan_entry):
-        """Restore a job's pricing report from its checkpointed
-        plan-store entry (and re-seed the plan cache/store with it), or
-        None when the entry is unusable.
-
-        The entry is re-persisted *verbatim* -- original calibration
-        stamp, original ``written_at`` -- so a resume neither mislabels
-        old pricing as freshly calibrated (the stamp staleness rule
-        must keep firing) nor rejuvenates an entry the disk-tier TTL
-        should age out.
-        """
-        if plan_entry is None:
-            return None
-        try:
-            report, version, digest, _ = entry_from_dict(plan_entry)
-        except PlanStoreError as exc:
-            warnings.warn(
-                f"job plan entry is unusable ({exc}); re-optimizing",
-                stacklevel=3,
-            )
-            return None
-        self.cache.put(key, _CachedPlan(report, version, digest))
-        if self.backend is not None:
-            try:
-                self.backend.store(key, plan_entry)
-            except Exception as exc:
-                warnings.warn(
-                    f"plan store write failed ({exc}); "
-                    "entry is served from memory only", stacklevel=2,
-                )
-        return report
-
-    def _finished_job_result(self, job_id, key, checkpoint, report,
-                             start) -> TrainServiceResult:
-        """The stored outcome of a job that already ran to completion
-        (idempotent re-submission: nothing executes, nothing
-        re-speculates)."""
-        trace = ExecutionTrace.from_dict(checkpoint.trace)
-        chosen = candidate_from_dict(checkpoint.chosen)
-        last = trace.segments[-1] if trace.segments else None
-        result = TrainResult(
-            plan=chosen.plan,
-            weights=np.asarray(checkpoint.weights, dtype=float),
-            iterations=trace.total_iterations,
-            converged=trace.converged,
-            deltas=np.asarray(last.deltas if last else [], dtype=float),
-            sim_seconds=trace.sim_seconds,
-            phase_seconds=dict(last.phase_seconds) if last else {},
-            metrics={},
-            state=(
-                OptimizerState.from_dict(checkpoint.state)
-                if checkpoint.state is not None else None
-            ),
-        )
-        return TrainServiceResult(
-            optimization=ServiceResult(
-                report=report,
-                fingerprint=key,
-                cache_hit=True,
-                coalesced=False,
-                wall_s=time.perf_counter() - start,
-            ),
-            result=result,
-            trace=trace,
-            job=JobProgress(
-                job_id=job_id,
-                status="done",
-                resumed=True,
-                preempted=False,
-                done_iterations=int(checkpoint.done_iterations),
-                already_done=True,
-            ),
-        )
-
-    def _train_job(self, dataset, training, fixed_iterations, algorithms,
-                   batch_sizes, adaptive, adaptive_settings, job_id,
-                   checkpoint_every, budget,
-                   job_request) -> TrainServiceResult:
-        """One lease of a durable training job (see :meth:`train`)."""
-        if self.checkpoints is None:
-            raise CheckpointError(
-                f"train(job_id={job_id!r}) needs a checkpoint store; "
-                "construct the service with checkpoint_path= or "
-                "checkpoint_store="
-            )
-        start = time.perf_counter()
-        key = self.fingerprint(
-            dataset, training, fixed_iterations, algorithms, batch_sizes
-        )
-        owner = new_owner_token()
-        # The lease is the double-run guard: acquired atomically through
-        # the backend (flock / BEGIN IMMEDIATE), raising JobLeaseError
-        # when a sibling process actively holds the job.
-        checkpoint = self.checkpoints.acquire(job_id, owner)
-        try:
-            if checkpoint is not None and checkpoint.fingerprint \
-                    and checkpoint.fingerprint != key:
-                raise CheckpointError(
-                    f"job {job_id!r} is bound to workload "
-                    f"{checkpoint.fingerprint[:12]}..., but this request "
-                    f"fingerprints as {key[:12]}...; refusing to resume a "
-                    "different workload under the same job id"
-                )
-            if checkpoint is not None and checkpoint.status == "done" \
-                    and checkpoint.resumable:
-                report = self._report_from_entry(key, checkpoint.plan_entry)
-                if report is not None:
-                    with self._counter_lock:
-                        self.requests += 1
-                else:
-                    # Undecodable plan entry: re-optimize (warm via the
-                    # plan store when possible) so every downstream
-                    # consumer still gets a real report.
-                    report = self.optimize(
-                        dataset, training, fixed_iterations, algorithms,
-                        batch_sizes,
-                    ).report
-                return self._finished_job_result(
-                    job_id, key, checkpoint, report, start
-                )
-
-            resume = None
-            restored_entry = False
-            if checkpoint is not None and checkpoint.resumable:
-                if bool(checkpoint.adaptive) != bool(adaptive):
-                    # The mode is part of the job, not of the lease: a
-                    # non-adaptive resume of an adaptive job would keep
-                    # the persisted switch allowance monitoring while
-                    # feeding no calibration (and vice versa would pin
-                    # a job that was promised switching).
-                    warnings.warn(
-                        f"job {job_id!r} was started with "
-                        f"adaptive={bool(checkpoint.adaptive)}; resuming "
-                        f"with that mode (requested adaptive={adaptive})",
-                        stacklevel=3,
-                    )
-                    adaptive = bool(checkpoint.adaptive)
-                # Resume mid-plan: the checkpoint carries the pricing
-                # decision, so nothing re-speculates -- not even when
-                # the plan store was lost.
-                report = self._report_from_entry(key, checkpoint.plan_entry)
-                restored_entry = report is not None
-                resume = ResumePoint(
-                    weights=checkpoint.weights,
-                    state=checkpoint.state,
-                    chosen=candidate_from_dict(checkpoint.chosen),
-                    trace=ExecutionTrace.from_dict(checkpoint.trace),
-                    done_iterations=checkpoint.done_iterations,
-                    switches_left=checkpoint.switches_left,
-                )
-                if report is not None:
-                    optimization = ServiceResult(
-                        report=report,
-                        fingerprint=key,
-                        cache_hit=True,
-                        coalesced=False,
-                        wall_s=time.perf_counter() - start,
-                    )
-                    with self._counter_lock:
-                        self.requests += 1
-                else:
-                    # The checkpointed pricing decision is unusable:
-                    # re-optimize for the report (the training itself
-                    # still resumes from the checkpointed plan/state).
-                    optimization = self.optimize(
-                        dataset, training, fixed_iterations, algorithms,
-                        batch_sizes,
-                    )
-                    report = optimization.report
-                with self._counter_lock:
-                    self.jobs_resumed += 1
-            else:
-                optimization = self.optimize(
-                    dataset, training, fixed_iterations, algorithms,
-                    batch_sizes,
-                )
-                report = optimization.report
-                with self._counter_lock:
-                    self.jobs_started += 1
-
-            engine = SimulatedCluster(self.spec, seed=self.seed)
-            if resume is None and not optimization.cache_hit \
-                    and not optimization.recalibrated:
-                report.charge_speculation(
-                    engine, include_sample_collection=True
-                )
-            if restored_entry:
-                # Carry the checkpointed entry verbatim: its original
-                # calibration stamp must keep driving the staleness
-                # rule, and its original written_at must keep driving
-                # disk-tier aging.  Only freshly optimized reports get
-                # a fresh stamp.
-                plan_entry = checkpoint.plan_entry
-            else:
-                plan_entry = entry_to_dict(
-                    report, self.calibration.version,
-                    self.calibration.state_digest(),
-                )
-
-            optimizer = GDOptimizer(
-                engine,
-                estimator=SpeculativeEstimator(
-                    self.speculation,
-                    seed=self.seed,
-                    max_workers=self.speculation_workers,
-                ),
-                algorithms=(
-                    self.algorithms if algorithms is None else algorithms
-                ),
-                batch_sizes=(
-                    self.batch_sizes if batch_sizes is None else batch_sizes
-                ),
-                cost_model=self.cost_model,
-                calibration=self.calibration,
-            )
-            trainer = AdaptiveTrainer(
-                optimizer,
-                settings=(
-                    (adaptive_settings or self.adaptive_settings)
-                    if adaptive
-                    # Non-adaptive jobs run the same single-plan
-                    # execution as plain train(): telemetry only, no
-                    # mid-flight switching.
-                    else AdaptiveSettings(max_switches=0)
-                ),
-                calibration=self.calibration if adaptive else None,
-            )
-
-            def persist(snapshot):
-                # NOT best-effort: a job that cannot checkpoint has lost
-                # its durability guarantee, so store errors propagate
-                # (they also release the lease in the finally below).
-                self.checkpoints.save(JobCheckpoint(
-                    job_id=job_id,
-                    status=snapshot.status,
-                    fingerprint=key,
-                    weights=np.asarray(
-                        snapshot.weights, dtype=float
-                    ).tolist(),
-                    state=(
-                        snapshot.state.to_dict()
-                        if snapshot.state is not None else None
-                    ),
-                    chosen=candidate_to_dict(snapshot.chosen),
-                    trace=snapshot.trace.to_dict(),
-                    done_iterations=snapshot.done_iterations,
-                    switches_left=snapshot.switches_left,
-                    adaptive=adaptive,
-                    plan_entry=plan_entry,
-                    request=job_request,
-                ), owner=owner)
-
-            adaptive_result = trainer.train(
-                dataset, training, fixed_iterations=fixed_iterations,
-                report=report, resume=resume,
-                checkpoint_every=checkpoint_every, budget=budget,
-                on_checkpoint=persist,
-            )
-        finally:
-            self.checkpoints.release(job_id, owner)
-
-        with self._counter_lock:
-            self.trained += 1
-            if adaptive_result.preempted:
-                self.jobs_preempted += 1
-            else:
-                self.jobs_completed += 1
-        return TrainServiceResult(
-            optimization=optimization,
-            result=adaptive_result.result,
-            trace=adaptive_result.trace,
-            adaptive=adaptive_result if adaptive else None,
-            job=JobProgress(
-                job_id=job_id,
-                status=(
-                    "preempted" if adaptive_result.preempted else "done"
-                ),
-                resumed=resume is not None,
-                preempted=adaptive_result.preempted,
-                done_iterations=adaptive_result.trace.total_iterations,
-            ),
-        )
-
-    def save_calibration(self, path=None) -> str | None:
-        """Persist the calibration store (no-op without a path)."""
-        if path is None and self.calibration.path is None:
-            return None
-        return self.calibration.save(path)
-
-    # ------------------------------------------------------------------
-    def optimize_many(self, requests, max_workers=None) -> list:
-        """Serve a batch of requests concurrently; order is preserved.
-
-        ``requests`` is an iterable of :class:`ServiceRequest`,
-        ``(dataset, training)`` pairs, or
-        ``(dataset, training, fixed_iterations)`` triples.
-        """
-        normalized = [self._normalize(r) for r in requests]
-        if not normalized:
-            return []
-        if max_workers is None:
-            max_workers = min(8, len(normalized))
-        max_workers = max(1, min(max_workers, len(normalized)))
-        if max_workers == 1 or len(normalized) == 1:
-            return [
-                self.optimize(r.dataset, r.training, r.fixed_iterations,
-                              r.algorithms, r.batch_sizes)
-                for r in normalized
-            ]
-        with ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="optimize"
-        ) as pool:
-            futures = [
-                pool.submit(
-                    self.optimize, r.dataset, r.training, r.fixed_iterations,
-                    r.algorithms, r.batch_sizes,
-                )
-                for r in normalized
-            ]
-            return [f.result() for f in futures]
-
-    def train_many(self, requests, max_workers=None, adaptive=False,
-                   adaptive_settings=None) -> list:
-        """Serve a batch of train() requests concurrently; order preserved.
-
-        Same request forms as :meth:`optimize_many`; every request
-        executes on its own engine clone, so concurrent training runs
-        stay isolated.
-        """
-        normalized = [self._normalize(r) for r in requests]
-        if not normalized:
-            return []
-        if max_workers is None:
-            max_workers = min(8, len(normalized))
-        max_workers = max(1, min(max_workers, len(normalized)))
-
-        def one(request):
-            return self.train(
-                request.dataset, request.training, request.fixed_iterations,
-                request.algorithms, request.batch_sizes,
-                adaptive=adaptive, adaptive_settings=adaptive_settings,
-                job_id=request.job_id,
-                checkpoint_every=request.checkpoint_every,
-                budget=request.budget,
-                job_request=request.job_request,
-            )
-
-        if max_workers == 1 or len(normalized) == 1:
-            return [one(r) for r in normalized]
-        with ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="train"
-        ) as pool:
-            futures = [pool.submit(one, r) for r in normalized]
-            return [f.result() for f in futures]
-
-    @staticmethod
-    def _normalize(request) -> ServiceRequest:
-        if isinstance(request, ServiceRequest):
-            return request
-        if isinstance(request, tuple):
-            if len(request) == 2:
-                return ServiceRequest(request[0], request[1])
-            if len(request) == 3:
-                return ServiceRequest(*request)
-        raise TypeError(
-            "optimize_many() takes ServiceRequest instances, "
-            "(dataset, training) pairs or "
-            "(dataset, training, fixed_iterations) triples; "
-            f"got {request!r}"
-        )
-
-    # ------------------------------------------------------------------
-    def cache_stats(self):
-        return self.cache.stats()
-
-    def stats_summary(self) -> str:
-        stats = self.cache.stats()
-        text = (
-            f"{stats.summary()}; {self.requests} requests "
-            f"({self.computed} computed, {self.coalesced} coalesced, "
-            f"{self.recalibrated} recalibrated)"
-        )
-        if self.trained:
-            text += f"; {self.trained} trained"
-        if self.calibration.observations:
-            text += f"; calibration v{self.calibration.version}"
-        if self.backend is not None:
-            text += (
-                f"; plan store: {self.backend.name}"
-                f" ({self.warm_loaded} warm-loaded"
-                + (f", {self.expired_persisted} aged out"
-                   if self.expired_persisted else "")
-                + ")"
-            )
-        jobs = self.jobs_started + self.jobs_resumed
-        if jobs:
-            text += (
-                f"; {jobs} job lease(s) "
-                f"({self.jobs_resumed} resumed, "
-                f"{self.jobs_preempted} preempted, "
-                f"{self.jobs_completed} completed)"
-            )
-        return text
+__all__ = [
+    "JobProgress",
+    "OptimizerService",
+    "ServiceRequest",
+    "ServiceResult",
+    "TrainServiceResult",
+    "normalize_request",
+    "_CachedPlan",
+]

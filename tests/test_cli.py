@@ -1,6 +1,7 @@
 """Tests for the python -m repro command-line interface."""
 
 import io
+import json
 import subprocess
 import sys
 
@@ -179,6 +180,48 @@ class TestCLIServe:
         captured = capsys.readouterr()
         assert "error" in captured.err
         assert "adult:" in captured.out
+
+    def test_serve_emits_structured_errors_on_stdout(self, monkeypatch,
+                                                     capsys):
+        # Failures surface as machine-readable JSON on stdout -- the
+        # same envelope the socket front-end speaks -- and the loop
+        # keeps serving afterwards.
+        monkeypatch.setattr(
+            sys, "stdin",
+            io.StringIO(
+                "adult epsilon=not-a-float\n"
+                "no-such-dataset epsilon=0.05\n"
+                "adult epsilon=0.05 fixed_iterations=50\n"
+            ),
+        )
+        assert main(["serve"]) == 0
+        captured = capsys.readouterr()
+        payloads = [json.loads(line) for line in captured.out.splitlines()
+                    if line.startswith("{")]
+        assert [p["error"] for p in payloads] == [
+            "bad_request", "request_failed"
+        ]
+        assert all(p["ok"] is False and p["detail"] for p in payloads)
+        assert "adult:" in captured.out
+
+    def test_serve_accepts_json_lines_and_metrics_verb(self, monkeypatch,
+                                                       capsys):
+        # The stdin loop shares the socket front-end's dispatcher, so
+        # JSON request lines and the bare ``metrics`` verb work there
+        # too.
+        monkeypatch.setattr(
+            sys, "stdin",
+            io.StringIO(
+                '{"dataset": "adult", "epsilon": 0.05, '
+                '"fixed_iterations": 50}\n'
+                "metrics\n"
+            ),
+        )
+        assert main(["serve"]) == 0
+        out = capsys.readouterr().out
+        assert "adult:" in out
+        assert "service.computed 1" in out
+        assert "frontend.served 1" in out
 
 
 class TestCLITrainJobs:

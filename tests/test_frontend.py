@@ -1,0 +1,435 @@
+"""The service front-end: wire parsing, dispatch, admission control.
+
+Covers the protocol tier added above the split service: the shared
+parse/dispatch path (structured errors instead of dead serve loops),
+the concurrent socket server, and its admission policies -- load
+shedding, per-tenant quotas, deadlines that preempt (not just reject)
+-- plus the import-compatibility guarantees of the split itself.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api import ML4all
+from repro.errors import ReproError
+from repro.service import MetricsRegistry
+from repro.service.frontend import (
+    Dispatcher,
+    SocketFrontend,
+    parse_request_line,
+    parse_wire_line,
+)
+
+FAST_LINE = "adult epsilon=0.05 fixed_iterations=40"
+
+
+def connect(frontend):
+    sock = socket.create_connection(("127.0.0.1", frontend.port), timeout=10)
+    return sock, sock.makefile("rw", encoding="utf-8", newline="\n")
+
+
+def ask(handle, line):
+    handle.write(line + "\n")
+    handle.flush()
+    return json.loads(handle.readline())
+
+
+# ---------------------------------------------------------------------------
+# import compatibility of the split
+# ---------------------------------------------------------------------------
+
+class TestImportCompat:
+    def test_pre_split_service_module_paths_resolve(self):
+        from repro.service.service import (  # noqa: F401
+            JobProgress,
+            OptimizerService,
+            ServiceRequest,
+            ServiceResult,
+            TrainServiceResult,
+            _CachedPlan,
+        )
+        from repro.service import core, jobs
+
+        assert OptimizerService is core.OptimizerService
+        assert issubclass(OptimizerService, jobs.TrainingJobs)
+
+    def test_store_tools_still_import_from_backends(self):
+        from repro.service import storetools
+        from repro.service.backends import compact_store, inspect_store
+
+        assert inspect_store is storetools.inspect_store
+        assert compact_store is storetools.compact_store
+        with pytest.raises(AttributeError):
+            from repro.service import backends
+
+            backends.no_such_attribute
+
+    def test_request_line_parsing_still_importable_from_cli(self):
+        from repro.__main__ import iter_request_lines  # noqa: F401
+        from repro.__main__ import parse_request_line as from_cli
+
+        assert from_cli is parse_request_line
+
+    def test_legacy_counters_are_metrics_views(self):
+        from repro.service import OptimizerService
+
+        service = OptimizerService()
+        assert service.computed == 0
+        service.metrics.inc("service.computed")
+        assert service.computed == 1
+
+
+# ---------------------------------------------------------------------------
+# wire parsing
+# ---------------------------------------------------------------------------
+
+class TestParseWireLine:
+    def test_text_line_with_wire_keys(self):
+        wire = parse_wire_line(
+            "adult epsilon=0.01 deadline_s=2.5 tenant=t1 verb=train id=42"
+        )
+        assert wire.request == {"dataset": "adult", "epsilon": 0.01}
+        assert wire.verb == "train"
+        assert wire.tenant == "t1"
+        assert wire.deadline_s == 2.5
+        assert wire.id == "42"
+
+    def test_json_line(self):
+        wire = parse_wire_line(
+            '{"dataset": "adult", "max_iter": 100, "tenant": "t2"}'
+        )
+        assert wire.request == {"dataset": "adult", "max_iter": 100}
+        assert wire.verb is None
+        assert wire.tenant == "t2"
+
+    def test_bare_metrics_verb(self):
+        for line in ("metrics", '{"verb": "metrics"}'):
+            wire = parse_wire_line(line)
+            assert wire.verb == "metrics"
+            assert wire.request is None
+
+    @pytest.mark.parametrize("line", [
+        "{not json",
+        '["a", "list"]',
+        '{"dataset": "adult", "verb": "frobnicate"}',
+        '{"dataset": "adult", "deadline_s": -1}',
+        '{"dataset": "adult", "bogus_key": 1}',
+        '{"epsilon": 0.01}',  # no dataset
+        "epsilon=0.01",       # no dataset, text form
+        "adult max_iter=notanint",
+    ])
+    def test_malformed_lines_raise_repro_error(self, line):
+        with pytest.raises(ReproError):
+            parse_wire_line(line)
+
+    def test_wire_keys_never_reach_the_request(self):
+        wire = parse_wire_line('{"dataset": "adult", "verb": "optimize"}')
+        for key in ("verb", "tenant", "deadline_s", "id"):
+            assert key not in wire.request
+
+
+# ---------------------------------------------------------------------------
+# dispatcher (protocol-independent half)
+# ---------------------------------------------------------------------------
+
+class TestDispatcher:
+    @pytest.fixture(scope="class")
+    def dispatcher(self):
+        return Dispatcher(ML4all(seed=7))
+
+    def test_optimize_response_shape(self, dispatcher):
+        response = dispatcher.handle_line(FAST_LINE)
+        assert response["ok"] is True
+        assert response["verb"] == "optimize"
+        assert response["dataset"] == "adult"
+        assert response["lines"][0].startswith("adult: ")
+        assert "plan" in response
+
+    def test_bad_line_is_a_structured_error_not_an_exception(
+        self, dispatcher
+    ):
+        before = dispatcher.metrics.value("frontend.bad_requests")
+        response = dispatcher.handle_line("= broken =")
+        assert response["ok"] is False
+        assert response["error"] == "bad_request"
+        assert "detail" in response
+        assert dispatcher.metrics.value("frontend.bad_requests") == before + 1
+        # and the dispatcher still serves afterwards
+        assert dispatcher.handle_line(FAST_LINE)["ok"] is True
+
+    def test_unknown_dataset_is_request_failed(self, dispatcher):
+        response = dispatcher.handle_line("no_such_dataset epsilon=0.01")
+        assert response["ok"] is False
+        assert response["error"] == "request_failed"
+
+    def test_metrics_verb_reports_all_layers(self, dispatcher):
+        dispatcher.handle_line(FAST_LINE)
+        response = dispatcher.handle_line("metrics")
+        assert response["ok"] is True
+        counters = response["metrics"]["counters"]
+        assert counters["service.requests"] >= 1
+        assert counters["frontend.served"] >= 1
+        assert any(line.startswith("service.requests ")
+                   for line in response["lines"])
+
+    def test_verb_train_forces_training(self, dispatcher):
+        response = dispatcher.handle_line(FAST_LINE + " verb=train")
+        assert response["ok"] is True
+        assert response["verb"] == "train"
+        assert response["iterations"] > 0
+        assert response["preempted"] is False
+
+    def test_deadline_preempts_plain_train(self, dispatcher):
+        response = dispatcher.handle_line(
+            "adult epsilon=0.000001 max_iter=5000 verb=train deadline_s=0.05"
+        )
+        assert response["ok"] is True
+        assert response["preempted"] is True
+        assert response["iterations"] < 5000
+
+
+# ---------------------------------------------------------------------------
+# socket front-end against the real optimizer
+# ---------------------------------------------------------------------------
+
+class TestSocketFrontend:
+    def test_sixteen_thread_hammer_zero_dropped(self):
+        system = ML4all(seed=7)
+        dispatcher = Dispatcher(system)
+        threads, per_thread = 16, 3
+        with SocketFrontend(dispatcher, port=0, max_workers=8,
+                            shed_after=threads * per_thread + 8) as frontend:
+            results, errors = [], []
+
+            def client(worker):
+                try:
+                    sock, handle = connect(frontend)
+                    try:
+                        for i in range(per_thread):
+                            response = ask(
+                                handle, f"{FAST_LINE} id={worker}-{i}"
+                            )
+                            results.append(response)
+                    finally:
+                        sock.close()
+                except Exception as exc:  # noqa: BLE001 - collected below
+                    errors.append(exc)
+
+            workers = [
+                threading.Thread(target=client, args=(n,))
+                for n in range(threads)
+            ]
+            for w in workers:
+                w.start()
+            for w in workers:
+                w.join(timeout=60)
+            assert errors == []
+            # zero dropped responses, all successful
+            assert len(results) == threads * per_thread
+            assert all(r["ok"] for r in results)
+            # correlation ids survived the concurrency
+            assert len({r["id"] for r in results}) == threads * per_thread
+            assert (dispatcher.metrics.value("frontend.served")
+                    == threads * per_thread)
+            assert dispatcher.metrics.value("frontend.shed") == 0
+            # one cold compute, everyone else warm/coalesced
+            snapshot = dispatcher.metrics.snapshot()["counters"]
+            assert snapshot["service.requests"] == threads * per_thread
+            assert snapshot["service.computed"] == 1
+
+    def test_deadline_bounded_train_preempts_with_resumable_checkpoint(
+        self, tmp_path
+    ):
+        store = str(tmp_path / "jobs.json")
+        system = ML4all(seed=7, checkpoint_path=store)
+        dispatcher = Dispatcher(system)
+        job = ('{"dataset": "adult", "epsilon": 1e-6, "max_iter": 2000, '
+               '"job_id": "deadline-job", "checkpoint_every": 25')
+        with SocketFrontend(dispatcher, port=0, max_workers=2) as frontend:
+            sock, handle = connect(frontend)
+            try:
+                first = ask(handle, job + ', "deadline_s": 0.3}')
+                assert first["ok"] is True
+                assert first["preempted"] is True
+                assert first["job"]["status"] == "preempted"
+                banked = first["job"]["done_iterations"]
+                assert 0 < banked < 2000
+
+                # The checkpoint on disk is resumable right now.
+                checkpoint = system.service().checkpoints.load(
+                    "deadline-job"
+                )
+                assert checkpoint is not None
+                assert checkpoint.status == "preempted"
+                assert checkpoint.resumable
+                assert checkpoint.done_iterations == banked
+
+                # Same request without the deadline: resumes and finishes.
+                second = ask(handle, job + "}")
+                assert second["ok"] is True
+                assert second["preempted"] is False
+                assert second["job"]["status"] == "done"
+                assert second["job"]["resumed"] is True
+                assert second["job"]["done_iterations"] > banked
+            finally:
+                sock.close()
+
+
+# ---------------------------------------------------------------------------
+# admission control (deterministic, via a blocking stub dispatcher)
+# ---------------------------------------------------------------------------
+
+class _BlockingDispatcher:
+    """Duck-typed dispatcher whose requests block until released --
+    makes queue-occupancy tests deterministic instead of racing real
+    optimizer work."""
+
+    def __init__(self):
+        self.metrics = MetricsRegistry()
+        self.release = threading.Event()
+        self.started = threading.Semaphore(0)
+
+    def handle(self, wire, remaining_s=None):
+        if wire.verb == "metrics":
+            return {"ok": True, "verb": "metrics",
+                    "metrics": self.metrics.snapshot()}
+        self.started.release()
+        if not self.release.wait(timeout=30):
+            return {"ok": False, "error": "internal", "detail": "stuck"}
+        response = {"ok": True, "verb": "optimize"}
+        if wire.id is not None:
+            response["id"] = wire.id
+        if remaining_s is not None:
+            response["remaining_s"] = remaining_s
+        return response
+
+
+class TestAdmissionControl:
+    def test_shed_when_over_capacity(self):
+        stub = _BlockingDispatcher()
+        with SocketFrontend(stub, port=0, max_workers=4,
+                            shed_after=2) as frontend:
+            sock, handle = connect(frontend)
+            try:
+                for i in range(2):
+                    handle.write(f"adult id=a{i}\n")
+                handle.flush()
+                # both admitted requests are running before we overflow
+                for _ in range(2):
+                    assert stub.started.acquire(timeout=10)
+                shed = ask(handle, "adult id=extra")
+                assert shed["ok"] is False
+                assert shed["error"] == "overloaded"
+                assert shed["id"] == "extra"
+                assert stub.metrics.value("frontend.shed") == 1
+
+                stub.release.set()
+                replies = [json.loads(handle.readline()) for _ in range(2)]
+                assert all(r["ok"] for r in replies)
+                assert {r["id"] for r in replies} == {"a0", "a1"}
+            finally:
+                sock.close()
+
+    def test_per_tenant_quota_rejection(self):
+        stub = _BlockingDispatcher()
+        with SocketFrontend(stub, port=0, max_workers=8, shed_after=32,
+                            max_inflight=2) as frontend:
+            sock, handle = connect(frontend)
+            try:
+                for i in range(2):
+                    handle.write(f"adult tenant=alice id=al{i}\n")
+                handle.flush()
+                for _ in range(2):
+                    assert stub.started.acquire(timeout=10)
+                # alice is at her quota; bob is not
+                rejected = ask(handle, "adult tenant=alice id=al2")
+                assert rejected["ok"] is False
+                assert rejected["error"] == "quota_exceeded"
+                assert "alice" in rejected["detail"]
+                handle.write("adult tenant=bob id=bob0\n")
+                handle.flush()
+                assert stub.started.acquire(timeout=10)
+                assert stub.metrics.value("frontend.quota_rejected") == 1
+
+                stub.release.set()
+                replies = [json.loads(handle.readline()) for _ in range(3)]
+                assert {r["id"] for r in replies} == {"al0", "al1", "bob0"}
+            finally:
+                sock.close()
+
+    def test_deadline_expires_while_queued(self):
+        stub = _BlockingDispatcher()
+        with SocketFrontend(stub, port=0, max_workers=1,
+                            shed_after=8) as frontend:
+            sock, handle = connect(frontend)
+            try:
+                handle.write("adult id=holder\n")
+                handle.flush()
+                assert stub.started.acquire(timeout=10)
+                # this one waits behind the holder past its deadline
+                handle.write("adult id=late deadline_s=0.05\n")
+                handle.flush()
+                time.sleep(0.3)
+                stub.release.set()
+                replies = [json.loads(handle.readline()) for _ in range(2)]
+                by_id = {r["id"]: r for r in replies}
+                assert by_id["holder"]["ok"] is True
+                assert by_id["late"]["ok"] is False
+                assert by_id["late"]["error"] == "deadline_exceeded"
+                assert stub.metrics.value(
+                    "frontend.deadline_rejected"
+                ) == 1
+            finally:
+                sock.close()
+
+    def test_queued_deadline_shrinks_execution_budget(self):
+        stub = _BlockingDispatcher()
+        stub.release.set()  # no blocking: measure pass-through remaining
+        with SocketFrontend(stub, port=0, max_workers=2) as frontend:
+            sock, handle = connect(frontend)
+            try:
+                response = ask(handle, "adult id=d deadline_s=5")
+                assert response["ok"] is True
+                assert 0 < response["remaining_s"] <= 5
+            finally:
+                sock.close()
+
+    def test_metrics_bypasses_admission(self):
+        stub = _BlockingDispatcher()
+        with SocketFrontend(stub, port=0, max_workers=2,
+                            shed_after=1) as frontend:
+            sock, handle = connect(frontend)
+            try:
+                handle.write("adult id=holder\n")
+                handle.flush()
+                assert stub.started.acquire(timeout=10)
+                # saturated: a request sheds, but metrics still answers
+                shed = ask(handle, "adult id=nope")
+                assert shed["error"] == "overloaded"
+                metrics = ask(handle, "metrics")
+                assert metrics["ok"] is True
+                assert metrics["metrics"]["counters"]["frontend.shed"] == 1
+                stub.release.set()
+                assert json.loads(handle.readline())["id"] == "holder"
+            finally:
+                sock.close()
+
+    def test_malformed_line_gets_structured_error_and_connection_lives(
+        self,
+    ):
+        stub = _BlockingDispatcher()
+        stub.release.set()
+        with SocketFrontend(stub, port=0, max_workers=2) as frontend:
+            sock, handle = connect(frontend)
+            try:
+                bad = ask(handle, "{broken json")
+                assert bad["ok"] is False
+                assert bad["error"] == "bad_request"
+                good = ask(handle, "adult id=after")
+                assert good["ok"] is True
+            finally:
+                sock.close()
