@@ -201,6 +201,11 @@ def main(argv=None) -> int:
     if not args.skip_adaptive:
         records += scenario_adaptive_train()
     records = [{**stamp, **record} for record in records]
+    if not records:
+        # A run that appends nothing is a broken run, not a quiet one --
+        # CI keys off this exit code.
+        print("error: no benchmark records produced", file=sys.stderr)
+        return 1
 
     history = []
     if os.path.exists(args.output):

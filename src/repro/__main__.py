@@ -46,6 +46,16 @@ Cache mode -- inspect or compact a plan-store / checkpoint-store file:
     python -m repro cache plans.json
     python -m repro cache jobs.json --compact --drop-done-jobs
 
+Trace mode -- pretty-print one stored request trace (a server started
+with ``--trace-dir`` writes one ``<trace_id>.jsonl`` per request; the
+``trace_id`` rides every response):
+
+    python -m repro trace 4f2e... --trace-dir traces/
+
+Batch and serve also take ``--log-level``/``--log-json`` (structured
+logging on stderr), and serve adds ``--trace-dir`` plus
+``--slow-request-s`` (slow-request log threshold).
+
 Request lines are ``<dataset> [key=value ...]`` with the keys of
 :meth:`ML4all.optimize` (``task``, ``epsilon``, ``max_iter``,
 ``time_budget``, ``algorithm``, ``batch``, ``step``, ``convergence``,
@@ -132,7 +142,21 @@ def _service_parser(prog, description):
                              "lines with job_id= become durable jobs, and "
                              "a restarted server finishes the store's "
                              "in-flight jobs on startup")
+    parser.add_argument("--log-level", default="info",
+                        metavar="LEVEL",
+                        help="logging level for the repro logger tree "
+                             "(debug/info/warning/error; default info)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit log records as JSON lines on stderr "
+                             "instead of human-readable text")
     return parser
+
+
+def _configure_obs(args):
+    """Install the structured-logging setup from shared CLI flags."""
+    from repro.obs import configure_logging
+
+    configure_logging(level=args.log_level, json_lines=args.log_json)
 
 
 def _train_and_report(system, requests, args, max_workers=None):
@@ -177,6 +201,7 @@ def batch_main(argv) -> int:
                              ">1 demonstrates the warm plan cache)")
     args = parser.parse_args(argv)
 
+    _configure_obs(args)
     try:
         if args.requests == "-":
             requests = list(iter_request_lines(sys.stdin))
@@ -302,13 +327,31 @@ def serve_main(argv) -> int:
                         help="per-tenant inflight quota; over-quota "
                              "requests get a structured 'quota_exceeded' "
                              "response (default: no quota)")
+    parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                        help="persist request traces as JSON-lines files "
+                             "under DIR (one <trace_id>.jsonl per trace, "
+                             "plus slow_requests.jsonl); read them back "
+                             "with 'repro trace'")
+    parser.add_argument("--slow-request-s", type=float, default=None,
+                        metavar="SECONDS",
+                        help="log a WARNING (and count obs.slow_requests) "
+                             "for any request slower than SECONDS")
     args = parser.parse_args(argv)
+
+    _configure_obs(args)
+    from repro.obs import TraceRecorder, get_logger
 
     system = ML4all(seed=args.seed, calibration_path=args.calibration,
                     cache_path=args.cache, checkpoint_path=args.checkpoint)
     service = system.service(cache_size=args.cache_size)
+    tracer = TraceRecorder(
+        trace_dir=args.trace_dir,
+        metrics=service.metrics,
+        slow_threshold_s=args.slow_request_s,
+    )
     dispatcher = Dispatcher(system, train=args.train, adaptive=args.adaptive,
-                            workers=args.workers)
+                            workers=args.workers, tracer=tracer)
+    log = get_logger("serve")
     served = failed = 0
     served += _finish_pending_jobs(system, service, args)
 
@@ -343,12 +386,19 @@ def serve_main(argv) -> int:
                 print(out)
         else:
             # Structured error on stdout (machine-readable, same shape
-            # as the socket protocol) plus the legacy stderr line; the
-            # loop always continues.
+            # as the socket protocol) plus a structured log record on
+            # stderr; the loop always continues.
             failed += 1
             print(json.dumps(response))
             detail = response.get("detail", response.get("error"))
-            print(f"error: {detail}", file=sys.stderr)
+            log.warning(
+                "request error: %s", detail,
+                extra={
+                    "kind": response.get("error"),
+                    **({"trace_id": response["trace_id"]}
+                       if response.get("trace_id") else {}),
+                },
+            )
         sys.stdout.flush()
     print(service.stats_summary())
     _save_calibration(system, args)
@@ -419,6 +469,64 @@ def train_main(argv) -> int:
               "resume")
     print(system.service().stats_summary())
     _save_calibration(system, args)
+    return 0
+
+
+def trace_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Pretty-print one stored request trace: reassemble "
+                    "the JSON-lines span records a server wrote under "
+                    "--trace-dir into the request's span tree.",
+    )
+    parser.add_argument("trace",
+                        help="a trace id (resolved under --trace-dir) or "
+                             "a path to a .jsonl trace file")
+    parser.add_argument("--trace-dir", metavar="DIR", default=".",
+                        help="directory holding <trace_id>.jsonl files "
+                             "(default: current directory)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the nested span tree as JSON instead "
+                             "of text lines")
+    args = parser.parse_args(argv)
+
+    from repro.obs import assemble_tree, render_tree
+    from repro.obs.recorder import load_trace, valid_trace_id
+
+    if os.path.exists(args.trace):
+        path = args.trace
+    elif valid_trace_id(args.trace):
+        path = os.path.join(
+            args.trace_dir, args.trace.replace(":", "_") + ".jsonl"
+        )
+    else:
+        print(f"error: {args.trace!r} is neither a trace file nor a "
+              "valid trace id", file=sys.stderr)
+        return 2
+    if not os.path.exists(path):
+        print(f"error: no trace at {path!r} (wrong --trace-dir?)",
+              file=sys.stderr)
+        return 1
+    try:
+        spans = load_trace(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: unreadable trace {path!r}: {exc}", file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"error: {path!r} holds no spans", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(assemble_tree(spans), indent=2, default=str))
+    else:
+        for line in render_tree(spans):
+            print(line)
+        total = sum(
+            s.get("duration_s", 0.0) for s in spans
+            if s.get("parent_id") is None
+        )
+        print(f"{len(spans)} spans, {total * 1e3:.2f}ms across "
+              f"{sum(1 for s in spans if s.get('parent_id') is None)} "
+              "root span(s)")
     return 0
 
 
@@ -615,6 +723,8 @@ def main(argv=None):
         return train_main(argv[1:])
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
     return query_main(build_parser().parse_args(argv))
 
 

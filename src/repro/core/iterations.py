@@ -18,6 +18,7 @@ BGD runs over the entire D'."
 
 from __future__ import annotations
 
+import contextvars
 import dataclasses
 import os
 import time
@@ -29,6 +30,7 @@ import numpy as np
 from repro.core.curve_fit import FittedCurve, fit_error_sequence
 from repro.errors import EstimationError, ReproError
 from repro.gd import registry as gd_registry
+from repro.obs import span
 
 
 @dataclasses.dataclass
@@ -220,17 +222,28 @@ class SpeculativeEstimator:
         sample = self.take_sample(X, y, rng)
 
         def speculate(algorithm):
-            return self.estimate(
-                X,
-                y,
-                gradient,
-                algorithm,
-                target_tolerance,
-                step_size=step_size,
-                batch_size=batch_sizes.get(algorithm),
-                convergence=convergence,
-                sample=sample,
-            )
+            with span("speculation", algorithm=algorithm) as trial_span:
+                estimate = self.estimate(
+                    X,
+                    y,
+                    gradient,
+                    algorithm,
+                    target_tolerance,
+                    step_size=step_size,
+                    batch_size=batch_sizes.get(algorithm),
+                    convergence=convergence,
+                    sample=sample,
+                )
+                trial_span.set(
+                    "estimated_iterations", estimate.estimated_iterations
+                )
+                trial_span.set(
+                    "speculation_iterations", estimate.speculation_iterations
+                )
+                trial_span.set(
+                    "observed_directly", estimate.observed_directly
+                )
+                return estimate
 
         workers = max_workers if max_workers is not None else self.max_workers
         use_processes = workers == "process"
@@ -254,7 +267,14 @@ class SpeculativeEstimator:
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="speculate"
         ) as pool:
-            futures = {alg: pool.submit(speculate, alg) for alg in algorithms}
+            # copy_context() carries the ambient trace context onto the
+            # pool threads, so per-trial spans land in the request trace.
+            futures = {
+                alg: pool.submit(
+                    contextvars.copy_context().run, speculate, alg
+                )
+                for alg in algorithms
+            }
             return {alg: futures[alg].result() for alg in algorithms}
 
     def _estimate_all_processes(

@@ -29,6 +29,7 @@ from repro.core.plan_space import enumerate_plans
 from repro.core.result import OptimizationReport, PlanCostEstimate
 from repro.errors import ConstraintError
 from repro.gd.registry import CORE_ALGORITHMS
+from repro.obs import span
 
 
 class GDOptimizer:
@@ -69,6 +70,36 @@ class GDOptimizer:
         calibration store learned new correction factors -- calibrated
         estimates without re-speculation).
         """
+        with span(
+            "plan_choice",
+            fixed_iterations=fixed_iterations,
+            precosted=iteration_estimates is not None,
+        ) as choice_span:
+            report = self._optimize(
+                dataset, training, fixed_iterations, iteration_estimates
+            )
+            choice_span.set("chosen", str(report.chosen_plan))
+            choice_span.set(
+                "estimated_iterations", report.chosen.estimated_iterations
+            )
+            choice_span.set("estimated_total_s", report.chosen.total_s)
+            # The "explain" record: the full ranked candidate table.
+            choice_span.set("candidates", [
+                {
+                    "plan": str(candidate.plan),
+                    "total_s": candidate.total_s,
+                    "per_iteration_s": candidate.per_iteration_s,
+                    "iterations": candidate.estimated_iterations,
+                    "feasible": candidate.feasible,
+                }
+                for candidate in sorted(
+                    report.candidates, key=lambda c: c.total_s
+                )
+            ])
+            return report
+
+    def _optimize(self, dataset, training, fixed_iterations=None,
+                  iteration_estimates=None) -> OptimizationReport:
         start = time.perf_counter()
         speculation_sim_s = 0.0
         speculated = False

@@ -1,0 +1,54 @@
+"""Dependency-free observability: tracing, structured logs, metrics export.
+
+The subsystem has three cooperating pieces, all standard-library only:
+
+* **Trace context** (:mod:`repro.obs.context`) -- a contextvar-carried
+  :class:`TraceContext` naming the current trace and span.  When no
+  context is active, every instrumentation point in the hot path is a
+  no-op, so library users who never start a trace pay (almost) nothing.
+* **Spans** (:mod:`repro.obs.spans`) -- :func:`span` wraps a timed block
+  and records a :class:`Span` (name, ids, duration, attributes) into the
+  active trace's recorder on exit.
+* **Recorder + logs** (:mod:`repro.obs.recorder`,
+  :mod:`repro.obs.logs`) -- :class:`TraceRecorder` buffers recent traces
+  in memory, optionally persists them as JSON-lines files under a trace
+  directory, feeds span durations into a
+  :class:`~repro.service.metrics.MetricsRegistry` histogram, and flags
+  slow requests; :func:`configure_logging` installs a ``repro``-rooted
+  ``logging`` tree with either human-readable text or JSON-lines output.
+
+The :class:`~repro.service.frontend.Dispatcher` mints one trace per
+request (or adopts a client-supplied ``trace_id`` from the wire), so a
+single id correlates admission, speculation, plan choice, training
+segments, checkpoints and leases across every layer.
+"""
+
+from repro.obs.context import (
+    TraceContext,
+    current_context,
+    current_span_id,
+    current_trace_id,
+    new_span_id,
+    new_trace_id,
+)
+from repro.obs.logs import JsonFormatter, configure_logging, get_logger
+from repro.obs.recorder import TraceRecorder, assemble_tree, render_tree
+from repro.obs.spans import Span, emit_span, span
+
+__all__ = [
+    "JsonFormatter",
+    "Span",
+    "TraceContext",
+    "TraceRecorder",
+    "assemble_tree",
+    "configure_logging",
+    "current_context",
+    "current_span_id",
+    "current_trace_id",
+    "emit_span",
+    "get_logger",
+    "new_span_id",
+    "new_trace_id",
+    "render_tree",
+    "span",
+]

@@ -1,0 +1,74 @@
+"""The ambient trace context: who is tracing, and under which span.
+
+A :class:`TraceContext` is an immutable triple -- trace id, current span
+id, and the :class:`~repro.obs.recorder.TraceRecorder` that owns the
+trace -- carried in a :mod:`contextvars` variable.  Instrumentation
+points (:func:`repro.obs.spans.span`) read it; when it is unset they do
+nothing, which is what keeps tracing free for direct library callers.
+
+Because the context rides a contextvar, it follows the call stack
+naturally and crosses thread-pool boundaries only when copied
+explicitly (``contextvars.copy_context().run(...)``) -- the speculation
+thread pool does exactly that, so per-algorithm trial spans land in the
+request's trace even though they run on worker threads.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import dataclasses
+import uuid
+
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """The ambient tracing state for the current logical request."""
+
+    #: Correlates every span of one request (16 hex chars, or whatever
+    #: the client supplied on the wire).
+    trace_id: str
+    #: Span id new child spans attach to; None at the trace root.
+    span_id: str | None
+    #: The recorder finished spans are written to.
+    recorder: object
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (64 random bits)."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-char span id (32 random bits)."""
+    return uuid.uuid4().hex[:8]
+
+
+def current_context() -> TraceContext | None:
+    """The active :class:`TraceContext`, or None when not tracing."""
+    return _CURRENT.get()
+
+
+def current_trace_id() -> str | None:
+    """The active trace id, or None when not tracing."""
+    context = _CURRENT.get()
+    return context.trace_id if context is not None else None
+
+
+def current_span_id() -> str | None:
+    """The active span id, or None outside any span."""
+    context = _CURRENT.get()
+    return context.span_id if context is not None else None
+
+
+def activate(context) -> contextvars.Token:
+    """Make ``context`` the ambient trace context; returns a reset token."""
+    return _CURRENT.set(context)
+
+
+def restore(token) -> None:
+    """Undo a matching :func:`activate`."""
+    _CURRENT.reset(token)

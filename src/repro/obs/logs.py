@@ -1,0 +1,142 @@
+"""Structured logging for the serving stack.
+
+One call -- :func:`configure_logging` -- installs a handler on the
+``repro`` root logger.  Two output shapes:
+
+* **text** (default): ``2026-08-08T12:00:00Z WARNING repro.serve
+  request failed kind=bad_request`` -- extras appended as ``key=value``;
+* **JSON lines** (``json_lines=True``): one JSON object per record with
+  ``ts`` / ``level`` / ``logger`` / ``message``, every ``extra=`` field
+  merged in, and -- when a trace is active -- ``trace_id`` / ``span_id``,
+  so log lines join the same tree as spans.
+
+The handler resolves ``sys.stderr`` at *emit* time rather than capturing
+it at configure time, so stream redirection (pytest's capsys, shell
+``2>``) behaves the way CLI users expect.  Reconfiguring replaces the
+previously installed handler instead of stacking duplicates.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from datetime import datetime, timezone
+
+from repro.obs.context import current_context
+
+#: LogRecord attributes that are plumbing, not user-supplied extras.
+_RESERVED = frozenset(logging.makeLogRecord({}).__dict__) | {
+    "message", "asctime", "taskName",
+}
+
+ROOT_LOGGER = "repro"
+
+
+def _extras(record) -> dict:
+    return {
+        key: value
+        for key, value in record.__dict__.items()
+        if key not in _RESERVED and not key.startswith("_")
+    }
+
+
+def _timestamp(record) -> str:
+    moment = datetime.fromtimestamp(record.created, tz=timezone.utc)
+    return moment.isoformat(timespec="milliseconds").replace("+00:00", "Z")
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; extras and trace ids merged in."""
+
+    def format(self, record) -> str:
+        payload = {
+            "ts": _timestamp(record),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        context = current_context()
+        if context is not None:
+            payload["trace_id"] = context.trace_id
+            if context.span_id is not None:
+                payload["span_id"] = context.span_id
+        payload.update(_extras(record))
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-readable one-liners, extras appended as ``key=value``."""
+
+    def format(self, record) -> str:
+        parts = [
+            _timestamp(record),
+            record.levelname,
+            record.name,
+            record.getMessage(),
+        ]
+        context = current_context()
+        if context is not None:
+            parts.append(f"trace_id={context.trace_id}")
+        for key, value in sorted(_extras(record).items()):
+            parts.append(f"{key}={value}")
+        line = " ".join(str(part) for part in parts)
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+class _StderrHandler(logging.StreamHandler):
+    """A StreamHandler that looks up ``sys.stderr`` per emit."""
+
+    def __init__(self):
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value):  # noqa: ARG002 - stream is always live stderr
+        pass
+
+
+def configure_logging(level="info", json_lines=False, stream=None):
+    """Install (or replace) the ``repro`` root logging handler.
+
+    ``level`` is a name (``debug`` / ``info`` / ...) or numeric level;
+    ``stream=None`` means live ``sys.stderr``.  Returns the root logger.
+    Idempotent: calling again swaps formatter/level/stream instead of
+    adding a second handler.
+    """
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.strip().upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level: {level!r}")
+        level = parsed
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs", False):
+            logger.removeHandler(handler)
+            handler.close()
+    handler = (
+        _StderrHandler() if stream is None else logging.StreamHandler(stream)
+    )
+    handler._repro_obs = True
+    handler.setFormatter(JsonFormatter() if json_lines else TextFormatter())
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def get_logger(name=None) -> logging.Logger:
+    """A logger under the ``repro`` root (``get_logger("serve")`` ->
+    ``repro.serve``)."""
+    if not name or name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")

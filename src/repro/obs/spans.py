@@ -1,0 +1,140 @@
+"""Spans: named, timed, attributed blocks of one traced request.
+
+The one function instrumented code calls is :func:`span`::
+
+    with span("plan_choice", dataset=name) as sp:
+        ...
+        sp.set("chosen", str(plan))
+
+Outside an active trace it yields a shared no-op span and records
+nothing -- the cost is one contextvar read.  Inside a trace it opens a
+child of the current span, re-points the ambient context at itself for
+the duration of the block (so nested ``span()`` calls become children),
+stamps an ``error`` status if the block raises, and hands the finished
+span to the trace's recorder.
+
+:func:`emit_span` covers the one case a ``with`` block cannot: a
+duration measured *before* the trace context existed (the admission
+queue wait -- the request only enters its trace once a worker picks it
+up, but the wait itself belongs in the tree).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from contextlib import contextmanager
+
+from repro.obs.context import (
+    TraceContext,
+    activate,
+    current_context,
+    new_span_id,
+    restore,
+)
+
+
+@dataclasses.dataclass
+class Span:
+    """One finished (or in-flight) unit of traced work."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    #: Wall-clock start (``time.time()``), for cross-process ordering.
+    start_s: float
+    duration_s: float = 0.0
+    status: str = "ok"
+    attributes: dict = dataclasses.field(default_factory=dict)
+
+    def set(self, key, value) -> None:
+        """Attach one attribute to the span."""
+        self.attributes[key] = value
+
+    def to_dict(self) -> dict:
+        """The span as a JSON-ready dict (the JSON-lines record shape)."""
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "attributes": self.attributes,
+        }
+
+
+class _NullSpan:
+    """The do-nothing span yielded outside any active trace."""
+
+    __slots__ = ()
+
+    def set(self, key, value) -> None:  # noqa: ARG002 - signature parity
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+@contextmanager
+def span(name, **attributes):
+    """Open a child span of the current trace around a ``with`` block.
+
+    No-op (yields :data:`NULL_SPAN`) when no trace context is active.
+    Exceptions propagate, after stamping ``status="error"`` and an
+    ``error`` attribute on the span.
+    """
+    context = current_context()
+    if context is None or context.recorder is None:
+        yield NULL_SPAN
+        return
+    current = Span(
+        name=name,
+        trace_id=context.trace_id,
+        span_id=new_span_id(),
+        parent_id=context.span_id,
+        start_s=time.time(),
+        attributes=dict(attributes),
+    )
+    token = activate(TraceContext(
+        trace_id=context.trace_id,
+        span_id=current.span_id,
+        recorder=context.recorder,
+    ))
+    begun = time.perf_counter()
+    try:
+        yield current
+    except BaseException as exc:
+        current.status = "error"
+        current.attributes.setdefault(
+            "error", f"{type(exc).__name__}: {exc}"
+        )
+        raise
+    finally:
+        current.duration_s = time.perf_counter() - begun
+        restore(token)
+        context.recorder.record(current)
+
+
+def emit_span(name, duration_s, **attributes) -> Span | None:
+    """Record an already-measured child span (e.g. the admission queue
+    wait, timed before the trace context existed).  Returns the span,
+    or None when not tracing."""
+    context = current_context()
+    if context is None or context.recorder is None:
+        return None
+    now = time.time()
+    duration_s = max(0.0, float(duration_s))
+    finished = Span(
+        name=name,
+        trace_id=context.trace_id,
+        span_id=new_span_id(),
+        parent_id=context.span_id,
+        start_s=now - duration_s,
+        duration_s=duration_s,
+        attributes=dict(attributes),
+    )
+    context.recorder.record(finished)
+    return finished

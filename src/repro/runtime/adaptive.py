@@ -40,6 +40,7 @@ from repro.core.plan_space import enumerate_plans
 from repro.core.result import PlanCostEstimate
 from repro.errors import EstimationError, PlanError
 from repro.gd.state import OptimizerState
+from repro.obs import span
 from repro.runtime.calibration import cluster_signature, workload_signature
 from repro.runtime.telemetry import AdaptiveSettings, ConvergenceMonitor
 from repro.runtime.trace import (
@@ -321,18 +322,30 @@ class AdaptiveTrainer:
             segment_training = self._segment_training(
                 training, remaining, run_start
             )
-            result = execute_plan(
-                engine, dataset, chosen.plan, segment_training,
-                monitor=monitor, initial_weights=weights,
-                initial_state=carried_state,
-                checkpoint_every=(
-                    checkpoint_every if on_checkpoint is not None else None
-                ),
-                checkpoint_callback=self._cadence_callback(
-                    on_checkpoint, trace, chosen, monitor, engine,
-                    done_iterations, entry_notes, switches_left,
-                ),
-            )
+            with span(
+                "plan_segment",
+                algorithm=chosen.plan.algorithm,
+                plan=str(chosen.plan),
+                start_iteration=done_iterations,
+            ) as segment_span:
+                result = execute_plan(
+                    engine, dataset, chosen.plan, segment_training,
+                    monitor=monitor, initial_weights=weights,
+                    initial_state=carried_state,
+                    checkpoint_every=(
+                        checkpoint_every if on_checkpoint is not None
+                        else None
+                    ),
+                    checkpoint_callback=self._cadence_callback(
+                        on_checkpoint, trace, chosen, monitor, engine,
+                        done_iterations, entry_notes, switches_left,
+                    ),
+                )
+                segment_span.set("iterations", int(result.iterations))
+                segment_span.set("converged", bool(result.converged))
+                segment_span.set(
+                    "stopped_by_monitor", bool(result.stopped_by_monitor)
+                )
             segment = segment_from_result(
                 result, chosen,
                 observed_per_iteration_s=monitor.observed_per_iteration_s(),
@@ -376,10 +389,22 @@ class AdaptiveTrainer:
                 break
             weights = result.weights
             carried_state = result.state if self.carry_state else None
-            new_chosen = self._reoptimize(
-                dataset, training, estimates, chosen, monitor, result,
-                remaining, run_start,
-            )
+            with span(
+                "reoptimize", from_plan=str(chosen.plan)
+            ) as reopt_span:
+                new_chosen = self._reoptimize(
+                    dataset, training, estimates, chosen, monitor, result,
+                    remaining, run_start,
+                )
+                reopt_span.set(
+                    "to_plan",
+                    str(new_chosen.plan) if new_chosen is not None else None,
+                )
+                reopt_span.set(
+                    "switched",
+                    new_chosen is not None
+                    and new_chosen.plan != chosen.plan,
+                )
             if new_chosen is None or new_chosen.plan == chosen.plan:
                 # No better plan for the remaining budget: carry on with
                 # the current one (full state continuity -- same plan,

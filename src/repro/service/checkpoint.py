@@ -47,6 +47,7 @@ import time
 import uuid
 import warnings
 
+from repro.obs import span
 from repro.service.backends import open_backend
 from repro.service.serialize import PlanStoreError
 
@@ -254,6 +255,12 @@ class CheckpointStore:
         now = self._clock()
         box = {}
 
+        with span("lease_acquire", job_id=job_id, owner=owner) as lease_span:
+            existing = self._acquire(job_id, owner, now, box)
+            lease_span.set("resumed", existing is not None)
+            return existing
+
+    def _acquire(self, job_id, owner, now, box):
         def take(payload):
             existing = self._decode(job_id, payload)
             if existing is not None and existing.leased_by_other(owner, now):
@@ -302,7 +309,13 @@ class CheckpointStore:
             )
             return checkpoint.to_dict()
 
-        self.backend.update(checkpoint.job_id, write)
+        with span(
+            "checkpoint_write",
+            job_id=checkpoint.job_id,
+            status=checkpoint.status,
+            done_iterations=int(checkpoint.done_iterations or 0),
+        ):
+            self.backend.update(checkpoint.job_id, write)
 
     def release(self, job_id, owner) -> None:
         """Drop ``owner``'s lease (other owners' leases are untouched)."""
@@ -315,7 +328,8 @@ class CheckpointStore:
                 payload["lease"] = None
             return payload
 
-        self.backend.update(job_id, drop)
+        with span("lease_release", job_id=job_id, owner=owner):
+            self.backend.update(job_id, drop)
 
     # -- maintenance -----------------------------------------------------
     def delete(self, job_id) -> None:

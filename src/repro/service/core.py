@@ -51,6 +51,7 @@ previously seen workloads warm.
 
 from __future__ import annotations
 
+import contextvars
 import dataclasses
 import threading
 import time
@@ -61,6 +62,7 @@ from repro.cluster import ClusterSpec, SimulatedCluster
 from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
 from repro.core.optimizer import GDOptimizer
 from repro.gd.registry import CORE_ALGORITHMS
+from repro.obs import span
 from repro.runtime import CalibrationStore
 from repro.service.backends import open_backend
 from repro.service.cache import PlanCache
@@ -432,12 +434,17 @@ class OptimizerService(TrainingJobs):
         """
         start = time.perf_counter()
         self.metrics.inc("service.requests")
-        key = self.fingerprint(
-            dataset, training, fixed_iterations, algorithms, batch_sizes
-        )
+        with span("fingerprint"):
+            key = self.fingerprint(
+                dataset, training, fixed_iterations, algorithms, batch_sizes
+            )
 
-        entry = self._lookup(key)
-        if entry is not None and self._stamp_current(entry):
+        with span("cache_lookup") as lookup_span:
+            entry = self._lookup(key)
+            hit = entry is not None and self._stamp_current(entry)
+            lookup_span.set("hit", hit)
+            lookup_span.set("stale", entry is not None and not hit)
+        if hit:
             self.metrics.inc("service.hits")
             wall_s = time.perf_counter() - start
             self.metrics.observe("service.optimize_s", wall_s)
@@ -462,7 +469,8 @@ class OptimizerService(TrainingJobs):
                 self._inflight[key] = future
 
         if not owner:
-            report, recalibrated = future.result()
+            with span("coalesced_wait"):
+                report, recalibrated = future.result()
             self.metrics.inc("service.coalesced")
             wall_s = time.perf_counter() - start
             self.metrics.observe("service.optimize_s", wall_s)
@@ -487,14 +495,18 @@ class OptimizerService(TrainingJobs):
             # results -- calibrated estimates with no re-speculation; a
             # plain miss speculates from scratch.
             recalibrated = entry is not None
-            report = self._make_optimizer(algorithms, batch_sizes).optimize(
-                dataset,
-                training,
-                fixed_iterations=fixed_iterations,
-                iteration_estimates=(
-                    entry.report.iteration_estimates if recalibrated else None
-                ),
-            )
+            with span("recost" if recalibrated else "compute_plan"):
+                report = self._make_optimizer(
+                    algorithms, batch_sizes
+                ).optimize(
+                    dataset,
+                    training,
+                    fixed_iterations=fixed_iterations,
+                    iteration_estimates=(
+                        entry.report.iteration_estimates
+                        if recalibrated else None
+                    ),
+                )
         except BaseException as exc:
             # Waiters coalesced onto this computation see the same error.
             future.set_exception(exc)
@@ -552,8 +564,10 @@ class OptimizerService(TrainingJobs):
         with ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="optimize"
         ) as pool:
+            # copy_context() keeps an ambient trace on the pool threads.
             futures = [
                 pool.submit(
+                    contextvars.copy_context().run,
                     self.optimize, r.dataset, r.training, r.fixed_iterations,
                     r.algorithms, r.batch_sizes,
                 )

@@ -7,9 +7,10 @@ server -- decide *whether to accept it at all*.  Three pieces:
 
 * **Line parsing** (:func:`parse_request_line`, :func:`parse_wire_line`)
   -- the CLI's ``<dataset> key=value ...`` grammar, extended on the wire
-  with JSON-object lines and three wire-only keys: ``verb`` (``optimize``
-  / ``train`` / ``metrics``), ``tenant`` (quota accounting) and
-  ``deadline_s`` (per-request deadline).
+  with JSON-object lines and wire-only keys: ``verb`` (``optimize`` /
+  ``train`` / ``metrics`` / ``trace``), ``tenant`` (quota accounting),
+  ``deadline_s`` (per-request deadline) and ``trace_id`` (adopt a
+  client-chosen trace id, or name the trace the ``trace`` verb reads).
 * **Dispatch** (:class:`Dispatcher`) -- turns one parsed request into
   one structured response dict, catching request errors into
   ``{"ok": false, "error": ...}`` instead of letting them kill a serve
@@ -39,6 +40,8 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import ReproError
+from repro.obs import TraceRecorder, emit_span, render_tree
+from repro.obs.recorder import valid_trace_id
 from repro.service.metrics import MetricsRegistry
 
 #: Request-line keys coerced to int / float; the rest stay strings.
@@ -50,8 +53,8 @@ _ALL_KEYS = _INT_KEYS | _FLOAT_KEYS | _STR_KEYS
 
 #: Wire-only keys: protocol envelope, never part of the optimizer
 #: request (they must not reach ML4all.optimize/train kwargs).
-_WIRE_KEYS = {"verb", "tenant", "deadline_s", "id"}
-_VERBS = {"optimize", "train", "metrics"}
+_WIRE_KEYS = {"verb", "tenant", "deadline_s", "id", "trace_id"}
+_VERBS = {"optimize", "train", "metrics", "trace"}
 
 #: Tenant used when a request does not name one.
 DEFAULT_TENANT = "default"
@@ -113,6 +116,9 @@ class WireRequest:
     deadline_s: float | None = None
     #: Opaque client correlation id, echoed on the response.
     id: object = None
+    #: Client-supplied trace id (adopted for the request's trace); for
+    #: the ``trace`` verb, the trace to look up.
+    trace_id: str | None = None
 
 
 def _split_envelope(pairs) -> tuple:
@@ -148,7 +154,15 @@ def _split_envelope(pairs) -> tuple:
         if deadline <= 0:
             raise ReproError("deadline_s must be positive")
     tenant = str(wire.get("tenant", DEFAULT_TENANT))
-    return verb, request, tenant, deadline, wire.get("id")
+    trace_id = wire.get("trace_id")
+    if trace_id is not None:
+        trace_id = str(trace_id)
+        if not valid_trace_id(trace_id):
+            raise ReproError(
+                f"invalid trace_id {trace_id!r}: expected 1-64 chars of "
+                "[A-Za-z0-9._:-] starting with a letter or digit"
+            )
+    return verb, request, tenant, deadline, wire.get("id"), trace_id
 
 
 def parse_wire_line(line) -> WireRequest:
@@ -160,7 +174,8 @@ def parse_wire_line(line) -> WireRequest:
       "verb": "train", "tenant": "t1", "deadline_s": 2.5}``;
     * the CLI request-line syntax, optionally carrying the wire keys as
       ``key=value`` tokens -- ``adult epsilon=0.01 deadline_s=2.5`` --
-      plus the bare verb line ``metrics``.
+      plus the bare verb line ``metrics`` and the two-token lookup
+      ``trace <id>``.
     """
     text = line.strip()
     if text.startswith("{"):
@@ -172,15 +187,19 @@ def parse_wire_line(line) -> WireRequest:
             raise ReproError(
                 f"JSON request must be an object, got {type(payload).__name__}"
             )
-        verb, request, tenant, deadline, rid = _split_envelope(
+        verb, request, tenant, deadline, rid, trace_id = _split_envelope(
             payload.items()
         )
     else:
         text = text.split("#", 1)[0].strip()
         tokens = text.split()
         if len(tokens) == 1 and tokens[0] in _VERBS:
-            verb, request, tenant, deadline, rid = tokens[0], {}, \
-                DEFAULT_TENANT, None, None
+            verb, request, tenant, deadline, rid, trace_id = tokens[0], {}, \
+                DEFAULT_TENANT, None, None, None
+        elif len(tokens) == 2 and tokens[0] == "trace":
+            verb, request, tenant, deadline, rid, trace_id = \
+                _split_envelope([("verb", "trace"),
+                                 ("trace_id", tokens[1])])
         else:
             pairs = []
             rest = []
@@ -192,17 +211,20 @@ def parse_wire_line(line) -> WireRequest:
                     rest.append(token)
             request_line = " ".join(tokens[:1] + rest)
             request = parse_request_line(request_line)
-            verb, _, tenant, deadline, rid = _split_envelope(pairs)
-    if verb != "metrics" and "dataset" not in request:
+            verb, _, tenant, deadline, rid, trace_id = _split_envelope(pairs)
+    if verb == "trace" and trace_id is None:
+        raise ReproError("the 'trace' verb needs a trace_id")
+    if verb not in ("metrics", "trace") and "dataset" not in request:
         raise ReproError(
             "request line must name a dataset (or use the 'metrics' verb)"
         )
     return WireRequest(
         verb=verb,
-        request=request if verb != "metrics" else None,
+        request=request if verb not in ("metrics", "trace") else None,
         tenant=tenant,
         deadline_s=deadline,
         id=rid,
+        trace_id=trace_id,
     )
 
 
@@ -219,16 +241,26 @@ class Dispatcher:
     failed ones ``error`` (a stable kind: ``bad_request``,
     ``request_failed``, ``internal``, or the front-end's admission kinds)
     plus a ``detail`` message.
+
+    The dispatcher is also where traces begin: every optimize/train
+    request runs under a root ``request`` span (the client's
+    ``trace_id`` adopted when supplied, a fresh one minted otherwise)
+    whose id is echoed on the response, and the ``trace`` verb reads a
+    recorded trace back out of the shared :class:`TraceRecorder`.
     """
 
     def __init__(self, system, train=False, adaptive=False, workers=None,
-                 metrics=None):
+                 metrics=None, tracer=None):
         self.system = system
         self.adaptive = adaptive
         self.train_mode = train or adaptive
         self.workers = workers
         self.metrics = (
             metrics if metrics is not None else system.service().metrics
+        )
+        self.tracer = (
+            tracer if tracer is not None
+            else TraceRecorder(metrics=self.metrics)
         )
 
     # ------------------------------------------------------------------
@@ -244,27 +276,52 @@ class Dispatcher:
             wire = dataclasses.replace(wire, tenant=tenant)
         return self.handle(wire)
 
-    def handle(self, wire, remaining_s=None) -> dict:
+    def handle(self, wire, remaining_s=None, queue_wait_s=None) -> dict:
         """Dispatch one :class:`WireRequest` (already admitted).
 
         ``remaining_s`` is the deadline budget left *after* queueing;
         it defaults to the request's full ``deadline_s``.
+        ``queue_wait_s`` (when the caller measured one) becomes the
+        request trace's ``admission`` span.
         """
-        start = time.perf_counter()
         self.metrics.inc("frontend.requests")
         if wire.verb == "metrics":
             snapshot = self.metrics.snapshot()
             return self._respond(wire, {
                 "verb": "metrics",
                 "metrics": snapshot,
+                "prometheus": self.metrics.render_prometheus(),
                 "lines": self.metrics.summary_lines(),
             })
+        if wire.verb == "trace":
+            return self._trace_body(wire)
         request = dict(wire.request)
         trains = (
             wire.verb == "train"
             or (wire.verb is None
                 and (self.train_mode or "job_id" in request))
         )
+        with self.tracer.trace(
+            "request",
+            trace_id=wire.trace_id,
+            verb="train" if trains else "optimize",
+            dataset=request.get("dataset"),
+            tenant=wire.tenant,
+        ) as root:
+            if queue_wait_s is not None:
+                emit_span("admission", queue_wait_s)
+            response = self._execute(wire, request, trains, remaining_s)
+            root.set("ok", bool(response.get("ok")))
+            if not response.get("ok"):
+                root.set("error", response.get("error"))
+        trace_id = getattr(root, "trace_id", None)
+        if trace_id is not None:
+            response.setdefault("trace_id", trace_id)
+        return response
+
+    def _execute(self, wire, request, trains, remaining_s) -> dict:
+        """Run one optimize/train request inside its root span."""
+        start = time.perf_counter()
         if remaining_s is None:
             remaining_s = wire.deadline_s
         if remaining_s is not None and trains:
@@ -310,6 +367,23 @@ class Dispatcher:
             )
         self.metrics.inc("frontend.served")
         return self._respond(wire, body)
+
+    def _trace_body(self, wire) -> dict:
+        """Answer one ``trace <id>`` lookup from the recorder."""
+        spans = self.tracer.spans(wire.trace_id)
+        if spans is None:
+            return {
+                "ok": False,
+                "error": "not_found",
+                "detail": f"no recorded trace {wire.trace_id!r}",
+                **({"id": wire.id} if wire.id is not None else {}),
+            }
+        return self._respond(wire, {
+            "verb": "trace",
+            "trace_id": wire.trace_id,
+            "spans": spans,
+            "lines": render_tree(spans),
+        })
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -523,7 +597,7 @@ class SocketFrontend:
                 "ok": False, "error": "bad_request", "detail": str(exc),
             })
             return
-        if wire.verb == "metrics":
+        if wire.verb in ("metrics", "trace"):
             # Observability bypasses admission: it must answer while
             # the server sheds everything else.
             self._write(writer, write_lock, self.dispatcher.handle(wire))
@@ -593,7 +667,9 @@ class SocketFrontend:
                         response["id"] = wire.id
                     self._write(writer, write_lock, response)
                     return
-            response = self.dispatcher.handle(wire, remaining_s=remaining)
+            response = self.dispatcher.handle(
+                wire, remaining_s=remaining, queue_wait_s=waited
+            )
             self._write(writer, write_lock, response)
         finally:
             with self._admission_lock:

@@ -14,6 +14,7 @@ independently.
 
 from __future__ import annotations
 
+import contextvars
 import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
@@ -24,6 +25,7 @@ from repro.cluster import SimulatedCluster
 from repro.core.executor import execute_plan
 from repro.core.result import TrainResult
 from repro.gd.state import OptimizerState
+from repro.obs import span
 from repro.runtime import (
     AdaptiveSettings,
     AdaptiveTrainer,
@@ -143,9 +145,17 @@ class TrainingJobs:
         else:
             adaptive_result = None
             trace = None
-            result = execute_plan(
-                engine, dataset, report.chosen_plan, training, operators
-            )
+            with span(
+                "plan_segment",
+                algorithm=report.chosen_plan.algorithm,
+                plan=str(report.chosen_plan),
+                start_iteration=0,
+            ) as segment_span:
+                result = execute_plan(
+                    engine, dataset, report.chosen_plan, training, operators
+                )
+                segment_span.set("iterations", int(result.iterations))
+                segment_span.set("converged", bool(result.converged))
         self.metrics.inc("service.trained")
         return TrainServiceResult(
             optimization=optimization,
@@ -449,5 +459,9 @@ class TrainingJobs:
         with ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="train"
         ) as pool:
-            futures = [pool.submit(one, r) for r in normalized]
+            # copy_context() keeps an ambient trace on the pool threads.
+            futures = [
+                pool.submit(contextvars.copy_context().run, one, r)
+                for r in normalized
+            ]
             return [f.result() for f in futures]

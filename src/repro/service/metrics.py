@@ -8,27 +8,51 @@ served, shed, quota rejections, queue depth, request latency), so one
 ``metrics`` request against a running server answers for every layer at
 once.
 
-Three instrument kinds, all thread-safe behind one lock:
+Four instrument kinds, all thread-safe behind one lock:
 
 * **counters** -- monotonically increasing ints (:meth:`inc`);
 * **gauges** -- last-written values (:meth:`gauge`), for levels like the
   admission queue depth;
 * **timers** -- a bounded reservoir of recent observations
-  (:meth:`observe`), summarised as count / mean / p50 / p95 / max.
+  (:meth:`observe`), summarised as count / mean / p50 / p95 / max;
+* **histograms** -- cumulative-bucket duration counters
+  (:meth:`histogram`), fed by the trace recorder with one series per
+  span name; unlike timers they never forget, so rates and totals are
+  exact over the process lifetime.
 
 The registry is deliberately dependency-free and samples nothing by
 itself; :meth:`snapshot` returns plain JSON-ready dicts, which is what
-the ``metrics`` verb of the line protocol serves.
+the ``metrics`` verb of the line protocol serves, and
+:meth:`render_prometheus` renders every instrument in the Prometheus
+text exposition format for scrape-style consumers.
 """
 
 from __future__ import annotations
 
+import re
 import threading
 from collections import deque
 
 #: Observations kept per timer; old ones fall off so percentiles track
 #: *recent* latency, not the whole process lifetime.
 TIMER_WINDOW = 2048
+
+#: Histogram bucket upper bounds in seconds (latency-shaped; the
+#: trailing implicit bucket is +Inf).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _prom_name(name, prefix="repro") -> str:
+    """Sanitise a dotted metric name into a Prometheus metric name."""
+    flat = _PROM_NAME_RE.sub("_", name)
+    if prefix and not flat.startswith(prefix + "_"):
+        flat = f"{prefix}_{flat}"
+    return flat
 
 
 def quantile(sorted_values, q):
@@ -47,6 +71,7 @@ class MetricsRegistry:
         self._counters = {}
         self._gauges = {}
         self._timers = {}
+        self._histograms = {}
         self._timer_window = timer_window
 
     # -- counters --------------------------------------------------------
@@ -98,6 +123,43 @@ class MetricsRegistry:
             "max_s": values[-1],
         }
 
+    # -- histograms ------------------------------------------------------
+    def histogram(self, name, value, buckets=DEFAULT_BUCKETS) -> None:
+        """Record one observation into cumulative-bucket histogram
+        ``name`` (buckets fixed at first observation)."""
+        value = float(value)
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                bounds = tuple(sorted(float(b) for b in buckets))
+                hist = self._histograms[name] = {
+                    "buckets": bounds,
+                    "counts": [0] * len(bounds),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+            for index, bound in enumerate(hist["buckets"]):
+                if value <= bound:
+                    hist["counts"][index] += 1
+            hist["sum"] += value
+            hist["count"] += 1
+
+    def histogram_stats(self, name) -> dict | None:
+        """count / sum / cumulative bucket counts of histogram ``name``
+        (None when it has no observations)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                return None
+            return {
+                "count": hist["count"],
+                "sum_s": hist["sum"],
+                "buckets": {
+                    f"{bound:g}": count
+                    for bound, count in zip(hist["buckets"], hist["counts"])
+                },
+            }
+
     # -- export ----------------------------------------------------------
     def snapshot(self) -> dict:
         """Every instrument as one JSON-ready dict (counters sorted by
@@ -106,12 +168,62 @@ class MetricsRegistry:
             counters = dict(sorted(self._counters.items()))
             gauges = dict(sorted(self._gauges.items()))
             timer_names = list(self._timers)
+            histogram_names = list(self._histograms)
         timers = {}
         for name in sorted(timer_names):
             stats = self.timer_stats(name)
             if stats is not None:
                 timers[name] = stats
-        return {"counters": counters, "gauges": gauges, "timers": timers}
+        histograms = {}
+        for name in sorted(histogram_names):
+            stats = self.histogram_stats(name)
+            if stats is not None:
+                histograms[name] = stats
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "timers": timers,
+            "histograms": histograms,
+        }
+
+    def prometheus_lines(self, prefix="repro") -> list:
+        """Every instrument in the Prometheus text exposition format.
+
+        Counters render as ``<name>_total``, gauges as-is, timers as
+        summaries (windowed quantiles -- labelled from the recent
+        reservoir, so they track current latency), histograms as
+        cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+        """
+        snapshot = self.snapshot()
+        lines = []
+        for name, value in snapshot["counters"].items():
+            flat = _prom_name(name, prefix) + "_total"
+            lines.append(f"# TYPE {flat} counter")
+            lines.append(f"{flat} {value}")
+        for name, value in snapshot["gauges"].items():
+            flat = _prom_name(name, prefix)
+            lines.append(f"# TYPE {flat} gauge")
+            lines.append(f"{flat} {value}")
+        for name, stats in snapshot["timers"].items():
+            flat = _prom_name(name, prefix)
+            lines.append(f"# TYPE {flat} summary")
+            lines.append(f'{flat}{{quantile="0.5"}} {stats["p50_s"]:g}')
+            lines.append(f'{flat}{{quantile="0.95"}} {stats["p95_s"]:g}')
+            lines.append(f"{flat}_sum {stats['mean_s'] * stats['count']:g}")
+            lines.append(f"{flat}_count {stats['count']}")
+        for name, stats in snapshot["histograms"].items():
+            flat = _prom_name(name, prefix) + "_seconds"
+            lines.append(f"# TYPE {flat} histogram")
+            for bound, count in stats["buckets"].items():
+                lines.append(f'{flat}_bucket{{le="{bound}"}} {count}')
+            lines.append(f'{flat}_bucket{{le="+Inf"}} {stats["count"]}')
+            lines.append(f"{flat}_sum {stats['sum_s']:g}")
+            lines.append(f"{flat}_count {stats['count']}")
+        return lines
+
+    def render_prometheus(self, prefix="repro") -> str:
+        """The full exposition as one text blob (trailing newline)."""
+        return "\n".join(self.prometheus_lines(prefix)) + "\n"
 
     def summary_lines(self) -> list:
         """The snapshot rendered as ``name value`` text lines (what the

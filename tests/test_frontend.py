@@ -293,7 +293,7 @@ class _BlockingDispatcher:
         self.release = threading.Event()
         self.started = threading.Semaphore(0)
 
-    def handle(self, wire, remaining_s=None):
+    def handle(self, wire, remaining_s=None, queue_wait_s=None):
         if wire.verb == "metrics":
             return {"ok": True, "verb": "metrics",
                     "metrics": self.metrics.snapshot()}
