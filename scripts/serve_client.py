@@ -30,7 +30,12 @@ def run_thread(host, port, line, count, worker, responses, errors):
         handle = sock.makefile("rw", encoding="utf-8", newline="\n")
         try:
             for i in range(count):
-                handle.write(f"{line} id={worker}-{i}\n")
+                # %W/%I expand to the thread and request index, so one
+                # --line template can submit a distinct job per request
+                # (e.g. job_id=smoke-%W-%I with verb=enqueue).
+                rendered = line.replace("%W", str(worker)).replace(
+                    "%I", str(i))
+                handle.write(f"{rendered} id={worker}-{i}\n")
                 handle.flush()
                 raw = handle.readline()
                 if not raw:
@@ -62,7 +67,8 @@ def main(argv=None) -> int:
                         help="requests per thread (default 3)")
     parser.add_argument("--line",
                         default="adult epsilon=0.05 fixed_iterations=60",
-                        help="request line to send (id= is appended)")
+                        help="request line to send (id= is appended; "
+                             "%%W/%%I expand to thread/request index)")
     parser.add_argument("--require-ok", action="store_true",
                         help="fail on any non-ok response (by default "
                              "structured rejections count as answered)")

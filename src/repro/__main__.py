@@ -52,6 +52,19 @@ with ``--trace-dir`` writes one ``<trace_id>.jsonl`` per request; the
 
     python -m repro trace 4f2e... --trace-dir traces/
 
+Fleet mode -- share state across machines and drain jobs with a
+worker pool:
+
+    python -m repro store --path shared.db --port 7700
+    python -m repro worker --checkpoint tcp://127.0.0.1:7700/jobs --drain
+
+``repro store`` serves a local store file over a line protocol;
+``tcp://host:port/namespace`` then works anywhere ``--cache`` /
+``--checkpoint`` / ``--calibration`` take a path.  A ``repro serve``
+request line with ``verb=enqueue`` parks a durable job in the shared
+store instead of running it, and any ``repro worker`` pointed at the
+same store claims it (the ``jobs`` verb reports fleet progress).
+
 Batch and serve also take ``--log-level``/``--log-json`` (structured
 logging on stderr), and serve adds ``--trace-dir`` plus
 ``--slow-request-s`` (slow-request log threshold).
@@ -551,7 +564,7 @@ def cache_main(argv) -> int:
                              "finished jobs")
     args = parser.parse_args(argv)
 
-    if not os.path.exists(args.path):
+    if not args.path.startswith("tcp://") and not os.path.exists(args.path):
         print(f"error: no store at {args.path!r}", file=sys.stderr)
         return 1
     from repro.service import compact_store, inspect_store
@@ -587,6 +600,144 @@ def cache_main(argv) -> int:
         print(f"compacted: kept {outcome['kept']}, "
               f"dropped {outcome['dropped']}")
     return 0
+
+
+def store_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro store",
+        description="Serve a shared key-value store over TCP: the "
+                    "fleet's network boundary.  Point --cache/"
+                    "--checkpoint/calibration paths of servers and "
+                    "workers at tcp://HOST:PORT/NAMESPACE and they "
+                    "share state through this process.",
+    )
+    parser.add_argument("--path", default=None, metavar="PATH",
+                        help="backing store file (.db/.sqlite -> SQLite, "
+                             "else JSON); default: in-memory (state dies "
+                             "with the process)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="port to bind (default 0: pick a free one)")
+    parser.add_argument("--shard", default=None, metavar="I/N",
+                        help="serve shard I of an N-way fingerprint-range "
+                             "split (0-based); keys owned by a sibling "
+                             "shard are refused, clients route via "
+                             "tcp://h0:p0,h1:p1,.../ns")
+    parser.add_argument("--log-level", default="info", metavar="LEVEL")
+    parser.add_argument("--log-json", action="store_true")
+    args = parser.parse_args(argv)
+
+    _configure_obs(args)
+    shard = None
+    if args.shard:
+        index, sep, count = args.shard.partition("/")
+        try:
+            if not sep:
+                raise ValueError(args.shard)
+            shard = (int(index), int(count))
+        except ValueError:
+            print(f"error: --shard expects I/N (e.g. 0/3), got "
+                  f"{args.shard!r}", file=sys.stderr)
+            return 2
+    from repro.service.remote import StoreServer
+
+    try:
+        server = StoreServer(path=args.path, host=args.host,
+                             port=args.port, shard=shard)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    port = server.start()
+    shard_note = f" (shard {args.shard})" if shard else ""
+    print(f"listening on {args.host}:{port}{shard_note}", flush=True)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+        print(f"{server.frames_served} frames served")
+    return 0
+
+
+def worker_main(argv) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description="Drain durable training jobs from a shared "
+                    "checkpoint store.  Claims pending/queued jobs "
+                    "under the store's leases, steals expired-lease "
+                    "jobs from crashed peers, and resumes them "
+                    "bit-identically from their checkpoints.  Run N of "
+                    "these against one store (tcp://... or a shared "
+                    "file) and they coordinate through the leases "
+                    "alone.",
+    )
+    parser.add_argument("--checkpoint", metavar="PATH", required=True,
+                        help="the shared checkpoint store: tcp://HOST:"
+                             "PORT/NAMESPACE of a 'repro store', or a "
+                             "local/shared file path")
+    parser.add_argument("--drain", action="store_true",
+                        help="exit once no claimable jobs remain "
+                             "(default: keep polling for new work)")
+    parser.add_argument("--worker-id", default=None,
+                        help="stable identity stamped into lease-history "
+                             "records and heartbeats (default: random)")
+    parser.add_argument("--poll", type=float, default=0.5, metavar="S",
+                        help="seconds between store polls when idle "
+                             "(default 0.5)")
+    parser.add_argument("--lease-ttl", type=float, default=None,
+                        metavar="S",
+                        help="lease time-to-live override: how long "
+                             "after a crashed peer's last checkpoint "
+                             "write its jobs become stealable")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        metavar="S",
+                        help="exit after S seconds even without --drain")
+    parser.add_argument("--trace-dir", metavar="DIR", default=None,
+                        help="persist job traces as JSON-lines files "
+                             "under DIR; jobs enqueued through a traced "
+                             "server join their submitting request's "
+                             "trace id")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="RNG seed; must match the submitting "
+                             "server's for bit-identical plans "
+                             "(default 7)")
+    parser.add_argument("--cache", metavar="PATH", default=None)
+    parser.add_argument("--calibration", metavar="PATH", default=None)
+    parser.add_argument("--log-level", default="info", metavar="LEVEL")
+    parser.add_argument("--log-json", action="store_true")
+    args = parser.parse_args(argv)
+
+    _configure_obs(args)
+    from repro.obs import TraceRecorder
+    from repro.service.worker import FleetWorker
+
+    system = ML4all(seed=args.seed, calibration_path=args.calibration,
+                    cache_path=args.cache, checkpoint_path=args.checkpoint)
+    service = system.service()
+    if args.lease_ttl is not None:
+        service.checkpoints.lease_ttl_s = float(args.lease_ttl)
+    tracer = TraceRecorder(trace_dir=args.trace_dir,
+                           metrics=service.metrics)
+    try:
+        worker = FleetWorker(system, worker_id=args.worker_id,
+                             poll_s=args.poll, tracer=tracer)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"worker {worker.worker_id} draining {args.checkpoint}",
+          flush=True)
+    try:
+        totals = worker.run(drain=args.drain,
+                            max_seconds=args.max_seconds)
+    except KeyboardInterrupt:
+        totals = {"done": worker.jobs_done, "failed": worker.jobs_failed,
+                  "steals": worker.steals}
+    print(f"worker {worker.worker_id}: {totals['done']} job(s) done, "
+          f"{totals['steals']} stolen, {totals['failed']} failed")
+    _save_calibration(system, args)
+    return 0 if totals["failed"] == 0 else 1
 
 
 def calibrate_main(argv) -> int:
@@ -725,6 +876,10 @@ def main(argv=None):
         return cache_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "store":
+        return store_main(argv[1:])
+    if argv and argv[0] == "worker":
+        return worker_main(argv[1:])
     return query_main(build_parser().parse_args(argv))
 
 

@@ -391,7 +391,12 @@ class ML4all:
                          batch=None, step=None, convergence=None, l2=0.0,
                          fixed_iterations=None, seed=None, job_id=None,
                          checkpoint_every=None, lease_iterations=None,
-                         lease_seconds=None, _raw_request=None):
+                         lease_seconds=None, trace_id=None,
+                         _raw_request=None):
+        # trace_id is envelope, not workload: it only rides along inside
+        # _raw_request (the checkpointed job descriptor), where a fleet
+        # worker reads it to join the submitting request's trace.
+        del trace_id
         from repro.service import ServiceRequest
 
         dataset = self.load_dataset(dataset, task=task)

@@ -17,6 +17,13 @@ across *many* processes, in explicit layers:
   socket modes, and the admission-controlled :class:`SocketFrontend`;
 * :mod:`repro.service.metrics` -- the :class:`MetricsRegistry` counters
   /gauges/timers threaded through all of the above;
+* :mod:`repro.service.remote` -- the fleet's network boundary: the
+  ``repro store`` line-protocol server (:class:`StoreServer`) and the
+  :class:`RemoteBackend`/:class:`ShardedBackend` clients behind
+  ``tcp://host:port/namespace`` store paths;
+* :mod:`repro.service.worker` -- the ``repro worker`` drain/steal loop
+  (:class:`FleetWorker`), per-job progress/ETA derivation, and the
+  lease-history exactly-once audit;
 * :mod:`repro.service.storetools` -- offline store inspection and
   compaction (``repro cache``).
 
@@ -50,6 +57,15 @@ from repro.service.frontend import (
     parse_wire_line,
 )
 from repro.service.metrics import MetricsRegistry
+from repro.service.remote import (
+    RemoteBackend,
+    RemoteStoreError,
+    ShardedBackend,
+    StoreServer,
+    open_remote_backend,
+    parse_store_url,
+    shard_index,
+)
 from repro.service.requests import (
     JobProgress,
     ServiceRequest,
@@ -65,6 +81,14 @@ from repro.service.serialize import (
     report_to_dict,
 )
 from repro.service.storetools import compact_store, inspect_store
+from repro.service.worker import (
+    FleetWorker,
+    audit_lease_history,
+    job_progress,
+    job_progress_records,
+    read_heartbeats,
+    write_heartbeat,
+)
 
 __all__ = [
     "CHECKPOINT_FORMAT",
@@ -73,6 +97,7 @@ __all__ = [
     "CheckpointError",
     "CheckpointStore",
     "Dispatcher",
+    "FleetWorker",
     "JobCheckpoint",
     "JobLeaseError",
     "JobProgress",
@@ -82,24 +107,36 @@ __all__ = [
     "OptimizerService",
     "PlanCache",
     "PlanStoreError",
+    "RemoteBackend",
+    "RemoteStoreError",
     "ServiceRequest",
     "ServiceResult",
+    "ShardedBackend",
     "SocketFrontend",
     "SqliteBackend",
+    "StoreServer",
     "TrainServiceResult",
     "WireRequest",
     "approx_nbytes",
+    "audit_lease_history",
     "compact_store",
     "entry_from_dict",
     "entry_to_dict",
     "freeze",
     "inspect_store",
     "iter_request_lines",
+    "job_progress",
+    "job_progress_records",
     "normalize_request",
     "open_backend",
+    "open_remote_backend",
     "parse_request_line",
+    "parse_store_url",
     "parse_wire_line",
+    "read_heartbeats",
     "report_from_dict",
     "report_to_dict",
+    "shard_index",
     "workload_fingerprint",
+    "write_heartbeat",
 ]

@@ -21,7 +21,10 @@ Three backends ship:
   make it the right choice for large stores or multi-process writers.
 
 :func:`open_backend` picks by file extension (``.db`` / ``.sqlite`` /
-``.sqlite3`` -> SQLite, anything else -> JSON).
+``.sqlite3`` -> SQLite, anything else -> JSON); a fourth, the
+network-boundary :class:`~repro.service.remote.RemoteBackend`, is
+selected by the ``tcp://host:port/namespace`` scheme and speaks this
+same interface to a shared ``repro store`` process.
 
 **Durability contract.**  Backends are best-effort by design: a backend
 that cannot read its file (corrupted, truncated, wrong format version)
@@ -52,8 +55,16 @@ _SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3")
 
 
 def open_backend(path):
-    """Backend for ``path``: SQLite for ``.db``/``.sqlite*``, else JSON."""
-    if str(path).lower().endswith(_SQLITE_SUFFIXES):
+    """Backend for ``path``: ``tcp://host:port/namespace`` for a remote
+    ``repro store`` (``host:port,host:port,.../ns`` for a shard set),
+    SQLite for ``.db``/``.sqlite*``, anything else JSON."""
+    text = str(path)
+    if text.startswith("tcp://"):
+        # Imported lazily: the remote module builds on this one.
+        from repro.service.remote import open_remote_backend
+
+        return open_remote_backend(text)
+    if text.lower().endswith(_SQLITE_SUFFIXES):
         return SqliteBackend(path)
     return JsonFileBackend(path)
 

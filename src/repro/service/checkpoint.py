@@ -94,8 +94,9 @@ class JobCheckpoint:
     """
 
     job_id: str
-    #: ``running`` (in flight), ``preempted`` (lease budget stopped it),
-    #: ``done`` (converged or out of iteration budget).
+    #: ``queued`` (submitted, no lease has run it yet), ``running`` (in
+    #: flight), ``preempted`` (lease budget stopped it), ``done``
+    #: (converged or out of iteration budget).
     status: str
     #: Workload fingerprint the job is bound to; a resume under a
     #: different fingerprint is refused (same job id, different work).
@@ -125,6 +126,14 @@ class JobCheckpoint:
     request: dict | None = None
     #: Advisory lease ``{"owner": str, "expires_at": unix_s}`` or None.
     lease: dict | None = None
+    #: Audit trail of every lease that made progress on this job: one
+    #: ``{"owner", "worker", "start_iteration", "end_iteration",
+    #: "status"}`` record per lease, appended by the job layer and
+    #: updated on every checkpoint write of that lease.  Consecutive
+    #: records must chain (each start equals the previous end) -- a gap
+    #: means lost work, an overlap means a duplicated execution -- which
+    #: is what the fleet chaos suite audits.
+    history: list = dataclasses.field(default_factory=list)
     #: Unix seconds of the last checkpoint write.
     written_at: float | None = None
 
@@ -223,23 +232,66 @@ class CheckpointStore:
         return self._decode(job_id, self.backend.get(job_id))
 
     def jobs(self) -> dict:
-        """``{job_id: JobCheckpoint}`` for every decodable entry."""
+        """``{job_id: JobCheckpoint}`` for every decodable entry.
+
+        Worker heartbeat records (``{"kind": "worker", ...}`` entries a
+        fleet worker parks next to the checkpoints it drains) share the
+        store but are not jobs; they are skipped without a warning.
+        """
         out = {}
         for job_id, payload in self.backend.load().items():
+            if isinstance(payload, dict) and payload.get("kind") == "worker":
+                continue
             checkpoint = self._decode(job_id, payload)
             if checkpoint is not None:
                 out[job_id] = checkpoint
         return out
 
     def pending(self) -> dict:
-        """Jobs with banked progress that are not finished -- what a
-        restarted server should pick back up."""
+        """Jobs a restarted server or a fleet worker should pick up:
+        submitted-but-never-run (``queued``) jobs, and interrupted jobs
+        with banked progress."""
         return {
             job_id: checkpoint
             for job_id, checkpoint in self.jobs().items()
-            if checkpoint.status in ("running", "preempted")
-            and checkpoint.resumable
+            if (checkpoint.status == "queued"
+                or (checkpoint.status in ("running", "preempted")
+                    and checkpoint.resumable))
         }
+
+    # -- submission ------------------------------------------------------
+    def submit(self, job_id, request) -> JobCheckpoint:
+        """Enqueue a job by descriptor, without executing anything.
+
+        Writes a ``queued`` stub carrying ``request`` (a dict with at
+        least ``dataset``, the same shape as a parsed request line) so
+        any fleet worker pointed at this store can claim and run the
+        job.  Idempotent: re-submitting a job that already exists in any
+        state returns the existing checkpoint untouched -- submission
+        can be retried without resetting progress or outcomes.
+        """
+        if not isinstance(request, dict) or "dataset" not in request:
+            raise CheckpointError(
+                f"job {job_id!r} needs a request descriptor with a "
+                "'dataset' key; workers could not re-issue it otherwise"
+            )
+        box = {}
+
+        def enqueue(payload):
+            existing = self._decode(job_id, payload)
+            if existing is not None:
+                box["checkpoint"] = existing
+                return payload  # idempotent re-submission
+            record = JobCheckpoint(
+                job_id=job_id, status="queued", fingerprint="",
+                request=dict(request), written_at=self._clock(),
+            )
+            box["checkpoint"] = record
+            return record.to_dict()
+
+        with span("job_submit", job_id=job_id):
+            self.backend.update(job_id, enqueue)
+        return box["checkpoint"]
 
     # -- leases ----------------------------------------------------------
     def acquire(self, job_id, owner) -> JobCheckpoint | None:

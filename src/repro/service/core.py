@@ -216,6 +216,10 @@ class OptimizerService(TrainingJobs):
                                  lease_ttl_s=lease_ttl_s)
             if checkpoint_path else None
         )
+        #: Identity stamped into checkpoint lease-history records when
+        #: this service runs inside a ``repro worker`` process (the
+        #: worker loop sets it); None for plain in-process services.
+        self.worker_id = None
         self._inflight = {}
         self._inflight_lock = threading.Lock()
         #: Entries restored from the persistent backend at startup.

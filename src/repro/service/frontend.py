@@ -8,7 +8,8 @@ server -- decide *whether to accept it at all*.  Three pieces:
 * **Line parsing** (:func:`parse_request_line`, :func:`parse_wire_line`)
   -- the CLI's ``<dataset> key=value ...`` grammar, extended on the wire
   with JSON-object lines and wire-only keys: ``verb`` (``optimize`` /
-  ``train`` / ``metrics`` / ``trace``), ``tenant`` (quota accounting),
+  ``train`` / ``enqueue`` -- park a durable job for the worker fleet --
+  / ``metrics`` / ``trace`` / ``jobs``), ``tenant`` (quota accounting),
   ``deadline_s`` (per-request deadline) and ``trace_id`` (adopt a
   client-chosen trace id, or name the trace the ``trace`` verb reads).
 * **Dispatch** (:class:`Dispatcher`) -- turns one parsed request into
@@ -54,7 +55,11 @@ _ALL_KEYS = _INT_KEYS | _FLOAT_KEYS | _STR_KEYS
 #: Wire-only keys: protocol envelope, never part of the optimizer
 #: request (they must not reach ML4all.optimize/train kwargs).
 _WIRE_KEYS = {"verb", "tenant", "deadline_s", "id", "trace_id"}
-_VERBS = {"optimize", "train", "metrics", "trace"}
+_VERBS = {"optimize", "train", "enqueue", "metrics", "trace", "jobs"}
+
+#: Verbs that carry no optimizer request: ``metrics``/``jobs`` report
+#: server/fleet state, ``trace`` looks a recorded trace up.
+_NO_REQUEST_VERBS = {"metrics", "trace", "jobs"}
 
 #: Tenant used when a request does not name one.
 DEFAULT_TENANT = "default"
@@ -105,8 +110,9 @@ def iter_request_lines(handle):
 class WireRequest:
     """One parsed protocol line: envelope plus optimizer request."""
 
-    #: ``optimize`` / ``train`` / ``metrics``; None means "server
-    #: default" (train mode, or a line naming a job_id, trains).
+    #: ``optimize`` / ``train`` / ``enqueue`` / ``metrics`` / ``trace``
+    #: / ``jobs``; None means "server default" (train mode, or a line
+    #: naming a job_id, trains).
     verb: str | None
     #: The optimizer request dict (None for ``metrics``).
     request: dict | None
@@ -214,13 +220,13 @@ def parse_wire_line(line) -> WireRequest:
             verb, _, tenant, deadline, rid, trace_id = _split_envelope(pairs)
     if verb == "trace" and trace_id is None:
         raise ReproError("the 'trace' verb needs a trace_id")
-    if verb not in ("metrics", "trace") and "dataset" not in request:
+    if verb not in _NO_REQUEST_VERBS and "dataset" not in request:
         raise ReproError(
             "request line must name a dataset (or use the 'metrics' verb)"
         )
     return WireRequest(
         verb=verb,
-        request=request if verb not in ("metrics", "trace") else None,
+        request=request if verb not in _NO_REQUEST_VERBS else None,
         tenant=tenant,
         deadline_s=deadline,
         id=rid,
@@ -295,7 +301,11 @@ class Dispatcher:
             })
         if wire.verb == "trace":
             return self._trace_body(wire)
+        if wire.verb == "jobs":
+            return self._jobs_body(wire)
         request = dict(wire.request)
+        if wire.verb == "enqueue":
+            return self._enqueue(wire, request)
         trains = (
             wire.verb == "train"
             or (wire.verb is None
@@ -310,6 +320,14 @@ class Dispatcher:
         ) as root:
             if queue_wait_s is not None:
                 emit_span("admission", queue_wait_s)
+            if trains and "job_id" in request:
+                # Stamp the request trace's id into the job request:
+                # it rides into the checkpointed descriptor, so a fleet
+                # worker resuming this job on another machine joins the
+                # submitting request's trace.
+                root_trace_id = getattr(root, "trace_id", None)
+                if root_trace_id is not None:
+                    request.setdefault("trace_id", root_trace_id)
             response = self._execute(wire, request, trains, remaining_s)
             root.set("ok", bool(response.get("ok")))
             if not response.get("ok"):
@@ -384,6 +402,105 @@ class Dispatcher:
             "spans": spans,
             "lines": render_tree(spans),
         })
+
+    def _jobs_body(self, wire) -> dict:
+        """Fleet status: per-job progress/ETA and worker heartbeats,
+        derived from the shared checkpoint store (see
+        :func:`repro.service.worker.job_progress_records`)."""
+        from repro.service.worker import job_progress_records
+
+        service = self.system.service()
+        if service.checkpoints is None:
+            return {
+                "ok": False,
+                "error": "bad_request",
+                "detail": "this server has no checkpoint store "
+                          "(start it with --checkpoint)",
+                **({"id": wire.id} if wire.id is not None else {}),
+            }
+        jobs, workers = job_progress_records(
+            service.checkpoints.backend.load(), now=time.time()
+        )
+        lines = []
+        for job in jobs:
+            line = (f"{job['job_id']}: {job['status']} at iteration "
+                    f"{job['done_iterations']}")
+            if job["remaining_iterations"]:
+                line += (f", ~{job['remaining_iterations']} to go "
+                         f"(eta {job['eta_sim_seconds']:.2f}s simulated)")
+            lines.append(line)
+        for worker in workers:
+            lines.append(
+                f"worker {worker.get('worker')}: {worker.get('status')}, "
+                f"{worker.get('jobs_done', 0)} job(s) done"
+            )
+        return self._respond(wire, {
+            "verb": "jobs",
+            "jobs": jobs,
+            "workers": workers,
+            "lines": lines,
+        })
+
+    def _enqueue(self, wire, request) -> dict:
+        """Park a durable job in the shared checkpoint store without
+        executing it -- fleet workers pointed at the store claim it.
+        The submitting request's trace id travels in the descriptor, so
+        the worker that eventually runs the job joins this trace."""
+        from repro.service.checkpoint import CheckpointError
+
+        job_id = request.get("job_id")
+        if not job_id:
+            self.metrics.inc("frontend.bad_requests")
+            return {
+                "ok": False,
+                "error": "bad_request",
+                "detail": "the 'enqueue' verb needs a job_id",
+                **({"id": wire.id} if wire.id is not None else {}),
+            }
+        service = self.system.service()
+        if service.checkpoints is None:
+            return {
+                "ok": False,
+                "error": "bad_request",
+                "detail": "this server has no checkpoint store "
+                          "(start it with --checkpoint)",
+                **({"id": wire.id} if wire.id is not None else {}),
+            }
+        with self.tracer.trace(
+            "request",
+            trace_id=wire.trace_id,
+            verb="enqueue",
+            dataset=request.get("dataset"),
+            tenant=wire.tenant,
+        ) as root:
+            descriptor = dict(request)
+            root_trace_id = getattr(root, "trace_id", None)
+            if root_trace_id is not None:
+                descriptor.setdefault("trace_id", root_trace_id)
+            try:
+                checkpoint = service.checkpoints.submit(job_id, descriptor)
+            except CheckpointError as exc:
+                self.metrics.inc("frontend.request_failed")
+                root.set("ok", False)
+                response = {
+                    "ok": False,
+                    "error": "request_failed",
+                    "detail": str(exc),
+                    **({"id": wire.id} if wire.id is not None else {}),
+                }
+            else:
+                self.metrics.inc("frontend.enqueued")
+                root.set("ok", True)
+                response = self._respond(wire, {
+                    "verb": "enqueue",
+                    "job_id": job_id,
+                    "status": checkpoint.status,
+                    "lines": [f"{job_id}: {checkpoint.status}"],
+                })
+        trace_id = getattr(root, "trace_id", None)
+        if trace_id is not None:
+            response.setdefault("trace_id", trace_id)
+        return response
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -597,9 +714,9 @@ class SocketFrontend:
                 "ok": False, "error": "bad_request", "detail": str(exc),
             })
             return
-        if wire.verb in ("metrics", "trace"):
-            # Observability bypasses admission: it must answer while
-            # the server sheds everything else.
+        if wire.verb in _NO_REQUEST_VERBS:
+            # Observability (metrics/trace/jobs) bypasses admission: it
+            # must answer while the server sheds everything else.
             self._write(writer, write_lock, self.dispatcher.handle(wire))
             return
 

@@ -373,10 +373,33 @@ class TrainingJobs:
                 calibration=self.calibration if adaptive else None,
             )
 
+            # This lease's entry in the job's audit trail: carried
+            # forward from the previous checkpoint and extended on every
+            # write, so the persisted history records exactly which
+            # owner executed which iteration range.  The chaos suite's
+            # exactly-once check is that these ranges chain without gap
+            # or overlap.
+            lease_record = {
+                "owner": owner,
+                "worker": self.worker_id,
+                "start_iteration": int(
+                    resume.done_iterations if resume is not None else 0
+                ),
+                "end_iteration": int(
+                    resume.done_iterations if resume is not None else 0
+                ),
+                "status": "running",
+            }
+            history = list(checkpoint.history) if checkpoint is not None \
+                else []
+            history.append(lease_record)
+
             def persist(snapshot):
                 # NOT best-effort: a job that cannot checkpoint has lost
                 # its durability guarantee, so store errors propagate
                 # (they also release the lease in the finally below).
+                lease_record["end_iteration"] = int(snapshot.done_iterations)
+                lease_record["status"] = snapshot.status
                 self.checkpoints.save(JobCheckpoint(
                     job_id=job_id,
                     status=snapshot.status,
@@ -395,6 +418,7 @@ class TrainingJobs:
                     adaptive=adaptive,
                     plan_entry=plan_entry,
                     request=job_request,
+                    history=history,
                 ), owner=owner)
 
             adaptive_result = trainer.train(

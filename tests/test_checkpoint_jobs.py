@@ -33,7 +33,7 @@ from repro.service import (
 )
 from repro.service.checkpoint import CHECKPOINT_FORMAT
 
-from support import make_dataset
+from support import FaultyBackend, make_dataset
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -307,6 +307,79 @@ class TestCheckpointStore:
         for job in jobs:
             assert persisted[job].done_iterations == 10
             assert persisted[job].weights == [10.0]
+
+
+# ---------------------------------------------------------------------------
+# flaky storage under the lease protocol (FaultyBackend)
+# ---------------------------------------------------------------------------
+class TestFaultyCheckpointStore:
+    @pytest.mark.parametrize("kind", ["json", "sqlite"])
+    def test_timeout_on_acquire_leaves_no_lease_behind(self, tmp_path, kind):
+        """An acquire that times out before the CAS ran must not have
+        leased anything: the immediate retry gets the job."""
+        inner = backend_for(tmp_path, kind)
+        store = CheckpointStore(
+            backend=FaultyBackend(inner, plan={"update": ["timeout"]})
+        )
+        with pytest.raises(TimeoutError):
+            store.acquire("j", "owner-a")
+        assert inner.get("j") is None      # nothing was written
+        store.acquire("j", "owner-a")      # the retry leases cleanly
+        assert inner.get("j")["lease"]["owner"] == "owner-a"
+
+    def test_failed_release_leaves_the_lease_to_expire(self, tmp_path):
+        """A release lost to the network keeps the lease on the books;
+        the steal path (expiry) reclaims the job rather than any
+        unlease-by-force."""
+        clock = {"now": 1000.0}
+        inner = backend_for(tmp_path, "json")
+        store = CheckpointStore(
+            backend=FaultyBackend(inner, plan={"update": [None, "reset"]}),
+            lease_ttl_s=60.0, clock=lambda: clock["now"],
+        )
+        store.acquire("j", "owner-a")
+        with pytest.raises(ConnectionResetError):
+            store.release("j", "owner-a")
+        assert inner.get("j")["lease"]["owner"] == "owner-a"  # still held
+        with pytest.raises(JobLeaseError):
+            store.acquire("j", "owner-b")
+        clock["now"] += 61.0
+        store.acquire("j", "owner-b")      # expiry, not force, frees it
+
+    def test_ambiguous_checkpoint_ack_resumes_bit_identically(
+        self, spec, dataset, training, tmp_path
+    ):
+        """The fail-after-write crash: the third cadence checkpoint
+        lands but the writer dies believing it failed.  The resume must
+        pick up from that checkpoint and end bit-identical -- the same
+        guarantee the KillingStore test pins, but with the failure
+        injected *under* the store, in the backend transport."""
+        baseline = run_job(
+            spec, dataset, training, str(tmp_path / "base.json"), "u"
+        )
+        path = str(tmp_path / "jobs.json")
+        faulty = FaultyBackend(
+            JsonFileBackend(path),
+            # update #1 is the acquire; #2-#4 the cadence saves at
+            # iterations 7/14/21; the last one lands then "fails".
+            plan={"update": [None, None, None, "fail_after_write"]},
+        )
+        service = make_service(
+            spec, checkpoint_store=CheckpointStore(backend=faulty)
+        )
+        with pytest.raises(ConnectionResetError):
+            service.train(dataset, training, fixed_iterations=60,
+                          algorithms=("mgd",), job_id="flaky",
+                          checkpoint_every=7)
+        assert ("update", "fail_after_write") in faulty.injected
+
+        survivor = CheckpointStore(path=path).load("flaky")
+        assert survivor.done_iterations == 21  # the ambiguous write landed
+        resumed = run_job(spec, dataset, training, path, "flaky")
+        assert resumed.job.resumed
+        assert resumed.job.status == "done"
+        assert np.array_equal(baseline.weights, resumed.weights)
+        assert baseline.trace.all_deltas == resumed.trace.all_deltas
 
 
 # ---------------------------------------------------------------------------

@@ -24,7 +24,7 @@ from repro.service import (
 )
 from repro.service.backends import STORE_FORMAT
 
-from support import make_dataset
+from support import FaultyBackend, make_dataset
 
 
 @pytest.fixture
@@ -202,6 +202,99 @@ class TestBackends:
         for t in threads:
             t.join()
         assert len(backend.load()) == 80
+
+
+# ---------------------------------------------------------------------------
+# fault injection (FaultyBackend wraps the real backends)
+# ---------------------------------------------------------------------------
+class TestFaultyBackend:
+    @pytest.mark.parametrize("factory", [
+        lambda tmp: MemoryBackend(),
+        lambda tmp: JsonFileBackend(str(tmp / "plans.json")),
+        lambda tmp: SqliteBackend(str(tmp / "plans.db")),
+    ], ids=["memory", "json", "sqlite"])
+    def test_abort_faults_leave_inner_untouched(self, tmp_path, factory):
+        """timeout/reset fire *before* the operation: the wrapped real
+        backend must not have seen the write, and the retry lands."""
+        inner = factory(tmp_path)
+        backend = FaultyBackend(inner, plan={
+            "store": ["timeout", None, "reset", None],
+        })
+        with pytest.raises(TimeoutError):
+            backend.store("k1", {"v": 1})
+        assert inner.load() == {}
+        backend.store("k1", {"v": 1})      # the retry
+        with pytest.raises(ConnectionResetError):
+            backend.store("k2", {"v": 2})
+        backend.store("k2", {"v": 2})
+        assert inner.load() == {"k1": {"v": 1}, "k2": {"v": 2}}
+        assert backend.injected == [("store", "timeout"), ("store", "reset")]
+        backend.close()
+
+    @pytest.mark.parametrize("factory", [
+        lambda tmp: JsonFileBackend(str(tmp / "plans.json")),
+        lambda tmp: SqliteBackend(str(tmp / "plans.db")),
+    ], ids=["json", "sqlite"])
+    def test_fail_after_write_is_an_ambiguous_ack(self, tmp_path, factory):
+        """fail_after_write raises *after* the mutation landed -- the
+        caller cannot tell success from failure, exactly like a dropped
+        TCP ack.  A blind retry must therefore be idempotent."""
+        inner = factory(tmp_path)
+        backend = FaultyBackend(inner, plan={
+            "store": ["fail_after_write"],
+            "update": ["fail_after_write"],
+        })
+        with pytest.raises(ConnectionResetError):
+            backend.store("k", {"v": 1})
+        assert inner.get("k") == {"v": 1}  # ...but it landed
+        with pytest.raises(ConnectionResetError):
+            backend.update("k", lambda cur: {"v": cur["v"] + 1})
+        assert inner.get("k") == {"v": 2}  # the CAS applied too
+        # A blind store retry of the same payload converges.
+        backend.store("k", {"v": 2})
+        assert inner.get("k") == {"v": 2}
+        backend.close()
+
+    def test_seeded_schedule_is_reproducible(self):
+        """Two wrappers with the same seed inject the identical fault
+        sequence over the identical operation sequence."""
+        def hammer(backend):
+            for n in range(60):
+                try:
+                    backend.store(f"k{n % 7}", {"n": n})
+                except (TimeoutError, ConnectionResetError):
+                    pass
+                try:
+                    backend.get(f"k{n % 5}")
+                except (TimeoutError, ConnectionResetError):
+                    pass
+            return list(backend.injected)
+
+        first = hammer(FaultyBackend(MemoryBackend(), seed=11, rate=0.3))
+        second = hammer(FaultyBackend(MemoryBackend(), seed=11, rate=0.3))
+        assert first == second
+        assert first  # the schedule actually fired at this rate
+        assert {kind for _, kind in first} <= set(FaultyBackend.KINDS)
+
+    def test_service_survives_faulty_plan_store(
+        self, spec, dataset, training
+    ):
+        """A flaky persistence layer degrades the service to in-memory
+        caching -- same contract the ExplodingBackend test pins, but
+        through the generic fault double with a real backend beneath."""
+        inner = MemoryBackend()
+        backend = FaultyBackend(inner, plan={"store": ["reset"]})
+        service = make_service(spec, cache_backend=backend)
+        with pytest.warns(UserWarning, match="plan store write failed"):
+            result = service.optimize(dataset, training)
+        assert not result.cache_hit
+        assert inner.load() == {}          # the write really was lost
+        # The in-memory cache still serves, and the *next* persistence
+        # attempt (a fresh fingerprint) goes through cleanly.
+        assert service.optimize(dataset, training).cache_hit
+        other = TrainingSpec(task="logreg", tolerance=5e-3, seed=1)
+        service.optimize(dataset, other)
+        assert len(inner) == 1
 
 
 # ---------------------------------------------------------------------------
