@@ -17,6 +17,9 @@ Scenarios (mirroring ``benchmarks/bench_ext_service_throughput.py`` and
   disk-backed plan store;
 * ``frontend_socket``         -- concurrent clients through the
   admission-controlled socket front-end;
+* ``extended_space_cold`` / ``extended_space_warm`` -- optimize() over
+  the *full* registered plan space (every executor-capable algorithm,
+  plugins included), cold and through the plan cache;
 * ``adaptive_train``          -- adaptive runtime vs one-shot under a
   perturbed cost model (``--skip-adaptive`` to omit; it is the slow
   one).
@@ -159,6 +162,63 @@ def scenario_frontend_socket(threads=8, per_thread=5) -> list:
     }]
 
 
+def scenario_extended_space() -> list:
+    """Cold + warm optimize() over the *full* registered plan space.
+
+    The service scenarios above run the paper's core bgd/mgd/sgd space
+    (11 plans); this one asks the optimizer to enumerate every
+    registered executor-capable algorithm -- the adaptive-direction
+    variants, SVRG, and the plugin algorithms (grad_avg, arc) -- so the
+    trajectory tracks how speculation + vectorized costing scale with
+    the plan-space size the paper's Section 6 parameterization allows.
+    """
+    from repro.api import ML4all
+    from repro.cluster import ClusterSpec
+    from repro.core.iterations import SpeculationSettings
+    from repro.core.plan_space import enumerate_plans
+    from repro.core.plans import TrainingSpec
+    from repro.gd import registry as gd_registry
+    from repro.service import OptimizerService
+
+    spec = ClusterSpec(jitter_sigma=0.0)
+    algorithms = tuple(sorted(
+        name for name, algo_spec in gd_registry.ALGORITHMS.items()
+        if algo_spec.supports_executor
+    ))
+    n_plans = len(enumerate_plans(algorithms))
+    speculation = SpeculationSettings(
+        sample_size=500, time_budget_s=0.5, max_speculation_iters=1000
+    )
+    system = ML4all(cluster_spec=spec, seed=7)
+    dataset = system.load_dataset("adult")
+    training = TrainingSpec(task="logreg", tolerance=0.01, seed=7)
+
+    service = OptimizerService(spec=spec, seed=7, speculation=speculation)
+    t0 = time.perf_counter()
+    cold = service.optimize(dataset, training, algorithms=algorithms)
+    cold_s = time.perf_counter() - t0
+    assert not cold.cache_hit
+
+    warm_runs = 50
+    t0 = time.perf_counter()
+    for _ in range(warm_runs):
+        assert service.optimize(
+            dataset, training, algorithms=algorithms
+        ).cache_hit
+    warm_s = (time.perf_counter() - t0) / warm_runs
+    service.close()
+
+    chosen = cold.report.chosen_plan
+    return [
+        {"scenario": "extended_space_cold", "ops_per_s": 1.0 / cold_s,
+         "cold_ms": cold_s * 1e3, "algorithms": len(algorithms),
+         "plans": n_plans, "chosen": str(chosen)},
+        {"scenario": "extended_space_warm", "ops_per_s": 1.0 / warm_s,
+         "warm_ms": warm_s * 1e3, "plans": n_plans,
+         "speedup_vs_cold": cold_s / warm_s},
+    ]
+
+
 def scenario_adaptive_train() -> list:
     """Adaptive runtime vs one-shot mis-pick (perturbed cost model)."""
     from repro.experiments import ExperimentContext
@@ -198,6 +258,7 @@ def main(argv=None) -> int:
     records = []
     records += scenario_service_throughput()
     records += scenario_frontend_socket(threads=args.threads)
+    records += scenario_extended_space()
     if not args.skip_adaptive:
         records += scenario_adaptive_train()
     records = [{**stamp, **record} for record in records]

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Fail when library code branches on GD algorithm *names*.
+
+The AlgorithmSpec plugin layer (``repro/gd/spec.py``) made the
+algorithm seam declarative: drivers, operator factories, cost terms,
+state namespaces and plan variants all hang off the registered spec.
+Code like ``if plan.algorithm == "svrg":`` re-opens that seam -- a new
+plugin would silently miss the branch -- so this lint greps the library
+for literal name comparisons and membership tests and fails on any hit.
+
+Allowed:
+
+* ``repro/gd/`` registration modules (a spec naturally names itself);
+* comparisons between two runtime values (``a.algorithm ==
+  b.algorithm``) -- no literal, no match;
+* tests, experiments and scripts (asserting on a *chosen* name is
+  reporting, not dispatch).
+
+    python scripts/check_name_branching.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+)
+LIBRARY_ROOT = os.path.join(REPO_ROOT, "src", "repro")
+
+#: Directories whose modules may name algorithms literally: the specs
+#: themselves live here, and naming yourself is not branching.
+ALLOWED_PREFIXES = (
+    os.path.join("src", "repro", "gd") + os.sep,
+    os.path.join("src", "repro", "experiments") + os.sep,
+)
+
+#: ``<something>algorithm == "name"`` / ``!=`` (either operand order)
+#: and ``algorithm in ("name", ...)`` membership tests.
+PATTERNS = (
+    re.compile(r"algorithm\s*[=!]=\s*[\"']"),
+    re.compile(r"[\"']\s*[=!]=\s*\w*\.?algorithm\b"),
+    re.compile(r"algorithm\s+(not\s+)?in\s+[\[(]\s*[\"']"),
+)
+
+
+def scan(root=LIBRARY_ROOT) -> list:
+    """Return (relpath, lineno, line) offenders under ``root``."""
+    offenders = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, REPO_ROOT)
+            if rel.startswith(ALLOWED_PREFIXES):
+                continue
+            with open(path, encoding="utf-8") as handle:
+                for lineno, line in enumerate(handle, start=1):
+                    code = line.split("#", 1)[0]
+                    if any(p.search(code) for p in PATTERNS):
+                        offenders.append((rel, lineno, line.rstrip()))
+    return offenders
+
+
+def main() -> int:
+    offenders = scan()
+    if offenders:
+        print("GD algorithm name-branching found (route through the "
+              "AlgorithmSpec registry instead):", file=sys.stderr)
+        for rel, lineno, line in offenders:
+            print(f"  {rel}:{lineno}: {line.strip()}", file=sys.stderr)
+        return 1
+    print("no algorithm name-branching outside the registry seam")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

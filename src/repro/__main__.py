@@ -69,6 +69,12 @@ Batch and serve also take ``--log-level``/``--log-json`` (structured
 logging on stderr), and serve adds ``--trace-dir`` plus
 ``--slow-request-s`` (slow-request log threshold).
 
+All optimizing modes (one-shot queries, batch, serve) accept
+``--algorithms NAME,NAME,...`` to widen (or narrow) the plan space the
+cost-based optimizer enumerates to any registered GD algorithms --
+e.g. ``--algorithms bgd,mgd,sgd,grad_avg,arc`` adds the two plugin
+algorithms to the paper's core three.
+
 Request lines are ``<dataset> [key=value ...]`` with the keys of
 :meth:`ML4all.optimize` (``task``, ``epsilon``, ``max_iter``,
 ``time_budget``, ``algorithm``, ``batch``, ``step``, ``convergence``,
@@ -123,13 +129,51 @@ def build_parser():
     parser.add_argument("--file", help="read queries from a file")
     parser.add_argument("--seed", type=int, default=7,
                         help="RNG seed (default 7)")
+    _add_algorithms_flag(parser)
     return parser
+
+
+def _add_algorithms_flag(parser):
+    parser.add_argument(
+        "--algorithms", metavar="NAMES", default=None,
+        help="comma-separated GD algorithms the optimizer enumerates "
+             "(any registered name, e.g. bgd,mgd,sgd,grad_avg,arc; "
+             "default: the paper's core bgd,mgd,sgd)",
+    )
+
+
+def _parse_algorithms(text):
+    """Validate a ``--algorithms`` value against the registry.
+
+    Returns a tuple of names, or None when the flag was not given (the
+    caller then keeps :data:`~repro.gd.registry.CORE_ALGORITHMS`).
+    """
+    if text is None:
+        return None
+    from repro.gd import registry as gd_registry
+
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    if not names:
+        raise ReproError("--algorithms needs at least one algorithm name")
+    for name in names:
+        gd_registry.info(name)  # raises PlanError for unknown names
+    return names
+
+
+def _ml4all_kwargs(args) -> dict:
+    """ML4all() keyword arguments shared by every subcommand."""
+    kwargs = {"seed": args.seed}
+    algorithms = _parse_algorithms(getattr(args, "algorithms", None))
+    if algorithms is not None:
+        kwargs["algorithms"] = algorithms
+    return kwargs
 
 
 def _service_parser(prog, description):
     parser = argparse.ArgumentParser(prog=prog, description=description)
     parser.add_argument("--seed", type=int, default=7,
                         help="RNG seed (default 7)")
+    _add_algorithms_flag(parser)
     parser.add_argument("--workers", type=int, default=None,
                         help="max concurrent optimize() computations")
     parser.add_argument("--cache-size", type=int, default=256,
@@ -229,8 +273,14 @@ def batch_main(argv) -> int:
         return 2
     requests = requests * max(1, args.repeat)
 
-    system = ML4all(seed=args.seed, calibration_path=args.calibration,
-                    cache_path=args.cache, checkpoint_path=args.checkpoint)
+    try:
+        system = ML4all(calibration_path=args.calibration,
+                        cache_path=args.cache,
+                        checkpoint_path=args.checkpoint,
+                        **_ml4all_kwargs(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     system.service(cache_size=args.cache_size)
     # Per line, like serve: --train/--adaptive train everything, and a
     # line naming a durable job always trains -- without dragging the
@@ -354,8 +404,14 @@ def serve_main(argv) -> int:
     _configure_obs(args)
     from repro.obs import TraceRecorder, get_logger
 
-    system = ML4all(seed=args.seed, calibration_path=args.calibration,
-                    cache_path=args.cache, checkpoint_path=args.checkpoint)
+    try:
+        system = ML4all(calibration_path=args.calibration,
+                        cache_path=args.cache,
+                        checkpoint_path=args.checkpoint,
+                        **_ml4all_kwargs(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     service = system.service(cache_size=args.cache_size)
     tracer = TraceRecorder(
         trace_dir=args.trace_dir,
@@ -842,8 +898,8 @@ def query_main(args) -> int:
         build_parser().print_help()
         return 2
 
-    system = ML4all(seed=args.seed)
     try:
+        system = ML4all(**_ml4all_kwargs(args))
         session = system.query(text)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

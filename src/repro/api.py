@@ -34,6 +34,7 @@ from repro.core.plans import GDPlan, TrainingSpec
 from repro.data import datasets as dataset_registry
 from repro.data import libsvm
 from repro.errors import DataFormatError, PlanError
+from repro.gd import registry as gd_registry
 from repro.gd.registry import CORE_ALGORITHMS
 
 
@@ -239,9 +240,9 @@ class ML4all:
         return self.calibration.save(path)
 
     def _optimizer(self, algorithms=None, batch=None):
-        batch_sizes = {}
-        if batch is not None:
-            batch_sizes = {"mgd": batch}
+        # The registry decides which algorithms a batch= request applies
+        # to (every tunable mini-batch spec, plugins included).
+        batch_sizes = gd_registry.batch_overrides(batch)
         return GDOptimizer(
             self.engine,
             estimator=SpeculativeEstimator(self.speculation, seed=self.seed),
@@ -416,7 +417,7 @@ class ML4all:
             training=training,
             fixed_iterations=fixed_iterations,
             algorithms=(algorithm,) if algorithm else None,
-            batch_sizes={"mgd": batch} if batch is not None else None,
+            batch_sizes=gd_registry.batch_overrides(batch) or None,
             job_id=job_id,
             checkpoint_every=checkpoint_every,
             budget=budget,
@@ -474,7 +475,7 @@ class ML4all:
             outcome = self.service().train(
                 dataset, training, fixed_iterations=fixed_iterations,
                 algorithms=(algorithm,) if algorithm else None,
-                batch_sizes={"mgd": batch} if batch is not None else None,
+                batch_sizes=gd_registry.batch_overrides(batch) or None,
                 adaptive=adaptive, adaptive_settings=adaptive_settings,
                 job_id=job_id, checkpoint_every=checkpoint_every,
                 budget=budget,

@@ -32,6 +32,7 @@ from repro.core.cost_model import (
     update_cpu,
 )
 from repro.errors import SimulatedTimeout
+from repro.gd import registry as gd_registry
 from repro.gd.convergence import make_convergence
 from repro.gd.step_size import make_step_size
 
@@ -97,10 +98,14 @@ class BaselineSystem:
         time_limit_s=None,
         raise_on_timeout=False,
     ) -> BaselineResult:
-        """Run ``algorithm`` (bgd | mgd | sgd) on this system.
+        """Run any registered GD algorithm on this system.
 
-        ``time_limit_s`` is the simulated-time cut-off used to reproduce
-        the paper's "we had to stop the execution after 3 hours" cells.
+        The algorithm's batch sizing, sampling mode, and direction
+        updater all come from its :class:`~repro.gd.spec.AlgorithmSpec`,
+        so a newly registered algorithm is covered by every baseline
+        without touching this loop.  ``time_limit_s`` is the
+        simulated-time cut-off used to reproduce the paper's "we had to
+        stop the execution after 3 hours" cells.
         """
         from repro.errors import SimulatedOutOfMemory
 
@@ -132,24 +137,27 @@ class BaselineSystem:
         w = np.zeros(d)
         converged = False
         iterations = 0
-        sim_batch_for = {
-            "bgd": n_sim,
-            "mgd": min(batch_size, n_sim),
-            "sgd": 1,
-        }
-        if algorithm not in sim_batch_for:
-            raise ValueError(f"unsupported algorithm {algorithm!r}")
-        sim_batch = sim_batch_for[algorithm]
+        spec_info = gd_registry.info(algorithm)
+        if spec_info.default_batch_size is None:
+            sim_batch = n_sim
+        elif spec_info.batch_size_fixed:
+            sim_batch = min(spec_info.default_batch_size, n_sim)
+        else:
+            sim_batch = min(batch_size, n_sim)
         phys_batch = max(1, min(sim_batch, n_phys))
+        updater = gd_registry.updater_for(algorithm)
+        if updater is not None:
+            updater.reset(d)
 
         for i in range(1, training.max_iter + 1):
-            if algorithm == "bgd":
+            if not spec_info.stochastic:
                 Xb, yb = dataset.X, dataset.y
             else:
                 idx = rng.choice(n_phys, size=phys_batch, replace=False)
                 Xb, yb = dataset.X[idx], dataset.y[idx]
             grad = gradient.gradient(w, Xb, yb)
-            w_new = w - step.step(i) * grad
+            direction = grad if updater is None else updater.direction(grad, i)
+            w_new = w - step.step(i) * direction
             delta = criterion.delta(w, w_new)
             w = w_new
 

@@ -27,6 +27,7 @@ import math
 import numpy as np
 
 from repro.errors import PlanError
+from repro.gd import registry as gd_registry
 
 
 @dataclasses.dataclass(frozen=True)
@@ -161,11 +162,43 @@ class CostModel:
         return breakdown
 
     # -- per-iteration components ---------------------------------------
+    @staticmethod
+    def _algorithm_terms(algorithm):
+        """The algorithm's CostTerms, or None when they are the identity
+        (or the algorithm is unregistered -- custom operator bundles)."""
+        spec = gd_registry.ALGORITHMS.get(algorithm)
+        if spec is None or spec.cost.is_identity():
+            return None
+        return spec.cost
+
     def per_iteration_cost(self, plan, stats) -> dict:
-        """Per-iteration breakdown {phase: seconds} for a plan."""
+        """Per-iteration breakdown {phase: seconds} for a plan.
+
+        When the algorithm's registered spec declares non-identity
+        :class:`~repro.gd.spec.CostTerms`, their correction lands in an
+        extra ``"algorithm"`` phase: the per-iteration multiplier scales
+        the shape-derived base, ``extra_update_cost_factor`` adds
+        multiples of the Update CPU cost, and ``full_pass_fraction``
+        re-prices that fraction of a stochastic plan's iterations at the
+        full-batch per-iteration cost (SVRG-style anchor passes).
+        """
         if plan.is_stochastic:
-            return self._stochastic_iteration(plan, stats)
-        return self._full_batch_iteration(plan, stats)
+            breakdown = self._stochastic_iteration(plan, stats)
+        else:
+            breakdown = self._full_batch_iteration(plan, stats)
+        terms = self._algorithm_terms(plan.algorithm)
+        if terms is None:
+            return breakdown
+        spec = self.spec
+        binary = layout_for(spec, stats, "binary")
+        base = sum(breakdown.values())
+        correction = base * (terms.per_iteration_multiplier - 1.0)
+        correction += terms.extra_update_cost_factor * update_cpu(spec, binary)
+        if terms.full_pass_fraction > 0.0 and plan.is_stochastic:
+            full = sum(self._full_batch_iteration(plan, stats).values())
+            correction += terms.full_pass_fraction * max(0.0, full - base)
+        breakdown["algorithm"] = correction
+        return breakdown
 
     def _full_batch_iteration(self, plan, stats) -> dict:
         """Formula 7's T-multiplied term: Compute + Update + Converge + Loop."""
@@ -430,7 +463,9 @@ class CostModel:
         fb_compute = fb_update = fb_converge = fb_loop = 0.0
         fb_indices = np.flatnonzero(~stoch)
         if fb_indices.size:
-            fb = self.per_iteration_cost(plans[fb_indices[0]], stats)
+            # Shape-only base costs; algorithm CostTerms corrections are
+            # applied per plan below.
+            fb = self._full_batch_iteration(plans[fb_indices[0]], stats)
             fb_compute = fb["compute"]
             fb_update = fb["update"]
             fb_converge = fb["converge"]
@@ -448,6 +483,35 @@ class CostModel:
             + converge + loop,
             fb_compute + fb_update + fb_converge + fb_loop,
         )
+
+        # Algorithm CostTerms corrections (identical math to the scalar
+        # path in per_iteration_cost; identity terms contribute nothing
+        # and skip the extra component entirely).
+        mult = np.ones(n)
+        extra = np.zeros(n)
+        fpf = np.zeros(n)
+        nonid = np.zeros(n, dtype=bool)
+        for idx, p in enumerate(plans):
+            terms = self._algorithm_terms(p.algorithm)
+            if terms is not None:
+                nonid[idx] = True
+                mult[idx] = terms.per_iteration_multiplier
+                extra[idx] = terms.extra_update_cost_factor
+                fpf[idx] = terms.full_pass_fraction
+        if bool(nonid.any()):
+            full_total = fb_compute + fb_update + fb_converge + fb_loop
+            if not fb_indices.size and bool((fpf > 0).any()):
+                # No full-batch plan in the batch: evaluate the scalar
+                # full-batch base once (it depends only on the dataset).
+                ref = plans[int(np.flatnonzero(fpf > 0)[0])]
+                full_total = sum(self._full_batch_iteration(ref, stats).values())
+            correction = per_iter * (mult - 1.0)
+            correction += extra * ucpu
+            correction += np.where(
+                stoch, fpf * np.maximum(0.0, full_total - per_iter), 0.0
+            )
+            correction = np.where(nonid, correction, 0.0)
+            per_iter = per_iter + correction
 
         # One-time costs: Stage always; eager Transform (same scalar for
         # every eager plan).
@@ -476,6 +540,8 @@ class CostModel:
             "iter:converge": (everywhere, converge_all),
             "iter:loop": (everywhere, loop_all),
         }
+        if bool(nonid.any()):
+            components["iter:algorithm"] = (nonid, correction)
         return BatchCostEstimate(
             plans=plans,
             iterations=iters,

@@ -31,10 +31,10 @@ from repro.core.cost_model import (
     transform_cpu_per_unit,
     update_cpu,
 )
-from repro.core.reference_ops import default_operators, svrg_is_anchor
+from repro.core.reference_ops import svrg_is_anchor
 from repro.core.result import TrainResult
 from repro.errors import PlanError
-from repro.gd.registry import updater_for
+from repro.gd import registry as gd_registry
 from repro.gd.state import OptimizerState, capture_rng, restore_rng
 
 
@@ -98,28 +98,12 @@ class PlanExecutor:
         )
         self._iteration_offset = offset
         d = dataset.stats.d
-        if operators is None and plan.algorithm == "svrg":
-            from repro.core.reference_ops import svrg_operators
-
-            operators = svrg_operators(
-                d=d,
-                gradient=training.gradient(),
-                tolerance=training.tolerance,
-                max_iter=training.max_iter,
-                convergence=training.convergence,
-                iteration_offset=offset,
-            )
         if operators is None:
-            operators = default_operators(
-                d=d,
-                gradient=training.gradient(),
-                batch_size=plan.effective_batch_size,
-                step_size=training.step_size,
-                tolerance=training.tolerance,
-                max_iter=training.max_iter,
-                convergence=training.convergence,
-                updater=updater_for(plan.algorithm),
-                iteration_offset=offset,
+            # The algorithm's registered spec decides the operator
+            # bundle: its own make_operators factory when it has one,
+            # the reference bundle (with the spec's updater) otherwise.
+            operators = gd_registry.make_operators(
+                plan, d=d, training=training, iteration_offset=offset,
             )
         self.ops = operators
         self._rng = np.random.default_rng(training.seed)
@@ -188,7 +172,17 @@ class PlanExecutor:
             # compares Update's output against w0.
             self.ops.converge.converge(context.require("weights"), context)
 
-        anchor_every = getattr(self.ops, "anchor_every", None)
+        # A stochastic bundle may declare a ``full_batch_when(i, context)``
+        # hook marking iterations that must run as full-batch passes
+        # (SVRG anchors, Arc GD's gradient probes).  ``anchor_every`` is
+        # the legacy duck-typed spelling of the SVRG cadence, honoured
+        # for bundles that only set the attribute.
+        full_batch_when = getattr(self.ops, "full_batch_when", None)
+        if full_batch_when is None:
+            anchor_every = getattr(self.ops, "anchor_every", None)
+            if anchor_every is not None:
+                def full_batch_when(i, context, _m=int(anchor_every)):
+                    return svrg_is_anchor(i, context, _m)
         deltas = []
         converged = False
         timed_out = False
@@ -198,8 +192,8 @@ class PlanExecutor:
         for i in range(1, training.max_iter + 1):
             context.put("iter", i)
             is_anchor = (
-                anchor_every is not None
-                and svrg_is_anchor(i, context, anchor_every)
+                full_batch_when is not None
+                and full_batch_when(i, context)
             )
             if plan.is_stochastic and not is_anchor:
                 aggregated = self._stochastic_iteration(
@@ -299,12 +293,12 @@ class PlanExecutor:
                 self.ops.update.load_updater_state(
                     state.updater_buffers, self.dataset.stats.d
                 )
-        if state.svrg is not None and "weights_bar" in context:
-            context.put(
-                "weights_bar", np.asarray(state.svrg["w_bar"], dtype=float)
-            )
-            context.put("mu", np.asarray(state.svrg["mu"], dtype=float))
-            context.put("svrg_last_anchor", state.svrg.get("last_anchor"))
+        namespace = getattr(self.ops, "state_namespace", None)
+        import_hook = getattr(self.ops, "import_algorithm_state", None)
+        if namespace is not None and import_hook is not None:
+            payload = state.algorithm_state.get(namespace)
+            if payload is not None:
+                import_hook(context, payload)
         if sampler is not None and state.sampler is not None \
                 and hasattr(sampler, "load_state"):
             sampler.load_state(state.sampler)
@@ -317,16 +311,13 @@ class PlanExecutor:
     def _export_state(self, context, sampler, iterations) -> OptimizerState:
         """Snapshot the run's carry-over state at exit (duck-typed;
         custom operator bundles export whatever hooks they provide)."""
-        svrg_state = None
-        if getattr(self.ops, "anchor_every", None) is not None \
-                and "weights_bar" in context:
-            svrg_state = {
-                "w_bar": np.asarray(
-                    context.require("weights_bar"), dtype=float
-                ).tolist(),
-                "mu": np.asarray(context.require("mu"), dtype=float).tolist(),
-                "last_anchor": context.get("svrg_last_anchor"),
-            }
+        algorithm_state = {}
+        namespace = getattr(self.ops, "state_namespace", None)
+        export_hook = getattr(self.ops, "export_algorithm_state", None)
+        if namespace is not None and export_hook is not None:
+            payload = export_hook(context)
+            if payload is not None:
+                algorithm_state[namespace] = payload
         sampler_state = None
         if sampler is not None and hasattr(sampler, "state_dict"):
             sampler_state = sampler.state_dict() or None
@@ -340,7 +331,7 @@ class PlanExecutor:
             iteration_offset=self._iteration_offset + iterations,
             updater=getattr(self.ops.update, "updater_name", "vanilla"),
             updater_buffers=buffers,
-            svrg=svrg_state,
+            algorithm_state=algorithm_state,
             convergence=convergence,
             rng_state=capture_rng(self._rng),
             sampler=sampler_state,

@@ -124,6 +124,11 @@ class SpeculativeEstimator:
         if target_tolerance <= 0:
             raise EstimationError("target tolerance must be positive")
         cfg = self.settings
+        overrides = gd_registry.speculation_overrides(algorithm)
+        if overrides:
+            # A spec may tune Algorithm 1's knobs for its own convergence
+            # profile (e.g. a longer budget for slow-start algorithms).
+            cfg = dataclasses.replace(cfg, **overrides)
         rng = np.random.default_rng(self.seed)
         Xs, ys = sample if sample is not None else self.take_sample(X, y, rng)
 
@@ -207,6 +212,7 @@ class SpeculativeEstimator:
         batch_sizes=None,
         convergence="l1",
         max_workers=None,
+        on_error="raise",
     ) -> dict:
         """Run Algorithm 1 for every algorithm on one shared sample D'.
 
@@ -215,11 +221,19 @@ class SpeculativeEstimator:
         from ``self.seed`` inside :meth:`estimate`, so the estimates do
         not depend on scheduling order (see the class docstring for the
         wall-budget caveat).
+
+        ``on_error="skip"`` drops algorithms whose speculative trial
+        cannot be fitted (a registered plugin may simply not converge on
+        this workload's sample) instead of failing the whole sweep; the
+        returned dict then only holds the algorithms that fitted.  When
+        *every* algorithm fails, the first failure is raised regardless
+        -- an empty estimate dict would just defer the error.
         """
         algorithms = tuple(algorithms)
         batch_sizes = batch_sizes or {}
         rng = np.random.default_rng(self.seed)
         sample = self.take_sample(X, y, rng)
+        failures = {}
 
         def speculate(algorithm):
             with span("speculation", algorithm=algorithm) as trial_span:
@@ -245,6 +259,22 @@ class SpeculativeEstimator:
                 )
                 return estimate
 
+        def speculate_tolerant(algorithm):
+            try:
+                return speculate(algorithm)
+            except EstimationError as exc:
+                if on_error != "skip":
+                    raise
+                failures[algorithm] = exc
+                return None
+
+        def finish(results) -> dict:
+            results = {alg: est for alg, est in results.items()
+                       if est is not None}
+            if failures and not results:
+                raise next(iter(failures.values()))
+            return results
+
         workers = max_workers if max_workers is not None else self.max_workers
         use_processes = workers == "process"
         if workers in ("auto", "process"):
@@ -252,10 +282,11 @@ class SpeculativeEstimator:
         workers = max(1, min(int(workers), len(algorithms) or 1))
         if use_processes and len(algorithms) > 1:
             try:
-                return self._estimate_all_processes(
+                return finish(self._estimate_all_processes(
                     workers, algorithms, sample, gradient, target_tolerance,
-                    step_size, batch_sizes, convergence,
-                )
+                    step_size, batch_sizes, convergence, failures,
+                    tolerant=on_error == "skip",
+                ))
             except ReproError:
                 raise
             except Exception:
@@ -263,7 +294,9 @@ class SpeculativeEstimator:
                 # schedules) or a broken pool: threads still work.
                 pass
         if workers == 1 or len(algorithms) <= 1:
-            return {alg: speculate(alg) for alg in algorithms}
+            return finish(
+                {alg: speculate_tolerant(alg) for alg in algorithms}
+            )
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="speculate"
         ) as pool:
@@ -271,15 +304,17 @@ class SpeculativeEstimator:
             # pool threads, so per-trial spans land in the request trace.
             futures = {
                 alg: pool.submit(
-                    contextvars.copy_context().run, speculate, alg
+                    contextvars.copy_context().run, speculate_tolerant, alg
                 )
                 for alg in algorithms
             }
-            return {alg: futures[alg].result() for alg in algorithms}
+            return finish(
+                {alg: futures[alg].result() for alg in algorithms}
+            )
 
     def _estimate_all_processes(
         self, workers, algorithms, sample, gradient, target_tolerance,
-        step_size, batch_sizes, convergence,
+        step_size, batch_sizes, convergence, failures=None, tolerant=False,
     ) -> dict:
         """Fan the speculative trials over a process pool."""
         payloads = [
@@ -295,8 +330,17 @@ class SpeculativeEstimator:
                 pool.submit(_speculate_in_process, payload)
                 for payload in payloads
             ]
+            results = []
             try:
-                results = [future.result() for future in futures]
+                for alg, future in zip(algorithms, futures):
+                    try:
+                        results.append(future.result())
+                    except EstimationError as exc:
+                        if not tolerant:
+                            raise
+                        if failures is not None:
+                            failures[alg] = exc
+                        results.append(None)
             except BrokenProcessPool:
                 for future in futures:
                     future.cancel()

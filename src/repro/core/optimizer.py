@@ -109,6 +109,10 @@ class GDOptimizer:
             iters_for = {alg: int(fixed_iterations) for alg in self.algorithms}
         else:
             if iteration_estimates is None:
+                # on_error="skip": a registered plugin whose error curve
+                # cannot be fitted on this workload's sample drops out of
+                # this optimization instead of failing it (the sweep
+                # still raises when *no* algorithm fits).
                 iteration_estimates = self.estimator.estimate_all(
                     dataset.X,
                     dataset.y,
@@ -118,6 +122,7 @@ class GDOptimizer:
                     step_size=training.step_size,
                     batch_sizes=self.batch_sizes,
                     convergence=training.convergence,
+                    on_error="skip",
                 )
                 # Collecting D' is one Spark job over the input (the paper
                 # measures ~4s of the 4.6-8s optimization overhead here).
@@ -143,8 +148,11 @@ class GDOptimizer:
             }
 
         # Cost the whole plan space in one vectorized pass (the batch
-        # path ranks identically to per-plan estimate() calls).
-        plans = enumerate_plans(self.algorithms, self.batch_sizes)
+        # path ranks identically to per-plan estimate() calls).  Only
+        # algorithms with an iteration estimate are enumerated (ones
+        # whose speculation was skipped have no T(epsilon) to cost).
+        algorithms = tuple(a for a in self.algorithms if a in iters_for)
+        plans = enumerate_plans(algorithms, self.batch_sizes)
         iterations = [iters_for[plan.algorithm] for plan in plans]
         batch = self.cost_model.estimate_batch(
             plans, dataset.stats, iterations

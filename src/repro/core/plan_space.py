@@ -30,13 +30,20 @@ STOCHASTIC_VARIANTS = (
 
 
 def plans_for_algorithm(algorithm, batch_size=None):
-    """All valid plans for one algorithm."""
+    """All valid plans for one algorithm.
+
+    A spec may pin its own ``plan_variants`` (``(transform_mode,
+    sampling)`` pairs); otherwise the Figure 5 defaults apply -- one
+    eager plan for full-batch algorithms, the five stochastic variants
+    for stochastic ones.
+    """
     info = gd_registry.info(algorithm)
-    if not info.stochastic:
-        return [GDPlan(algorithm, "eager", None, batch_size)]
+    variants = info.plan_variants
+    if variants is None:
+        variants = STOCHASTIC_VARIANTS if info.stochastic else (("eager", None),)
     return [
         GDPlan(algorithm, mode, sampling, batch_size)
-        for mode, sampling in STOCHASTIC_VARIANTS
+        for mode, sampling in variants
     ]
 
 

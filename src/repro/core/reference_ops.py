@@ -334,8 +334,13 @@ def svrg_operators(
     """SVRG as a GDOperators bundle (same plan shape as SGD, Figure 3(a)).
 
     Note: the executor runs anchor iterations over the full dataset and
-    stochastic iterations over the Sample draw, recognising SVRG compute
-    via the ``anchor_every`` attribute below.
+    stochastic iterations over the Sample draw, recognising them through
+    the duck-typed ``full_batch_when`` hook below (``anchor_every`` is
+    the same cadence as a plain attribute, kept for older callers).  The
+    ``state_namespace`` + ``export_algorithm_state`` /
+    ``import_algorithm_state`` hooks carry the anchor point, ``mu`` and
+    the anchor cadence through :class:`~repro.gd.state.OptimizerState`
+    snapshots.
     """
     ops = GDOperators(
         transform=ParseTransform(),
@@ -347,5 +352,32 @@ def svrg_operators(
         converge=L1Converge(convergence),
         loop=ToleranceLoop(),
     )
-    ops.anchor_every = int(update_frequency)
+    m = int(update_frequency)
+    ops.anchor_every = m
+    ops.state_namespace = "svrg"
+
+    def full_batch_when(i, context):
+        return svrg_is_anchor(i, context, m)
+
+    def export_algorithm_state(context):
+        if "weights_bar" not in context:
+            return None
+        return {
+            "w_bar": np.asarray(
+                context.require("weights_bar"), dtype=float
+            ).tolist(),
+            "mu": np.asarray(context.require("mu"), dtype=float).tolist(),
+            "last_anchor": context.get("svrg_last_anchor"),
+        }
+
+    def import_algorithm_state(context, payload):
+        if "weights_bar" not in context:
+            return
+        context.put("weights_bar", np.asarray(payload["w_bar"], dtype=float))
+        context.put("mu", np.asarray(payload["mu"], dtype=float))
+        context.put("svrg_last_anchor", payload.get("last_anchor"))
+
+    ops.full_batch_when = full_batch_when
+    ops.export_algorithm_state = export_algorithm_state
+    ops.import_algorithm_state = import_algorithm_state
     return ops

@@ -41,7 +41,15 @@ from repro.gd.step_size import (
     make_step_size,
     with_offset,
 )
+from repro.gd.spec import AlgorithmSpec, CostTerms
 from repro.gd.svrg import svrg
+
+# Plugin algorithms: importing the module is the registration (each ends
+# in a register() call against the spec seams above).
+from repro.gd import arc as _arc_plugin  # noqa: F401
+from repro.gd import grad_avg as _grad_avg_plugin  # noqa: F401
+from repro.gd.arc import arc
+from repro.gd.grad_avg import GradientAveragingUpdater
 
 __all__ = [
     "AdaGradUpdater",
@@ -85,4 +93,8 @@ __all__ = [
     "make_step_size",
     "with_offset",
     "svrg",
+    "AlgorithmSpec",
+    "CostTerms",
+    "arc",
+    "GradientAveragingUpdater",
 ]

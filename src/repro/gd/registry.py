@@ -3,14 +3,21 @@
 The paper's search space "is fully parameterized based on the number of GD
 algorithms ... there could be tens of GD algorithms that the user might
 want to evaluate" (Section 6).  This registry is that parameterization
-point: the three fundamental variants the optimizer enumerates by default
-(BGD / MGD / SGD), plus the Appendix C accelerations (SVRG, line search)
-and adaptive-direction variants as extensions.
+point: every algorithm -- the three fundamental variants the optimizer
+enumerates by default (BGD / MGD / SGD), the Appendix C accelerations
+(SVRG, line search), the adaptive-direction variants, and any plugin
+registered at runtime -- is one :class:`~repro.gd.spec.AlgorithmSpec`,
+and every layer of the system (driver dispatch, operator construction,
+state transfer, costing, speculation, plan enumeration) consults the
+spec instead of branching on the algorithm's name.
+
+:func:`register` is the plugin entry point; ``repro.gd.grad_avg`` and
+``repro.gd.arc`` register themselves through it at import time.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import logging
 
 from repro.errors import PlanError
 from repro.gd.base import (
@@ -22,42 +29,130 @@ from repro.gd.base import (
     run_loop,
 )
 from repro.gd.line_search import backtracking_bgd
+from repro.gd.spec import RUN_LOOP_KWARGS, AlgorithmSpec, CostTerms
 from repro.gd.svrg import svrg
 
+#: Legacy name of the descriptor type; the spec *is* the descriptor (its
+#: first four fields are the historical AlgorithmInfo, in order).
+AlgorithmInfo = AlgorithmSpec
 
-@dataclasses.dataclass(frozen=True)
-class AlgorithmInfo:
-    """Descriptor of one registered GD algorithm."""
-
-    name: str
-    #: None -> full batch; 1 -> single sample; other -> default mini-batch.
-    default_batch_size: int | None
-    #: Whether the algorithm reads a per-iteration sample (enables the
-    #: Sample operator and the lazy-transformation/data-skipping plans).
-    stochastic: bool
-    description: str
+log = logging.getLogger("repro.gd")
 
 
-ALGORITHMS = {
-    "bgd": AlgorithmInfo("bgd", None, False, "batch gradient descent"),
-    "mgd": AlgorithmInfo("mgd", 1000, True, "mini-batch gradient descent"),
-    "sgd": AlgorithmInfo("sgd", 1, True, "stochastic gradient descent"),
-    "svrg": AlgorithmInfo(
-        "svrg", 1, True, "stochastic variance-reduced gradient (Appendix C)"
-    ),
-    "line_search": AlgorithmInfo(
-        "line_search", None, False, "BGD with backtracking line search"
-    ),
-    "momentum": AlgorithmInfo("momentum", 1000, True, "MGD with Polyak momentum"),
-    "adagrad": AlgorithmInfo("adagrad", 1000, True, "MGD with AdaGrad scaling"),
-    "adam": AlgorithmInfo("adam", 1000, True, "MGD with Adam direction"),
-}
+# ---------------------------------------------------------------------------
+# built-in operator factories / transfer hooks
+# ---------------------------------------------------------------------------
+
+def _svrg_operator_factory(d, training, plan, iteration_offset=0):
+    """SVRG's executor bundle (lazy import keeps gd -> core acyclic)."""
+    from repro.core.reference_ops import svrg_operators
+
+    return svrg_operators(
+        d=d,
+        gradient=training.gradient(),
+        tolerance=training.tolerance,
+        max_iter=training.max_iter,
+        convergence=training.convergence,
+        iteration_offset=iteration_offset,
+    )
+
+
+def _svrg_transfer(payload, target_algorithm, notes):
+    """Cross-plan policy: anchors never survive a switch."""
+    notes.append("svrg anchor dropped: anchor and mu are "
+                 "recomputed on segment entry")
+    return None
+
+
+ALGORITHMS = {}
+
+
+def spec_for_namespace(namespace):
+    """The spec owning one ``algorithm_state`` namespace, or None."""
+    for spec in ALGORITHMS.values():
+        if spec.state_namespace == namespace:
+            return spec
+    return None
+
+
+def register(spec, replace=False) -> AlgorithmSpec:
+    """Register one :class:`AlgorithmSpec`; returns it for chaining.
+
+    ``replace=True`` allows re-registering an existing name (tests,
+    notebooks); otherwise a duplicate name -- or a duplicate
+    ``state_namespace`` claimed by a different algorithm -- is refused.
+    """
+    if not isinstance(spec, AlgorithmSpec):
+        raise PlanError(
+            f"register() takes an AlgorithmSpec, not {type(spec).__name__}"
+        )
+    if spec.name in ALGORITHMS and not replace:
+        raise PlanError(
+            f"GD algorithm {spec.name!r} is already registered; pass "
+            "replace=True to override it"
+        )
+    if spec.state_namespace is not None:
+        owner = spec_for_namespace(spec.state_namespace)
+        if owner is not None and owner.name != spec.name:
+            raise PlanError(
+                f"state namespace {spec.state_namespace!r} is already "
+                f"owned by algorithm {owner.name!r}"
+            )
+    ALGORITHMS[spec.name] = spec
+    return spec
+
+
+register(AlgorithmSpec("bgd", None, False, "batch gradient descent"))
+register(AlgorithmSpec("mgd", 1000, True, "mini-batch gradient descent"))
+register(AlgorithmSpec(
+    "sgd", 1, True, "stochastic gradient descent",
+    # SGD is single-sample by definition; a batch_size override would
+    # silently turn it into MGD.
+    batch_size_fixed=True,
+))
+register(AlgorithmSpec(
+    "svrg", 1, True, "stochastic variance-reduced gradient (Appendix C)",
+    driver=svrg,
+    accepted_kwargs=frozenset({
+        "update_frequency", "step_size", "tolerance", "max_iter",
+        "convergence", "w0", "rng", "time_budget_s", "iteration_callback",
+        "state", "state_every", "state_callback",
+    }),
+    batch_size_fixed=True,
+    make_operators=_svrg_operator_factory,
+    state_namespace="svrg",
+    transfer_state=_svrg_transfer,
+))
+register(AlgorithmSpec(
+    "line_search", None, False, "BGD with backtracking line search",
+    driver=backtracking_bgd,
+    # No ``iteration_callback`` / ``rng``: line search is deterministic
+    # full-batch and cannot stream per-iteration errors, which is why
+    # the speculation estimator refuses it (too few observations).
+    accepted_kwargs=frozenset({
+        "alpha0", "beta", "c", "max_backtracks", "tolerance", "max_iter",
+        "convergence", "w0", "time_budget_s",
+    }),
+    supports_executor=False,
+))
+register(AlgorithmSpec(
+    "momentum", 1000, True, "MGD with Polyak momentum",
+    make_updater=MomentumUpdater,
+))
+register(AlgorithmSpec(
+    "adagrad", 1000, True, "MGD with AdaGrad scaling",
+    make_updater=AdaGradUpdater,
+))
+register(AlgorithmSpec(
+    "adam", 1000, True, "MGD with Adam direction",
+    make_updater=AdamUpdater,
+))
 
 #: The variants the cost-based optimizer enumerates by default (Figure 5).
 CORE_ALGORITHMS = ("bgd", "mgd", "sgd")
 
 
-def info(name) -> AlgorithmInfo:
+def info(name) -> AlgorithmSpec:
     try:
         return ALGORITHMS[name]
     except KeyError:
@@ -68,41 +163,110 @@ def info(name) -> AlgorithmInfo:
 
 def updater_for(name):
     """Direction updater for adaptive variants (None for vanilla GD)."""
-    if name == "momentum":
-        return MomentumUpdater()
-    if name == "adagrad":
-        return AdaGradUpdater()
-    if name == "adam":
-        return AdamUpdater()
-    return None
+    spec = ALGORITHMS.get(name)
+    if spec is None or spec.make_updater is None:
+        return None
+    return spec.make_updater()
+
+
+def cost_terms(name) -> CostTerms:
+    """The algorithm's cost-model correction terms (identity by default)."""
+    return info(name).cost
+
+
+def speculation_overrides(name) -> dict:
+    """Per-algorithm SpeculationSettings field overrides ({} = none)."""
+    return info(name).speculation_overrides
+
+
+def selector_for(name, n, batch_size=None):
+    """The :func:`run_loop` batch selector a generic algorithm uses."""
+    spec = info(name)
+    if spec.default_batch_size is None:
+        return full_batch_selector
+    if spec.batch_size_fixed:
+        return make_minibatch_selector(n, spec.default_batch_size)
+    size = batch_size if batch_size is not None else spec.default_batch_size
+    return make_minibatch_selector(n, size)
+
+
+def batch_overrides(batch) -> dict:
+    """Per-algorithm batch_sizes for a user-requested mini-batch size.
+
+    A ``batch=`` request applies to every registered algorithm that
+    actually takes a tunable mini-batch (``default_batch_size`` set and
+    not ``batch_size_fixed``); full-batch algorithms and fixed-batch
+    ones (SGD's single sample, SVRG/Arc inner loops) keep their
+    semantics.  Returns ``{}`` for ``batch=None``.
+    """
+    if batch is None:
+        return {}
+    return {
+        name: int(batch)
+        for name, spec in ALGORITHMS.items()
+        if spec.default_batch_size is not None and not spec.batch_size_fixed
+    }
+
+
+def make_operators(plan, d, training, iteration_offset=0):
+    """Build the executor operator bundle for one plan via its spec."""
+    spec = info(plan.algorithm)
+    if spec.make_operators is not None:
+        return spec.make_operators(
+            d=d, training=training, plan=plan,
+            iteration_offset=iteration_offset,
+        )
+    from repro.core.reference_ops import default_operators
+
+    return default_operators(
+        d=d,
+        gradient=training.gradient(),
+        batch_size=plan.effective_batch_size,
+        step_size=training.step_size,
+        tolerance=training.tolerance,
+        max_iter=training.max_iter,
+        convergence=training.convergence,
+        updater=updater_for(plan.algorithm),
+        iteration_offset=iteration_offset,
+    )
+
+
+def _filter_kwargs(spec, kwargs) -> dict:
+    """Drop kwargs the algorithm does not accept, loudly.
+
+    The registry used to strip unsupported kwargs silently (an
+    ``updater=`` handed to SVRG simply vanished); now every spec
+    declares its accepted set and anything outside it is dropped with a
+    structured ``repro.gd`` WARNING naming the casualties.
+    """
+    accepted = spec.accepted_kwargs
+    if accepted is None:
+        accepted = RUN_LOOP_KWARGS
+    dropped = sorted(set(kwargs) - accepted)
+    if not dropped:
+        return kwargs
+    log.warning(
+        "algorithm %s does not accept %s; dropping",
+        spec.name, ", ".join(dropped),
+        extra={"algorithm": spec.name, "dropped_kwargs": dropped},
+    )
+    return {k: v for k, v in kwargs.items() if k in accepted}
 
 
 def run(name, X, y, gradient, batch_size=None, **kwargs):
     """Run any registered algorithm on in-memory data (pure math).
 
     ``kwargs`` are forwarded to the underlying driver (``step_size``,
-    ``tolerance``, ``max_iter``, ``rng``, ``time_budget_s``, ...).
+    ``tolerance``, ``max_iter``, ``rng``, ``time_budget_s``, ...) after
+    filtering against the spec's ``accepted_kwargs`` (dropped keys are
+    logged as a ``repro.gd`` WARNING).
     """
-    algo = info(name)
-    if name == "svrg":
-        kwargs = {k: v for k, v in kwargs.items()
-                  if k not in ("updater", "record_loss")}
-        return svrg(X, y, gradient, **kwargs)
-    if name == "line_search":
-        kwargs = {k: v for k, v in kwargs.items()
-                  if k not in ("rng", "updater", "step_size",
-                               "record_loss", "iteration_callback")}
-        return backtracking_bgd(X, y, gradient, **kwargs)
+    spec = info(name)
+    kwargs = _filter_kwargs(spec, kwargs)
+    if spec.driver is not None:
+        return spec.driver(X, y, gradient, **kwargs)
 
-    if algo.default_batch_size is None:
-        selector = full_batch_selector
-    elif name == "sgd":
-        # SGD is single-sample by definition; a batch_size override would
-        # silently turn it into MGD.
-        selector = make_minibatch_selector(X.shape[0], 1)
-    else:
-        size = batch_size if batch_size is not None else algo.default_batch_size
-        selector = make_minibatch_selector(X.shape[0], size)
+    selector = selector_for(name, X.shape[0], batch_size)
     updater = updater_for(name)
     if updater is not None:
         kwargs = dict(kwargs)

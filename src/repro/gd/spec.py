@@ -1,0 +1,184 @@
+"""The :class:`AlgorithmSpec` plugin interface of the GD algorithm zoo.
+
+The paper's search space "is fully parameterized based on the number of
+GD algorithms ... there could be tens of GD algorithms that the user
+might want to evaluate" (Section 6).  Historically that parameterization
+stopped at the registry's name table: adding an algorithm still meant
+editing the registry's ``run()`` branches, the executor's operator
+selection, the optimizer-state schema and the cost/speculation layers by
+hand.  An :class:`AlgorithmSpec` bundles *all* of those seams into one
+declarative object, so a new algorithm is its own module plus one
+:func:`~repro.gd.registry.register` call:
+
+===========================  ============================================
+spec field                   consumed by
+===========================  ============================================
+``driver``                   ``registry.run`` (speculation, baselines)
+``accepted_kwargs``          ``registry.run`` kwarg filtering + WARNING
+``make_updater``             ``registry.updater_for`` / reference Update
+``make_operators``           ``core.executor.PlanExecutor``
+``state_namespace``          ``OptimizerState.algorithm_state`` keying
+``transfer_state``           ``OptimizerState.transfer_to`` (plan switch)
+``cost``                     ``core.cost_model.CostModel`` (both paths)
+``speculation_overrides``    ``core.iterations.SpeculativeEstimator``
+``plan_variants``            ``core.plan_space.plans_for_algorithm``
+===========================  ============================================
+
+See ``docs/ARCHITECTURE.md`` ("Adding a GD algorithm") for the
+walkthrough and ``repro.gd.grad_avg`` / ``repro.gd.arc`` for two
+algorithms expressed purely through this interface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import PlanError
+
+
+@dataclasses.dataclass(frozen=True)
+class CostTerms:
+    """Per-algorithm correction terms for the Section 7 cost model.
+
+    The paper's formulas price a plan by its *shape* (sampling,
+    transformation, distribution); algorithms whose iterations do more
+    than one gradient/update express that here.  The defaults are the
+    exact identity -- every paper algorithm keeps its historical cost
+    bit-for-bit -- and the cost model skips the correction entirely when
+    :meth:`is_identity` holds, so registering a spec with default terms
+    is provably behaviour-preserving.
+    """
+
+    #: Scales the whole per-iteration cost (1.0 = unchanged).
+    per_iteration_multiplier: float = 1.0
+    #: Extra Update work per iteration, as a multiple of the plan's
+    #: Update CPU cost (e.g. 1.0 for one additional weight-sized vector
+    #: op, like maintaining a running gradient average).
+    extra_update_cost_factor: float = 0.0
+    #: Fraction of iterations that are *full-batch* passes on an
+    #: otherwise stochastic plan (SVRG-style anchors, Arc GD's periodic
+    #: full-gradient probes).  Those iterations are priced at the
+    #: full-batch per-iteration cost instead of the stochastic one.
+    full_pass_fraction: float = 0.0
+
+    def __post_init__(self):
+        if self.per_iteration_multiplier <= 0:
+            raise PlanError("per_iteration_multiplier must be positive")
+        if self.extra_update_cost_factor < 0:
+            raise PlanError("extra_update_cost_factor must be >= 0")
+        if not 0.0 <= self.full_pass_fraction <= 1.0:
+            raise PlanError("full_pass_fraction must be in [0, 1]")
+
+    def is_identity(self) -> bool:
+        return (
+            self.per_iteration_multiplier == 1.0
+            and self.extra_update_cost_factor == 0.0
+            and self.full_pass_fraction == 0.0
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class AlgorithmSpec:
+    """Everything the system needs to know about one GD algorithm.
+
+    The first four fields are the legacy ``AlgorithmInfo`` descriptor
+    (same names, same order), so existing positional constructions and
+    attribute reads keep working; everything after them is the plugin
+    surface, each field defaulting to "behave exactly like a plain
+    registered algorithm always did".
+    """
+
+    name: str
+    #: None -> full batch; 1 -> single sample; other -> default mini-batch.
+    default_batch_size: int | None
+    #: Whether the algorithm reads a per-iteration sample (enables the
+    #: Sample operator and the lazy-transformation/data-skipping plans).
+    stochastic: bool
+    description: str
+
+    # -- driver seam (registry.run: speculation, pure-math training) ----
+    #: Custom pure-math driver ``driver(X, y, gradient, **kwargs) ->
+    #: GDRunResult``; None runs the canonical
+    #: :func:`~repro.gd.base.run_loop` with the selector implied by
+    #: ``default_batch_size`` and the updater from ``make_updater``.
+    driver: object = None
+    #: Keyword arguments the driver understands.  ``registry.run``
+    #: filters its kwargs to this set and logs a ``repro.gd`` WARNING
+    #: naming anything it dropped; None accepts the full
+    #: :func:`~repro.gd.base.run_loop` surface.
+    accepted_kwargs: frozenset | None = None
+    #: When True, ``batch_size`` overrides are ignored (SGD is
+    #: single-sample *by definition*; an override would silently turn it
+    #: into MGD).
+    batch_size_fixed: bool = False
+
+    # -- direction seam (reference Update operator / run_loop) ----------
+    #: Zero-arg factory for a fresh :class:`~repro.gd.base.Updater`
+    #: (None -> vanilla gradient direction).  A factory, not an
+    #: instance: updaters are stateful and never shared across runs.
+    make_updater: object = None
+
+    # -- executor seam --------------------------------------------------
+    #: Operator-bundle factory ``make_operators(d, training, plan,
+    #: iteration_offset) -> GDOperators`` used by the plan executor;
+    #: None builds the reference bundle
+    #: (:func:`~repro.core.reference_ops.default_operators`) with this
+    #: spec's updater.  Factories should lazy-import ``repro.core``
+    #: modules to keep the gd -> core import direction acyclic.
+    make_operators: object = None
+    #: Whether the plan executor can run this algorithm faithfully.
+    #: Line search is the counter-example: its inner backtracking loop
+    #: has no operator expression, so it is speculation/baseline-only.
+    supports_executor: bool = True
+
+    # -- state seam -----------------------------------------------------
+    #: Key under :attr:`OptimizerState.algorithm_state` that this
+    #: algorithm's private state (anchors, phase markers, ...) lives in;
+    #: None for algorithms whose whole state is the generic snapshot
+    #: (offset, updater buffers, RNG, convergence memory).
+    state_namespace: str | None = None
+    #: Cross-plan transfer hook ``transfer_state(payload, target_algorithm,
+    #: notes) -> payload | None``, consulted by
+    #: :meth:`OptimizerState.transfer_to` for this spec's namespace on a
+    #: plan switch.  Return the payload (or a reduced one) to carry it,
+    #: None to drop it; append human-readable decisions to ``notes``.
+    #: None drops the namespace with a generic note.
+    transfer_state: object = None
+
+    # -- optimizer seams ------------------------------------------------
+    #: Cost-model correction terms (identity by default; see
+    #: :class:`CostTerms`).
+    cost: CostTerms = CostTerms()
+    #: Per-algorithm :class:`~repro.core.iterations.SpeculationSettings`
+    #: field overrides (e.g. a longer time budget for slow-start
+    #: algorithms); empty dict = the estimator's own settings, verbatim.
+    speculation_overrides: dict = dataclasses.field(default_factory=dict)
+    #: ``(transform_mode, sampling)`` pairs the plan space enumerates
+    #: for this algorithm; None = the Figure 5 defaults (one eager plan
+    #: for full-batch algorithms, the five stochastic variants
+    #: otherwise).
+    plan_variants: tuple | None = None
+
+    def __post_init__(self):
+        if not self.name:
+            raise PlanError("algorithm specs need a non-empty name")
+        if self.driver is not None and self.accepted_kwargs is None:
+            raise PlanError(
+                f"algorithm {self.name!r} has a custom driver but no "
+                "accepted_kwargs declaration; registry.run cannot filter "
+                "kwargs safely without one"
+            )
+        if self.transfer_state is not None and self.state_namespace is None:
+            raise PlanError(
+                f"algorithm {self.name!r} declares a transfer_state hook "
+                "without a state_namespace to apply it to"
+            )
+
+
+#: Keyword surface of :func:`~repro.gd.base.run_loop`, the accepted set
+#: of every generic (driver-less) algorithm.
+RUN_LOOP_KWARGS = frozenset({
+    "step_size", "tolerance", "max_iter", "convergence", "w0", "updater",
+    "rng", "record_loss", "time_budget_s", "iteration_callback", "state",
+    "state_every", "state_callback",
+})

@@ -50,7 +50,11 @@ from repro.errors import PlanError
 #: Format version of one serialized OptimizerState snapshot.  Bump when
 #: the payload shape changes incompatibly; readers refuse newer formats
 #: (resume from an unreadable snapshot would be silently wrong).
-STATE_FORMAT = 1
+#: Format history:
+#:   1 -- flat ``svrg`` field for SVRG anchor state.
+#:   2 -- namespaced ``algorithm_state`` dict keyed by each spec's
+#:        ``state_namespace`` (format-1 ``svrg`` payloads migrate on read).
+STATE_FORMAT = 2
 
 #: Canonical updater name of vanilla (buffer-free) gradient descent.
 VANILLA = "vanilla"
@@ -103,10 +107,12 @@ class OptimizerState:
     #: Updater buffers by buffer name (momentum velocity, AdaGrad
     #: accumulator, Adam moments), as nested float lists.
     updater_buffers: dict = dataclasses.field(default_factory=dict)
-    #: SVRG anchor state: ``{"w_bar": [...], "mu": [...],
-    #: "last_anchor": int}`` where ``last_anchor`` is the *global*
-    #: iteration of the most recent anchor pass; None for non-SVRG runs.
-    svrg: dict | None = None
+    #: Per-algorithm private state, keyed by each registered spec's
+    #: ``state_namespace`` (e.g. ``{"svrg": {"w_bar": [...], "mu": [...],
+    #: "last_anchor": int}}``).  Algorithms without private state never
+    #: appear here; the owning spec's ``transfer_state`` hook decides
+    #: what survives a plan switch.
+    algorithm_state: dict = dataclasses.field(default_factory=dict)
     #: Convergence-criterion state (the reference Converge operator's
     #: previous-weights memory): ``{"previous": [...]}`` or None.
     convergence: dict | None = None
@@ -120,6 +126,12 @@ class OptimizerState:
     #: and what it dropped (human-readable, recorded into the trace).
     notes: list = dataclasses.field(default_factory=list)
 
+    #: Read-only view of the SVRG namespace, kept for callers written
+    #: against format 1 (``state.svrg["last_anchor"]`` still works).
+    @property
+    def svrg(self) -> dict | None:
+        return self.algorithm_state.get("svrg")
+
     # -- serialisation ---------------------------------------------------
     def to_dict(self) -> dict:
         payload = dataclasses.asdict(self)
@@ -129,14 +141,19 @@ class OptimizerState:
     @classmethod
     def from_dict(cls, payload) -> "OptimizerState":
         """Decode a snapshot; tolerant of unknown keys (newer writers may
-        add fields), strict about newer format versions."""
+        add fields), strict about newer format versions.  Format-1
+        snapshots (flat ``svrg`` field) migrate into the namespaced
+        ``algorithm_state`` shape on read."""
         fmt = payload.get("state_format", STATE_FORMAT)
         if fmt > STATE_FORMAT:
             raise PlanError(
                 f"optimizer-state format {fmt} is newer than supported "
                 f"{STATE_FORMAT}; refusing to resume from it"
             )
-        return cls(**known_fields(cls, payload))
+        data = known_fields(cls, payload)
+        if "algorithm_state" not in payload and payload.get("svrg") is not None:
+            data["algorithm_state"] = {"svrg": payload["svrg"]}
+        return cls(**data)
 
     # -- transfer policy -------------------------------------------------
     def transfer_to(self, algorithm) -> "OptimizerState":
@@ -148,7 +165,8 @@ class OptimizerState:
         continuations should pass the state through untouched instead --
         this method implements the *cross-plan* policy.
         """
-        from repro.gd.registry import updater_for  # local: avoids a cycle
+        # local imports: avoid a cycle (registry imports gd drivers)
+        from repro.gd.registry import spec_for_namespace, updater_for
 
         target = updater_for(algorithm)
         target_name = target.name if target is not None else VANILLA
@@ -165,9 +183,18 @@ class OptimizerState:
             else:
                 notes.append(f"{self.updater} buffers dropped: target "
                              f"updater is {target_name}")
-        if self.svrg is not None:
-            notes.append("svrg anchor dropped: anchor and mu are "
-                         "recomputed on segment entry")
+        carried_state = {}
+        for namespace, payload in self.algorithm_state.items():
+            if payload is None:
+                continue
+            owner = spec_for_namespace(namespace)
+            if owner is not None and owner.transfer_state is not None:
+                kept = owner.transfer_state(payload, algorithm, notes)
+                if kept is not None:
+                    carried_state[namespace] = kept
+            else:
+                notes.append(f"{namespace} state dropped on plan switch "
+                             "(no transfer policy registered)")
         if self.sampler is not None:
             notes.append("sampler cursors dropped (plan-specific); "
                          "rng stream carried")
@@ -175,7 +202,7 @@ class OptimizerState:
             iteration_offset=self.iteration_offset,
             updater=target_name,
             updater_buffers=buffers,
-            svrg=None,
+            algorithm_state=carried_state,
             convergence=self.convergence,
             rng_state=self.rng_state,
             sampler=None,

@@ -93,11 +93,11 @@ def svrg(
     def snapshot(completed) -> OptimizerState:
         return OptimizerState(
             iteration_offset=offset + completed,
-            svrg={
+            algorithm_state={"svrg": {
                 "w_bar": w_bar.tolist(),
                 "mu": mu.tolist(),
                 "last_anchor": last_anchor,
-            },
+            }},
             rng_state=capture_rng(rng),
         )
 

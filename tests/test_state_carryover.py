@@ -21,14 +21,14 @@ import pytest
 
 from repro.cluster import SimulatedCluster
 from repro.core.executor import execute_plan
+from repro.core.plan_space import plans_for_algorithm
 from repro.core.plans import GDPlan, TrainingSpec
 from repro.errors import PlanError
+from repro.gd import registry as gd_registry
 from repro.gd.base import (
-    AdaGradUpdater,
     AdamUpdater,
     MomentumUpdater,
     full_batch_selector,
-    make_minibatch_selector,
     run_loop,
 )
 from repro.gd.gradients import LogisticGradient
@@ -41,17 +41,24 @@ from support import make_dataset
 N_TOTAL = 60
 SPLITS = (1, 23, 59)
 
-SELECTORS = {
-    "bgd": lambda n: full_batch_selector,
-    "mgd": lambda n: make_minibatch_selector(n, 32),
-    "sgd": lambda n: make_minibatch_selector(n, 1),
-}
-UPDATERS = {
-    "vanilla": lambda: None,
-    "momentum": lambda: MomentumUpdater(),
-    "adagrad": lambda: AdaGradUpdater(),
-    "adam": lambda: AdamUpdater(),
-}
+#: The resume-equivalence matrices are *derived from the registry*, so
+#: every registered algorithm -- including plugins -- is automatically
+#: proven bit-identical on stop/resume.  Driver-less specs run through
+#: run_loop with the selector/updater their spec implies; driver-based
+#: specs that declare ``state`` support resume through registry.run.
+RUN_LOOP_ALGORITHMS = sorted(
+    name for name, s in gd_registry.ALGORITHMS.items() if s.driver is None
+)
+DRIVER_ALGORITHMS = sorted(
+    name for name, s in gd_registry.ALGORITHMS.items()
+    if s.driver is not None and "state" in (s.accepted_kwargs or ())
+)
+
+
+def registry_selector(algorithm, n):
+    """The selector the registry would hand run_loop (small batches so
+    the 120-row test problem stays genuinely stochastic)."""
+    return gd_registry.selector_for(algorithm, n, batch_size=32)
 
 
 @pytest.fixture(scope="module")
@@ -69,14 +76,11 @@ def json_round_trip(state) -> OptimizerState:
 
 
 class TestRunLoopResumeEquivalence:
-    @pytest.mark.parametrize("updater_name", sorted(UPDATERS))
-    @pytest.mark.parametrize("algorithm", sorted(SELECTORS))
+    @pytest.mark.parametrize("algorithm", RUN_LOOP_ALGORITHMS)
     @pytest.mark.parametrize("k", SPLITS)
-    def test_stop_and_resume_is_bit_identical(
-        self, problem, algorithm, updater_name, k
-    ):
+    def test_stop_and_resume_is_bit_identical(self, problem, algorithm, k):
         X, y, gradient = problem
-        selector = SELECTORS[algorithm](X.shape[0])
+        selector = registry_selector(algorithm, X.shape[0])
 
         def run(max_iter, w0=None, state=None, seed=5):
             return run_loop(
@@ -85,7 +89,7 @@ class TestRunLoopResumeEquivalence:
                 tolerance=0.0,            # never converge: fixed-length runs
                 max_iter=max_iter,
                 w0=w0,
-                updater=UPDATERS[updater_name](),
+                updater=gd_registry.updater_for(algorithm),
                 rng=np.random.default_rng(seed),
                 state=state,
             )
@@ -103,9 +107,29 @@ class TestRunLoopResumeEquivalence:
         )
         assert second.state.iteration_offset == N_TOTAL
 
+    @pytest.mark.parametrize("k", SPLITS)
+    def test_caller_supplied_updater_on_any_selector(self, problem, k):
+        # The updater need not come from the algorithm's own spec:
+        # buffers still carry across a resume on a full-batch selector.
+        X, y, gradient = problem
+
+        def run(max_iter, w0=None, state=None, seed=5):
+            return run_loop(
+                X, y, gradient, full_batch_selector,
+                step_size=1.0, tolerance=0.0, max_iter=max_iter, w0=w0,
+                updater=AdamUpdater(), rng=np.random.default_rng(seed),
+                state=state,
+            )
+
+        one_shot = run(N_TOTAL)
+        first = run(k)
+        second = run(N_TOTAL - k, w0=first.weights,
+                     state=json_round_trip(first.state), seed=999)
+        assert np.array_equal(one_shot.weights, second.weights)
+
     def test_resume_without_state_restarts_the_schedule(self, problem):
         X, y, gradient = problem
-        selector = SELECTORS["bgd"](X.shape[0])
+        selector = registry_selector("bgd", X.shape[0])
         one_shot = run_loop(X, y, gradient, selector, step_size=1.0,
                             tolerance=0.0, max_iter=N_TOTAL)
         first = run_loop(X, y, gradient, selector, step_size=1.0,
@@ -154,16 +178,52 @@ class TestSVRGResumeEquivalence:
         )
 
 
-EXECUTOR_PLANS = [
-    GDPlan("bgd"),
-    GDPlan("mgd", "eager", "random", 64),
-    GDPlan("mgd", "eager", "bernoulli", 64),
-    GDPlan("sgd", "lazy", "shuffle"),
-    GDPlan("svrg", "eager", "random"),
-    GDPlan("momentum", "eager", "shuffle", 64),
-    GDPlan("adagrad", "eager", "random", 64),
-    GDPlan("adam", "lazy", "shuffle", 64),
-]
+class TestDriverResumeEquivalence:
+    """Every driver-based registered algorithm that declares ``state``
+    support (svrg, arc, future plugins) resumes bit-identically through
+    registry.run."""
+
+    @pytest.mark.parametrize("algorithm", DRIVER_ALGORITHMS)
+    @pytest.mark.parametrize("k", (5, 23, 50))
+    def test_stop_and_resume_is_bit_identical(self, problem, algorithm, k):
+        X, y, gradient = problem
+
+        def run(max_iter, w0=None, state=None, seed=5):
+            return gd_registry.run(
+                algorithm, X, y, gradient, step_size=0.05,
+                tolerance=0.0, max_iter=max_iter, w0=w0, state=state,
+                rng=np.random.default_rng(seed),
+            )
+
+        one_shot = run(N_TOTAL)
+        first = run(k)
+        second = run(N_TOTAL - k, w0=first.weights,
+                     state=json_round_trip(first.state), seed=999)
+
+        assert np.array_equal(one_shot.weights, second.weights)
+        np.testing.assert_array_equal(
+            one_shot.deltas, np.concatenate([first.deltas, second.deltas])
+        )
+
+
+def _executor_plans():
+    """One representative plan per executor-capable registered algorithm,
+    rotating through the plan-space variants so every sampling strategy
+    and both transform modes stay covered as the registry grows."""
+    names = sorted(
+        name for name, s in gd_registry.ALGORITHMS.items()
+        if s.supports_executor
+    )
+    plans = []
+    for idx, name in enumerate(names):
+        entry = gd_registry.ALGORITHMS[name]
+        batch = 64 if entry.stochastic and not entry.batch_size_fixed else None
+        variants = plans_for_algorithm(name, batch)
+        plans.append(variants[idx % len(variants)])
+    return plans
+
+
+EXECUTOR_PLANS = _executor_plans()
 
 
 class TestExecutorResumeEquivalence:
@@ -221,7 +281,9 @@ class TestOptimizerStateSerialization:
             iteration_offset=123,
             updater="adam",
             updater_buffers={"m": [0.1, 0.2], "v": [0.3, 0.4]},
-            svrg={"w_bar": [1.0], "mu": [2.0], "last_anchor": 120},
+            algorithm_state={
+                "svrg": {"w_bar": [1.0], "mu": [2.0], "last_anchor": 120},
+            },
             convergence={"previous": [5.0, 6.0]},
             rng_state=np.random.default_rng(3).bit_generator.state,
             sampler={"pid": 1, "sim_cursor": 9, "phys_order": [3, 1],
@@ -272,11 +334,32 @@ class TestTransferPolicy:
     def test_svrg_anchor_recomputed_on_entry(self):
         state = OptimizerState(
             iteration_offset=90,
-            svrg={"w_bar": [1.0], "mu": [0.1], "last_anchor": 85},
+            algorithm_state={
+                "svrg": {"w_bar": [1.0], "mu": [0.1], "last_anchor": 85},
+            },
         )
         out = state.transfer_to("svrg")
         assert out.svrg is None
         assert any("anchor" in n for n in out.notes)
+
+    def test_plugin_namespaces_route_through_spec_hooks(self):
+        state = OptimizerState(
+            iteration_offset=40,
+            algorithm_state={"arc": {"phase": 2, "norm0": 1.5,
+                                     "switched_at": 21, "last_probe": 39}},
+        )
+        out = state.transfer_to("mgd")
+        assert out.algorithm_state == {}
+        assert any("re-probed" in n for n in out.notes)
+
+    def test_format1_snapshot_migrates_and_transfers(self):
+        payload = {"state_format": 1, "iteration_offset": 12,
+                   "svrg": {"w_bar": [1.0], "mu": [0.5], "last_anchor": 8}}
+        state = OptimizerState.from_dict(payload)
+        assert state.algorithm_state == {"svrg": payload["svrg"]}
+        assert state.svrg == payload["svrg"]
+        out = state.transfer_to("mgd")
+        assert out.svrg is None
 
     def test_sampler_cursors_drop_on_plan_change(self):
         out = self.momentum_state().transfer_to("sgd")
@@ -341,20 +424,17 @@ class TestStateExportCadence:
     """gd-level ``state_every``/``state_callback``: mid-run snapshots
     that perturb nothing and each resume bit-identically."""
 
-    @pytest.mark.parametrize("updater_name", sorted(UPDATERS))
-    @pytest.mark.parametrize("algorithm", sorted(SELECTORS))
-    def test_random_kill_resumes_bit_identically(
-        self, problem, algorithm, updater_name
-    ):
+    @pytest.mark.parametrize("algorithm", RUN_LOOP_ALGORITHMS)
+    def test_random_kill_resumes_bit_identically(self, problem, algorithm):
         X, y, gradient = problem
-        selector = SELECTORS[algorithm](X.shape[0])
+        selector = registry_selector(algorithm, X.shape[0])
         snapshots = {}
 
         def run(max_iter, w0=None, state=None, seed=5, capture=False):
             return run_loop(
                 X, y, gradient, selector,
                 step_size=1.0, tolerance=0.0, max_iter=max_iter,
-                w0=w0, updater=UPDATERS[updater_name](),
+                w0=w0, updater=gd_registry.updater_for(algorithm),
                 rng=np.random.default_rng(seed), state=state,
                 state_every=1 if capture else None,
                 state_callback=(
@@ -369,7 +449,7 @@ class TestStateExportCadence:
         assert np.array_equal(plain.weights, captured.weights)
         assert set(snapshots) == set(range(1, N_TOTAL))  # not the exit
 
-        k = kill_point(f"run_loop/{algorithm}/{updater_name}")
+        k = kill_point(f"run_loop/{algorithm}")
         w_k, state_k = snapshots[k]
         resumed = run(N_TOTAL - k, w0=w_k,
                       state=json_round_trip(state_k), seed=999)
