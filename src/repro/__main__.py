@@ -130,6 +130,7 @@ def build_parser():
     parser.add_argument("--seed", type=int, default=7,
                         help="RNG seed (default 7)")
     _add_algorithms_flag(parser)
+    _add_learned_flag(parser)
     return parser
 
 
@@ -139,6 +140,16 @@ def _add_algorithms_flag(parser):
         help="comma-separated GD algorithms the optimizer enumerates "
              "(any registered name, e.g. bgd,mgd,sgd,grad_avg,arc; "
              "default: the paper's core bgd,mgd,sgd)",
+    )
+
+
+def _add_learned_flag(parser):
+    parser.add_argument(
+        "--learned", metavar="PATH", default=None,
+        help="blend the learned residual cost model at PATH (fitted "
+             "with 'repro calibrate --fit-learned') into plan ranking; "
+             "algorithms below its training-data gate rank exactly as "
+             "without it",
     )
 
 
@@ -166,6 +177,8 @@ def _ml4all_kwargs(args) -> dict:
     algorithms = _parse_algorithms(getattr(args, "algorithms", None))
     if algorithms is not None:
         kwargs["algorithms"] = algorithms
+    if getattr(args, "learned", None):
+        kwargs["learned_path"] = args.learned
     return kwargs
 
 
@@ -188,6 +201,7 @@ def _service_parser(prog, description):
     parser.add_argument("--calibration", metavar="PATH", default=None,
                         help="load/persist the calibration store at PATH "
                              "(a restarted server starts calibrated)")
+    _add_learned_flag(parser)
     parser.add_argument("--cache", metavar="PATH", default=None,
                         help="persist the plan store at PATH (.db/.sqlite "
                              "-> SQLite, else JSON); a restarted server "
@@ -818,6 +832,12 @@ def calibrate_main(argv) -> int:
                         help="deliberately mis-scale the cost model for one "
                              "algorithm (repeatable; shows calibration "
                              "correcting a known fault)")
+    parser.add_argument("--fit-learned", metavar="PATH", default=None,
+                        help="harvest every run's execution trace into the "
+                             "learned residual model at PATH (loaded when "
+                             "present, refitted and saved afterwards); "
+                             "serve it back with --learned on "
+                             "optimize/batch/serve")
     args = parser.parse_args(argv)
 
     from repro.gd.registry import ALGORITHMS
@@ -852,6 +872,12 @@ def calibrate_main(argv) -> int:
         return 1
     print("before:", system.calibration.summary())
 
+    learned = None
+    if args.fit_learned:
+        from repro.learned import ResidualModel
+
+        learned = ResidualModel.open(args.fit_learned)
+
     for run in range(max(1, args.runs)):
         engine = SimulatedCluster(system.spec, seed=args.seed + run)
         optimizer = GDOptimizer(
@@ -878,8 +904,17 @@ def calibrate_main(argv) -> int:
         for switch in outcome.trace.switches:
             print(f"  switched {switch.from_plan} -> {switch.to_plan} "
                   f"at iteration {switch.iteration}: {switch.reason}")
+        if learned is not None:
+            added = learned.observe_trace(
+                outcome.trace, dataset.stats, system.spec
+            )
+            print(f"  learned: {added} example(s) harvested")
 
     print("after:", system.calibration.summary())
+    if learned is not None:
+        learned.save(args.fit_learned)
+        print("after:", learned.summary())
+        print(f"learned model saved to {args.fit_learned}")
     if args.store:
         system.save_calibration(args.store)
         print(f"calibration store saved to {args.store}")

@@ -90,10 +90,16 @@ class SpeculativeEstimator:
     :meth:`estimate_all` transparently falls back to the thread pool.
     """
 
-    def __init__(self, settings=None, seed=0, max_workers=1):
+    def __init__(self, settings=None, seed=0, max_workers=1,
+                 model_overrides=None):
         self.settings = settings or SpeculationSettings()
         self.seed = seed
         self.max_workers = max_workers
+        #: Per-algorithm error-curve family overrides ({algorithm:
+        #: model name}), e.g. fed back from the learned model's
+        #: curve-family votes.  Applied after any registry-level
+        #: speculation overrides, before fitting.
+        self.model_overrides = dict(model_overrides or {})
 
     # ------------------------------------------------------------------
     def take_sample(self, X, y, rng=None):
@@ -129,6 +135,11 @@ class SpeculativeEstimator:
             # A spec may tune Algorithm 1's knobs for its own convergence
             # profile (e.g. a longer budget for slow-start algorithms).
             cfg = dataclasses.replace(cfg, **overrides)
+        family = self.model_overrides.get(algorithm)
+        if family:
+            # Learned per-algorithm curve family (adaptive refits that
+            # kept preferring a different family voted it in).
+            cfg = dataclasses.replace(cfg, model=family)
         rng = np.random.default_rng(self.seed)
         Xs, ys = sample if sample is not None else self.take_sample(X, y, rng)
 
@@ -321,7 +332,7 @@ class SpeculativeEstimator:
             (
                 self.settings, self.seed, sample, gradient, alg,
                 target_tolerance, step_size, batch_sizes.get(alg),
-                convergence,
+                convergence, self.model_overrides,
             )
             for alg in algorithms
         ]
@@ -357,8 +368,10 @@ def _speculate_in_process(payload) -> IterationsEstimate:
     thread/sequential paths.
     """
     (settings, seed, sample, gradient, algorithm, target_tolerance,
-     step_size, batch_size, convergence) = payload
-    estimator = SpeculativeEstimator(settings, seed=seed)
+     step_size, batch_size, convergence, model_overrides) = payload
+    estimator = SpeculativeEstimator(
+        settings, seed=seed, model_overrides=model_overrides
+    )
     Xs, ys = sample
     return estimator.estimate(
         Xs, ys, gradient, algorithm, target_tolerance,

@@ -43,6 +43,7 @@ class GDOptimizer:
         batch_sizes=None,
         cost_model=None,
         calibration=None,
+        learned=None,
     ):
         self.engine = engine
         self.estimator = estimator or SpeculativeEstimator()
@@ -54,6 +55,11 @@ class GDOptimizer:
         #: scale the cost model's per-iteration estimates and the
         #: speculative iteration counts; an empty store is the identity.
         self.calibration = calibration
+        #: Optional :class:`~repro.learned.mixed.MixedCostModel`.  For
+        #: algorithms it gates in (enough training data), its blended
+        #: factor replaces the EWMA one; for everything else the ranking
+        #: is bit-identical to the calibration-only path.
+        self.learned = learned
 
     # ------------------------------------------------------------------
     def optimize(self, dataset, training, fixed_iterations=None,
@@ -134,14 +140,19 @@ class GDOptimizer:
             }
 
         corrections = self._corrections(dataset)
-        if corrections and speculated:
+        mixed = self._mixed_factors(dataset, training, corrections)
+
+        def iterations_factor(alg) -> float:
+            if alg in mixed:
+                return mixed[alg].iterations_factor
+            return corrections[alg].iterations_factor if corrections else 1.0
+
+        if (corrections or mixed) and speculated:
             # Learned iteration corrections apply only to speculative
             # estimates; a user-fixed count is a constraint, not a guess.
             iters_for = {
                 alg: min(
-                    max(1, int(round(
-                        count * corrections[alg].iterations_factor
-                    ))),
+                    max(1, int(round(count * iterations_factor(alg)))),
                     training.max_iter,
                 )
                 for alg, count in iters_for.items()
@@ -162,6 +173,10 @@ class GDOptimizer:
             cost_factors = np.array([
                 corrections[plan.algorithm].cost_factor for plan in plans
             ])
+        if mixed:
+            for i, plan in enumerate(plans):
+                if plan.algorithm in mixed:
+                    cost_factors[i] = mixed[plan.algorithm].cost_factor
         per_iteration_s = batch.per_iteration_s * cost_factors
         total_s = batch.one_time_s + batch.iterations * per_iteration_s
         if training.time_budget_s is None:
@@ -172,13 +187,21 @@ class GDOptimizer:
         for i, plan in enumerate(plans):
             breakdown = batch.breakdown(i)
             if cost_factors[i] != 1.0:
+                # The *applied* factor, whichever source produced it:
+                # the feedback loop composes observed ratios with this
+                # slot, so the store keeps learning absolute ratios
+                # whether the factor was EWMA-only or blended.
                 breakdown["calibration:cost_factor"] = float(cost_factors[i])
-            if corrections and speculated:
-                iter_factor = corrections[plan.algorithm].iterations_factor
+            if (corrections or mixed) and speculated:
+                iter_factor = iterations_factor(plan.algorithm)
                 if iter_factor != 1.0:
                     breakdown["calibration:iterations_factor"] = float(
                         iter_factor
                     )
+            if plan.algorithm in mixed:
+                breakdown["learned:blend_weight"] = float(
+                    mixed[plan.algorithm].blend_weight
+                )
             candidates.append(PlanCostEstimate(
                 plan=plan,
                 estimated_iterations=iterations[i],
@@ -229,6 +252,21 @@ class GDOptimizer:
             )
             for alg in self.algorithms
         }
+
+    def _mixed_factors(self, dataset, training, corrections) -> dict:
+        """Learned blended factors per gated-in algorithm ({} without a
+        mixed model -- and for every algorithm short of training data,
+        which keeps the fallback ranking bit-identical)."""
+        if self.learned is None:
+            return {}
+        return self.learned.factors(
+            self.algorithms,
+            dataset.stats,
+            self.engine.spec,
+            epsilon=training.tolerance,
+            batch_sizes=self.batch_sizes,
+            corrections=corrections,
+        )
 
     def _charge_speculation(self, dataset) -> float:
         """Charge the simulated cost of collecting the speculation sample."""

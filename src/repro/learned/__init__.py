@@ -1,0 +1,37 @@
+"""Learned residual cost model layered on the analytic one.
+
+The step from scalar EWMA corrections (PRs 2-3) to a model that learns
+the hardware: :class:`TraceDataset` harvests (features, residual)
+examples from persisted execution traces, :class:`ResidualModel` fits
+dependency-free ridge regressions over them, and
+:class:`MixedCostModel` blends the result with the analytic+EWMA
+ranking -- gated by training-data volume so an undertrained model
+changes nothing, bit for bit.
+"""
+
+from repro.learned.dataset import (
+    FEATURE_NAMES,
+    TraceDataset,
+    TraceExample,
+    example_from_segment,
+    feature_vector,
+)
+from repro.learned.mixed import (
+    DEFAULT_MIN_TRAINING,
+    MixedCostModel,
+    MixedFactors,
+)
+from repro.learned.model import MODEL_FORMAT, ResidualModel
+
+__all__ = [
+    "DEFAULT_MIN_TRAINING",
+    "FEATURE_NAMES",
+    "MODEL_FORMAT",
+    "MixedCostModel",
+    "MixedFactors",
+    "ResidualModel",
+    "TraceDataset",
+    "TraceExample",
+    "example_from_segment",
+    "feature_vector",
+]

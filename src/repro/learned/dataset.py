@@ -1,0 +1,242 @@
+"""Training-data harvest for the learned residual cost model.
+
+The optimizer already persists everything a learned model needs: every
+executed :class:`~repro.runtime.trace.PlanSegment` carries the predicted
+and the observed per-iteration seconds plus the correction factors that
+were applied when the plan was priced.  :class:`TraceDataset` turns
+those segments into (feature vector, residual target) examples:
+
+* **features** describe the workload and the machine the segment ran on
+  -- the :class:`~repro.cluster.storage.DatasetStats` fields the Section
+  7 cost model reads, the :class:`~repro.cluster.hardware.ClusterSpec`
+  rates that dominate per-iteration cost, the algorithm's declared
+  :class:`~repro.gd.spec.CostTerms`, the effective batch size and the
+  target tolerance;
+* **targets** are the *absolute* observed/predicted ratios in log space
+  -- the applied correction factors are composed back in, exactly like
+  :meth:`~repro.runtime.calibration.CalibrationStore.record_segment`,
+  so a segment priced under an already-calibrated model still reports
+  how far the *base* analytic model was off.
+
+Everything here is plain floats + JSON, so a dataset travels with the
+model file and online refits can extend it across restarts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+
+from repro.gd import registry as gd_registry
+from repro.gd.state import known_fields
+from repro.runtime.calibration import (
+    MAX_FACTOR,
+    cluster_signature,
+    workload_signature,
+)
+
+#: Order and meaning of the entries of one feature vector.  Append-only:
+#: readers key on position, so removing or reordering entries is a
+#: format break (bump ``repro.learned.model.MODEL_FORMAT``).
+FEATURE_NAMES = (
+    "log10_n",
+    "log10_d",
+    "density",
+    "is_sparse",
+    "log10_row_bytes",
+    "log10_batch_rows",
+    "log10_inv_epsilon",
+    "cost_per_iteration_multiplier",
+    "cost_extra_update_factor",
+    "cost_full_pass_fraction",
+    "log10_slots",
+    "log10_network_ns_per_byte",
+    "log10_page_io_disk_us",
+    "log10_iteration_overhead_ms",
+)
+
+#: Log-residual targets are clamped to the calibration store's factor
+#: range so one pathological trace cannot drag the regression outside
+#: the range the mixer is allowed to serve anyway.
+_LOG_CLAMP = math.log(MAX_FACTOR)
+
+
+def _log10(value, floor=1e-12) -> float:
+    return math.log10(max(float(value), floor))
+
+
+def feature_vector(stats, spec, algorithm, batch_size=None,
+                   epsilon=None) -> list:
+    """The shared feature map (used at harvest *and* predict time).
+
+    ``batch_size`` defaults to the algorithm's registered default batch
+    (full-batch algorithms read the whole dataset per iteration).
+    ``epsilon`` is the target tolerance; None means "not part of this
+    workload" and lands on a neutral 1e-3.
+    """
+    terms = gd_registry.cost_terms(algorithm)
+    if batch_size is None:
+        batch_size = gd_registry.info(algorithm).default_batch_size
+    rows = float(batch_size) if batch_size else float(stats.n)
+    rows = min(rows, float(stats.n))
+    epsilon = float(epsilon) if epsilon else 1e-3
+    return [
+        _log10(stats.n),
+        _log10(stats.d),
+        float(stats.density),
+        1.0 if stats.is_sparse else 0.0,
+        _log10(stats.bytes_per_row("binary")),
+        _log10(rows),
+        _log10(1.0 / max(epsilon, 1e-12)),
+        float(terms.per_iteration_multiplier),
+        float(terms.extra_update_cost_factor),
+        float(terms.full_pass_fraction),
+        _log10(spec.n_nodes * spec.slots_per_node),
+        _log10(spec.network_byte_s * 1e9),
+        _log10(spec.page_io_disk_s * 1e6),
+        _log10(spec.iteration_overhead_s * 1e3),
+    ]
+
+
+@dataclasses.dataclass
+class TraceExample:
+    """One (features, residual targets) training example.
+
+    Either target may be None: a segment that never converged observes
+    cost but says nothing about the iterations residual -- the same
+    asymmetry the calibration store's per-factor counts track.
+    """
+
+    algorithm: str
+    workload: str
+    cluster: str
+    features: list
+    log_cost_ratio: float | None = None
+    log_iterations_ratio: float | None = None
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload) -> "TraceExample":
+        return cls(**known_fields(cls, payload))
+
+
+def example_from_segment(segment, stats, spec, epsilon=None,
+                         batch_size=None) -> TraceExample | None:
+    """Harvest one example from an executed segment (None if unusable).
+
+    Mirrors ``CalibrationStore.record_segment``'s eligibility rules and
+    its factor composition: the targets are absolute observed/base
+    ratios, clamped into the servable factor range, in log space.
+    """
+    if segment.iterations < 2:
+        return None
+    log_cost = None
+    if segment.predicted_per_iteration_s > 0:
+        ratio = segment.cost_ratio * segment.applied_cost_factor
+        if ratio > 0:
+            log_cost = _clamp_log(math.log(ratio))
+    log_iters = None
+    if segment.converged and segment.predicted_iterations > 0:
+        ratio = (
+            segment.iterations / segment.predicted_iterations
+            * segment.applied_iterations_factor
+        )
+        if ratio > 0:
+            log_iters = _clamp_log(math.log(ratio))
+    if log_cost is None and log_iters is None:
+        return None
+    return TraceExample(
+        algorithm=segment.algorithm,
+        workload=workload_signature(stats),
+        cluster=cluster_signature(spec),
+        features=feature_vector(
+            stats, spec, segment.algorithm,
+            batch_size=batch_size, epsilon=epsilon,
+        ),
+        log_cost_ratio=log_cost,
+        log_iterations_ratio=log_iters,
+    )
+
+
+def _clamp_log(value) -> float:
+    return float(min(max(value, -_LOG_CLAMP), _LOG_CLAMP))
+
+
+class TraceDataset:
+    """A growable collection of :class:`TraceExample` rows.
+
+    Feed it persisted :class:`~repro.runtime.trace.ExecutionTrace`
+    objects (plus the stats/spec they ran under -- traces only carry
+    signatures) and hand it to :meth:`ResidualModel.fit
+    <repro.learned.model.ResidualModel.fit>`.
+    """
+
+    def __init__(self, examples=None):
+        self.examples = list(examples or [])
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def add(self, example) -> None:
+        self.examples.append(example)
+
+    def add_segment(self, segment, stats, spec, epsilon=None,
+                    batch_size=None) -> bool:
+        """Harvest one segment; returns True when an example landed."""
+        example = example_from_segment(
+            segment, stats, spec, epsilon=epsilon, batch_size=batch_size
+        )
+        if example is None:
+            return False
+        self.add(example)
+        return True
+
+    def add_trace(self, trace, stats, spec, batch_sizes=None) -> int:
+        """Harvest every usable segment of one execution trace.
+
+        ``batch_sizes`` maps algorithm -> configured batch override (the
+        optimizer's ``batch_sizes`` dict); absent algorithms fall back
+        to their registered default batch.  Returns the number of
+        examples added.
+        """
+        batch_sizes = batch_sizes or {}
+        return sum(
+            self.add_segment(
+                segment, stats, spec,
+                epsilon=trace.tolerance,
+                batch_size=batch_sizes.get(segment.algorithm),
+            )
+            for segment in trace.segments
+        )
+
+    def counts(self) -> dict:
+        """{algorithm: number of cost-target examples}."""
+        out = {}
+        for example in self.examples:
+            if example.log_cost_ratio is not None:
+                out[example.algorithm] = out.get(example.algorithm, 0) + 1
+        return out
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"examples": [e.to_dict() for e in self.examples]}
+
+    @classmethod
+    def from_dict(cls, payload) -> "TraceDataset":
+        return cls(
+            TraceExample.from_dict(e)
+            for e in payload.get("examples", [])
+        )
+
+    def save(self, path) -> str:
+        with open(path, "w") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+        return path
+
+    @classmethod
+    def load(cls, path) -> "TraceDataset":
+        with open(path) as handle:
+            return cls.from_dict(json.load(handle))

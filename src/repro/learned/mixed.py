@@ -1,0 +1,172 @@
+"""Mixing the learned residual model into analytic+EWMA plan ranking.
+
+The Delta-style rule (PAPERS.md, arXiv 2506.15848): serve the learned
+prediction only where it has enough training data behind it, and blend
+it with the scalar EWMA correction in proportion to how much evidence
+each side holds.
+
+:class:`MixedCostModel` is *not* a cost model subclass -- it is a factor
+provider the optimizer consults next to the calibration store.  For
+each algorithm it either
+
+* stays silent (algorithm absent from :meth:`factors`) because the
+  learned model has fewer than ``min_training`` examples for it -- the
+  optimizer then takes its exact pre-existing analytic+EWMA path, so
+  the fallback is bit-identical by construction; or
+* serves a blended correction ``exp((1-β)·ln F_ewma + β·ln R_learned)``
+  where β = m / (m + n_ewma + smoothing) weighs the learned model's m
+  examples against the EWMA's n observations.  A fresh calibration
+  store (n = 0) hands the learned model the ranking; a long-calibrated
+  one keeps most of its say.
+
+The blended factor is applied through the same
+``calibration:cost_factor`` breakdown slot the EWMA factor uses, so the
+feedback loop (``segment_from_result`` -> ``record_segment`` composing
+observed ratios with applied factors) keeps learning absolute
+observed/base ratios with no special cases.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+
+from repro.learned.dataset import feature_vector
+from repro.runtime.calibration import MAX_FACTOR
+
+#: Below this many per-(algorithm, target) training examples the mixer
+#: stays out of that algorithm's ranking entirely.
+DEFAULT_MIN_TRAINING = 5
+
+
+def _clamp(value) -> float:
+    return float(min(max(value, 1.0 / MAX_FACTOR), MAX_FACTOR))
+
+
+@dataclasses.dataclass(frozen=True)
+class MixedFactors:
+    """Blended correction factors for one algorithm."""
+
+    cost_factor: float = 1.0
+    iterations_factor: float = 1.0
+    #: β of the cost blend (0 = pure EWMA, 1 = pure learned).
+    blend_weight: float = 0.0
+
+
+class MixedCostModel:
+    """Gated blend of EWMA corrections and learned residuals.
+
+    Wraps a :class:`~repro.learned.model.ResidualModel`; the optimizer
+    asks :meth:`factors` for the algorithms the mixer wants to override
+    and leaves every other algorithm on the analytic+EWMA path.
+    """
+
+    def __init__(self, model, min_training=DEFAULT_MIN_TRAINING,
+                 blend_smoothing=1.0):
+        if min_training < 1:
+            raise ValueError("min_training must be >= 1")
+        self.model = model
+        self.min_training = int(min_training)
+        self.blend_smoothing = float(blend_smoothing)
+
+    # -- ranking ---------------------------------------------------------
+    def _blend(self, ewma_factor, ewma_count, learned_ratio, m) -> tuple:
+        beta = m / (m + ewma_count + self.blend_smoothing)
+        mixed = math.exp(
+            (1.0 - beta) * math.log(_clamp(ewma_factor))
+            + beta * math.log(_clamp(learned_ratio))
+        )
+        return _clamp(mixed), beta
+
+    def factors(self, algorithms, stats, spec, epsilon=None,
+                batch_sizes=None, corrections=None) -> dict:
+        """{algorithm: MixedFactors} for gated-in algorithms only.
+
+        An algorithm appears iff its learned cost target has at least
+        ``min_training`` examples *and* yields a prediction; everything
+        else is intentionally absent so the caller's fallback path is
+        untouched (the bit-identical guarantee).
+        """
+        batch_sizes = batch_sizes or {}
+        corrections = corrections or {}
+        out = {}
+        for algorithm in algorithms:
+            m = self.model.training_count(algorithm, target="cost")
+            if m < self.min_training:
+                continue
+            features = feature_vector(
+                stats, spec, algorithm,
+                batch_size=batch_sizes.get(algorithm), epsilon=epsilon,
+            )
+            learned_cost = self.model.predict_cost_ratio(
+                algorithm, features
+            )
+            if learned_cost is None:
+                continue
+            correction = corrections.get(algorithm)
+            ewma_cost = correction.cost_factor if correction else 1.0
+            ewma_cost_n = (
+                correction.cost_observations if correction else 0
+            )
+            cost_factor, beta = self._blend(
+                ewma_cost, ewma_cost_n, learned_cost, m
+            )
+            # Iterations blend the same way but gate on their own
+            # example count; short of it the EWMA factor passes through
+            # unchanged (exactly what the fallback path would apply).
+            iterations_factor = (
+                correction.iterations_factor if correction else 1.0
+            )
+            m_iters = self.model.training_count(
+                algorithm, target="iterations"
+            )
+            if m_iters >= self.min_training:
+                learned_iters = self.model.predict_iterations_ratio(
+                    algorithm, features
+                )
+                if learned_iters is not None:
+                    ewma_iters_n = (
+                        correction.iterations_observations
+                        if correction else 0
+                    )
+                    iterations_factor, _ = self._blend(
+                        iterations_factor, ewma_iters_n,
+                        learned_iters, m_iters,
+                    )
+            out[algorithm] = MixedFactors(
+                cost_factor=cost_factor,
+                iterations_factor=float(iterations_factor),
+                blend_weight=beta,
+            )
+        return out
+
+    # -- passthroughs the serving/training layers use --------------------
+    def training_count(self, algorithm, target="cost") -> int:
+        return self.model.training_count(algorithm, target=target)
+
+    def observe_segment(self, segment, stats, spec, epsilon=None,
+                        batch_size=None) -> bool:
+        return self.model.observe_segment(
+            segment, stats, spec, epsilon=epsilon, batch_size=batch_size
+        )
+
+    def vote_curve_family(self, algorithm, family) -> None:
+        self.model.vote_curve_family(algorithm, family)
+
+    def curve_families(self, min_votes=3) -> dict:
+        return self.model.curve_families(min_votes=min_votes)
+
+    def state_digest(self) -> str:
+        """Digest of everything that shapes the served factors.
+
+        Includes the gate and the blend smoothing: two mixers over the
+        same model but different thresholds rank differently, and cache
+        stamps must notice.
+        """
+        payload = (
+            self.model.state_digest(),
+            self.min_training,
+            self.blend_smoothing,
+        )
+        return hashlib.sha256(repr(payload).encode()).hexdigest()[:16]

@@ -1,0 +1,328 @@
+"""Dependency-free ridge regressor over trace residuals.
+
+:class:`ResidualModel` learns, per algorithm, how far the analytic cost
+model's per-iteration and iteration-count predictions sit from observed
+executions -- in log space, over the :mod:`repro.learned.dataset`
+feature map -- with closed-form ridge regression (``w = (XᵀX + λI)⁻¹
+Xᵀy``, bias unpenalised).  NumPy only, no new dependencies.
+
+The model carries its own training set, so online refits (the adaptive
+trainer feeding segments back one at a time) are cheap re-solves and
+survive a save/load round trip.  It also accumulates **curve-family
+votes**: every time an adaptive refit prefers a different error-sequence
+family than the configured one, the trainer votes here, and the serving
+layer feeds the majority family back into
+``SpeculationSettings.model`` per algorithm.
+
+The JSON layout is format-versioned (``model_format``); newer files
+refuse to load on older readers with a clear error, while additive
+fields inside a known format degrade gracefully.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import threading
+
+import numpy as np
+
+from repro.errors import LearnedModelError
+from repro.learned.dataset import TraceDataset, example_from_segment
+from repro.runtime.calibration import MAX_FACTOR
+
+#: On-disk format version.  Bump on any change a strictly-older reader
+#: could misinterpret (feature reorder, target semantics, ...).
+MODEL_FORMAT = 1
+
+#: Residual targets the model regresses, keyed into ``TraceExample``.
+TARGETS = ("cost", "iterations")
+
+_LOG_CLAMP = math.log(MAX_FACTOR)
+
+
+def _solve_ridge(X, y, ridge_lambda) -> np.ndarray:
+    """Closed-form ridge with an unpenalised bias column appended."""
+    X = np.column_stack([np.asarray(X, dtype=float),
+                         np.ones(len(X))])
+    y = np.asarray(y, dtype=float)
+    penalty = ridge_lambda * np.eye(X.shape[1])
+    penalty[-1, -1] = 0.0  # never shrink the bias
+    A = X.T @ X + penalty
+    try:
+        return np.linalg.solve(A, X.T @ y)
+    except np.linalg.LinAlgError:  # pragma: no cover - λ>0 keeps A SPD
+        return np.linalg.lstsq(A, X.T @ y, rcond=None)[0]
+
+
+class ResidualModel:
+    """Per-algorithm learned residuals over analytic cost predictions.
+
+    ``predict_cost_ratio`` / ``predict_iterations_ratio`` return the
+    multiplicative observed/predicted correction the model expects for a
+    feature vector (clamped into the calibration store's factor range),
+    or None when the algorithm has no fitted weights yet -- the gating
+    signal :class:`~repro.learned.mixed.MixedCostModel` builds on.
+    """
+
+    def __init__(self, ridge_lambda=1.0):
+        if ridge_lambda <= 0:
+            raise ValueError("ridge_lambda must be positive")
+        self.ridge_lambda = float(ridge_lambda)
+        self.path = None
+        self.dataset = TraceDataset()
+        #: (algorithm, target) -> weight vector (features + bias).
+        self._weights = {}
+        #: algorithm -> {family: votes} from adaptive curve refits.
+        self._curve_votes = {}
+        self._digest = None
+        self._lock = threading.RLock()
+
+    # -- training --------------------------------------------------------
+    def fit(self, dataset) -> "ResidualModel":
+        """(Re)fit from a :class:`TraceDataset`; replaces prior data."""
+        with self._lock:
+            self.dataset = TraceDataset(list(dataset.examples))
+            self._weights = {}
+            for algorithm in {e.algorithm for e in self.dataset.examples}:
+                self._refit(algorithm)
+            self._digest = None
+        return self
+
+    def observe(self, example) -> None:
+        """Fold one new example in (online refit of its algorithm)."""
+        with self._lock:
+            self.dataset.add(example)
+            self._refit(example.algorithm)
+            self._digest = None
+
+    def observe_segment(self, segment, stats, spec, epsilon=None,
+                        batch_size=None) -> bool:
+        """Harvest + learn from one executed segment (True if usable)."""
+        example = example_from_segment(
+            segment, stats, spec, epsilon=epsilon, batch_size=batch_size
+        )
+        if example is None:
+            return False
+        self.observe(example)
+        return True
+
+    def observe_trace(self, trace, stats, spec, batch_sizes=None) -> int:
+        """Harvest + learn from every usable segment of one trace."""
+        batch_sizes = batch_sizes or {}
+        return sum(
+            self.observe_segment(
+                segment, stats, spec, epsilon=trace.tolerance,
+                batch_size=batch_sizes.get(segment.algorithm),
+            )
+            for segment in trace.segments
+        )
+
+    def _refit(self, algorithm) -> None:
+        """Re-solve both targets for one algorithm (lock held)."""
+        rows = [e for e in self.dataset.examples
+                if e.algorithm == algorithm]
+        for target in TARGETS:
+            attr = f"log_{target}_ratio"
+            fitted = [(e.features, getattr(e, attr)) for e in rows
+                      if getattr(e, attr) is not None]
+            key = (algorithm, target)
+            if not fitted:
+                self._weights.pop(key, None)
+                continue
+            X = [f for f, _ in fitted]
+            y = [t for _, t in fitted]
+            self._weights[key] = _solve_ridge(X, y, self.ridge_lambda)
+
+    # -- prediction ------------------------------------------------------
+    def training_count(self, algorithm, target="cost") -> int:
+        """Number of examples backing one (algorithm, target) pair."""
+        attr = f"log_{target}_ratio"
+        with self._lock:
+            return sum(
+                1 for e in self.dataset.examples
+                if e.algorithm == algorithm
+                and getattr(e, attr) is not None
+            )
+
+    def _predict(self, algorithm, target, features):
+        with self._lock:
+            weights = self._weights.get((algorithm, target))
+        if weights is None:
+            return None
+        x = np.append(np.asarray(features, dtype=float), 1.0)
+        log_ratio = float(np.clip(x @ weights, -_LOG_CLAMP, _LOG_CLAMP))
+        return math.exp(log_ratio)
+
+    def predict_cost_ratio(self, algorithm, features):
+        """Expected observed/predicted per-iteration-cost ratio."""
+        return self._predict(algorithm, "cost", features)
+
+    def predict_iterations_ratio(self, algorithm, features):
+        """Expected observed/predicted iteration-count ratio."""
+        return self._predict(algorithm, "iterations", features)
+
+    # -- curve-family feedback -------------------------------------------
+    def vote_curve_family(self, algorithm, family) -> None:
+        """Record one adaptive refit's preferred error-curve family."""
+        with self._lock:
+            votes = self._curve_votes.setdefault(algorithm, {})
+            votes[family] = votes.get(family, 0) + 1
+            self._digest = None
+
+    def curve_family(self, algorithm, min_votes=3):
+        """Majority family with at least ``min_votes`` votes, or None."""
+        with self._lock:
+            votes = self._curve_votes.get(algorithm)
+            if not votes:
+                return None
+            family, count = max(
+                sorted(votes.items()), key=lambda item: item[1]
+            )
+            return family if count >= min_votes else None
+
+    def curve_families(self, min_votes=3) -> dict:
+        """{algorithm: majority family} for every settled vote."""
+        with self._lock:
+            algorithms = tuple(self._curve_votes)
+        out = {}
+        for algorithm in algorithms:
+            family = self.curve_family(algorithm, min_votes=min_votes)
+            if family is not None:
+                out[algorithm] = family
+        return out
+
+    # -- identity --------------------------------------------------------
+    def state_digest(self) -> str:
+        """Content digest of everything that shapes a prediction.
+
+        Joins the calibration digest in cache-entry stamps (see
+        ``OptimizerService``): two models with equal digests rank plans
+        identically, whatever their histories.  Cached; invalidated on
+        fit/observe/vote.
+        """
+        with self._lock:
+            if self._digest is None:
+                payload = (
+                    MODEL_FORMAT,
+                    self.ridge_lambda,
+                    sorted(
+                        (alg, target, [round(w, 12) for w in weights])
+                        for (alg, target), weights in self._weights.items()
+                    ),
+                    sorted(
+                        (alg, sorted(votes.items()))
+                        for alg, votes in self._curve_votes.items()
+                    ),
+                )
+                self._digest = hashlib.sha256(
+                    repr(payload).encode()
+                ).hexdigest()[:16]
+            return self._digest
+
+    # -- persistence -----------------------------------------------------
+    def to_dict(self) -> dict:
+        with self._lock:
+            return {
+                "model_format": MODEL_FORMAT,
+                "ridge_lambda": self.ridge_lambda,
+                "weights": {
+                    f"{alg}:{target}": [float(w) for w in weights]
+                    for (alg, target), weights in self._weights.items()
+                },
+                "curve_votes": {
+                    alg: dict(votes)
+                    for alg, votes in self._curve_votes.items()
+                },
+                "dataset": self.dataset.to_dict(),
+            }
+
+    @classmethod
+    def from_dict(cls, payload, path=None) -> "ResidualModel":
+        fmt = int(payload.get("model_format", MODEL_FORMAT))
+        if fmt > MODEL_FORMAT:
+            raise LearnedModelError(
+                f"learned model format {fmt} is newer than this build "
+                f"understands (max {MODEL_FORMAT}); refusing to guess "
+                "at its semantics"
+            )
+        model = cls(
+            ridge_lambda=float(payload.get("ridge_lambda", 1.0))
+        )
+        model.path = path
+        model.dataset = TraceDataset.from_dict(
+            payload.get("dataset", {})
+        )
+        model._curve_votes = {
+            alg: {family: int(count) for family, count in votes.items()}
+            for alg, votes in payload.get("curve_votes", {}).items()
+        }
+        # Refit from the carried dataset rather than trusting persisted
+        # weights blindly; the stored weights are still decoded as a
+        # fallback for datasets pruned out of the file by hand.
+        for algorithm in {e.algorithm for e in model.dataset.examples}:
+            model._refit(algorithm)
+        for key, weights in payload.get("weights", {}).items():
+            alg, _, target = key.rpartition(":")
+            if (alg, target) not in model._weights and alg:
+                model._weights[(alg, target)] = np.asarray(
+                    weights, dtype=float
+                )
+        return model
+
+    def save(self, path=None) -> str:
+        target = path or self.path
+        if target is None:
+            raise ValueError("no path to save the learned model to")
+        payload = self.to_dict()
+        # Same unique-temp atomic-rewrite discipline as the calibration
+        # store and JsonFileBackend: concurrent writers never clobber
+        # each other's half-written temp file.
+        tmp = f"{target}.tmp.{os.getpid()}.{threading.get_ident()}"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            os.replace(tmp, target)
+        finally:
+            if os.path.exists(tmp):  # pragma: no cover - error paths
+                os.unlink(tmp)
+        self.path = target
+        return target
+
+    @classmethod
+    def open(cls, path=None, ridge_lambda=1.0) -> "ResidualModel":
+        """Load the model at ``path`` if it exists, else a fresh one."""
+        if path and os.path.exists(path):
+            with open(path) as handle:
+                try:
+                    payload = json.load(handle)
+                except json.JSONDecodeError as exc:
+                    raise LearnedModelError(
+                        f"learned model file {path} is not valid JSON: "
+                        f"{exc}"
+                    ) from exc
+            return cls.from_dict(payload, path=path)
+        model = cls(ridge_lambda=ridge_lambda)
+        model.path = path
+        return model
+
+    def summary(self) -> str:
+        with self._lock:
+            counts = self.dataset.counts()
+            if not counts and not self._curve_votes:
+                return "learned model: untrained"
+            lines = [
+                f"learned model: {len(self.dataset)} example(s), "
+                f"digest {self.state_digest()}"
+            ]
+            for alg in sorted(counts):
+                lines.append(f"  {alg}: {counts[alg]} cost example(s)")
+            for alg, votes in sorted(self._curve_votes.items()):
+                tally = ", ".join(
+                    f"{family} x{count}"
+                    for family, count in sorted(votes.items())
+                )
+                lines.append(f"  {alg} curve votes: {tally}")
+            return "\n".join(lines)

@@ -223,6 +223,14 @@ class AdaptiveTrainer:
     (its engine carries the simulated clock across segments).
     ``calibration`` optionally receives the run's execution trace.
 
+    ``learned`` optionally receives the same per-segment observations
+    as a :class:`~repro.learned.mixed.MixedCostModel` (or bare
+    :class:`~repro.learned.model.ResidualModel`): each executed segment
+    becomes a training example (an online refit), and every convergence
+    refit that fitted a *different* error-curve family than configured
+    casts a curve-family vote -- the feedback that eventually flips
+    ``SpeculationSettings.model`` for that algorithm.
+
     ``carry_state`` (default True) carries the full
     :class:`~repro.gd.state.OptimizerState` across segments -- schedule
     position, updater buffers, RNG stream -- applying the cross-plan
@@ -233,11 +241,12 @@ class AdaptiveTrainer:
     """
 
     def __init__(self, optimizer, settings=None, calibration=None,
-                 carry_state=True):
+                 carry_state=True, learned=None):
         self.optimizer = optimizer
         self.settings = settings or AdaptiveSettings()
         self.calibration = calibration
         self.carry_state = bool(carry_state)
+        self.learned = learned
 
     # ------------------------------------------------------------------
     def train(self, dataset, training, fixed_iterations=None,
@@ -366,6 +375,27 @@ class AdaptiveTrainer:
                     segment, engine.spec,
                     workload=workload_signature(dataset.stats),
                 )
+            if self.learned is not None:
+                # The same observation, as a learned-model training
+                # example: an online refit, so the *next* optimize call
+                # already ranks with what this segment taught.
+                self.learned.observe_segment(
+                    segment, dataset.stats, engine.spec,
+                    epsilon=training.tolerance,
+                    batch_size=self.optimizer.batch_sizes.get(
+                        segment.algorithm
+                    ),
+                )
+                refit = monitor.refit_curve
+                if refit is not None and refit.model != (
+                    self.settings.curve_model
+                ):
+                    # The configured family keeps losing to another on
+                    # live error sequences; vote it in so speculation
+                    # eventually fits that family for this algorithm.
+                    self.learned.vote_curve_family(
+                        segment.algorithm, refit.model
+                    )
 
             remaining = iteration_budget - done_iterations
             if not result.stopped_by_monitor or remaining < 1:

@@ -32,6 +32,8 @@ import os
 import threading
 from collections import OrderedDict
 
+from repro.gd.state import known_fields
+
 #: Per-observation EWMA weight: new_factor = (1-a)*old + a*observed.
 DEFAULT_ALPHA = 0.4
 #: Correction factors are clamped to [1/MAX_FACTOR, MAX_FACTOR].
@@ -116,7 +118,10 @@ class Correction:
 
     @classmethod
     def from_dict(cls, payload) -> "Correction":
-        return cls(**payload)
+        # Tolerate additive fields (same forward-compatibility rule as
+        # PlanSegment.from_dict): a calibration file written by a newer
+        # build must stay readable here, not TypeError at construction.
+        return cls(**known_fields(cls, payload))
 
 
 class CalibrationStore:
@@ -318,13 +323,24 @@ class CalibrationStore:
         if workload:
             keys.append(self._key(algorithm, signature, workload))
         with self._lock:
+            changed = False
+            updated = Correction()
             for key in keys:
-                updated = folded(self._corrections.get(key, Correction()))
-                self._corrections[key] = updated
-            self.version += 1
-            self._digest = None
-            self._touch_cluster(signature, insert=True)
-            self._evict_lru_clusters()
+                current = self._corrections.get(key, Correction())
+                updated = folded(current)
+                if updated != current:
+                    self._corrections[key] = updated
+                    changed = True
+            if changed:
+                # Only a real change to the served factors may bump the
+                # version and invalidate the digest: a no-op observation
+                # (e.g. both ratios non-positive) must not force every
+                # stamped cache entry fleet-wide into a spurious recost,
+                # and must not materialise keys or touch LRU recency.
+                self.version += 1
+                self._digest = None
+                self._touch_cluster(signature, insert=True)
+                self._evict_lru_clusters()
             return dataclasses.replace(updated)
 
     def record_segment(self, segment, spec, workload=None) -> bool:
@@ -415,10 +431,18 @@ class CalibrationStore:
         if target is None:
             raise ValueError("no path to save the calibration store to")
         payload = self.to_dict()
-        tmp = f"{target}.tmp"
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle, indent=2)
-        os.replace(tmp, target)
+        # Unique temp name per writer (same atomic-rewrite discipline as
+        # JsonFileBackend): sibling processes sharing one path must not
+        # race on a fixed ``{target}.tmp`` and replace a half-written
+        # payload over each other's output.
+        tmp = f"{target}.tmp.{os.getpid()}.{threading.get_ident()}"
+        try:
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle, indent=2)
+            os.replace(tmp, target)
+        finally:
+            if os.path.exists(tmp):  # pragma: no cover - error paths only
+                os.unlink(tmp)
         return target
 
     @classmethod

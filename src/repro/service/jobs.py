@@ -136,6 +136,7 @@ class TrainingJobs:
                     else AdaptiveSettings(max_switches=0)
                 ),
                 calibration=self.calibration if adaptive else None,
+                learned=self.learned if adaptive else None,
             )
             adaptive_result = trainer.train(
                 dataset, training, fixed_iterations=fixed_iterations,
@@ -357,7 +358,7 @@ class TrainingJobs:
             else:
                 plan_entry = entry_to_dict(
                     report, self.calibration.version,
-                    self.calibration.state_digest(),
+                    self._pricing_digest(),
                 )
 
             trainer = AdaptiveTrainer(
@@ -371,6 +372,7 @@ class TrainingJobs:
                     else AdaptiveSettings(max_switches=0)
                 ),
                 calibration=self.calibration if adaptive else None,
+                learned=self.learned if adaptive else None,
             )
 
             # This lease's entry in the job's audit trail: carried

@@ -218,7 +218,8 @@ def report_from_dict(payload) -> OptimizationReport:
         speculation_sim_s=float(payload["speculation_sim_s"]),
         corrections=(
             None if corrections is None else {
-                alg: Correction(**c) for alg, c in corrections.items()
+                alg: Correction.from_dict(c)
+                for alg, c in corrections.items()
             }
         ),
     )

@@ -10,6 +10,7 @@ from repro.core.plans import TrainingSpec
 from repro.runtime import (
     AdaptiveTrainer,
     CalibrationStore,
+    Correction,
     PerturbedCostModel,
     PlanSegment,
     cluster_signature,
@@ -400,3 +401,205 @@ class TestSerialization:
         assert "empty" in store.summary()
         store.observe("sgd", spec, cost_ratio=3.0)
         assert "sgd@" in store.summary()
+
+
+class TestNoOpObserveChurn:
+    """Regression: a no-op observation must not churn stamped caches."""
+
+    def test_nonpositive_ratios_leave_digest_and_version_alone(self, spec):
+        store = CalibrationStore()
+        store.observe("bgd", spec, cost_ratio=2.0)
+        version = store.version
+        digest = store.state_digest()
+        store.observe("bgd", spec, cost_ratio=0.0)
+        store.observe("bgd", spec, cost_ratio=-3.0, iterations_ratio=0.0)
+        store.observe("bgd", spec, cost_ratio=None, iterations_ratio=-1.0)
+        assert store.version == version
+        assert store.state_digest() == digest
+
+    def test_noop_observe_does_not_materialize_keys(self, spec):
+        store = CalibrationStore()
+        store.observe("bgd", spec, cost_ratio=0.0, workload="w1")
+        assert store.state_digest() == CalibrationStore().state_digest()
+        assert store.observations == 0
+
+    def test_noop_observe_does_not_touch_cluster_lru(self, spec):
+        other = dataclasses.replace(spec, n_nodes=spec.n_nodes + 1)
+        store = CalibrationStore(max_clusters=1)
+        store.observe("bgd", spec, cost_ratio=2.0)
+        # A junk observation on another cluster must not evict the
+        # real correction.
+        store.observe("bgd", other, cost_ratio=0.0)
+        assert store.correction("bgd", spec).cost_factor == \
+            pytest.approx(2.0)
+
+    def test_valid_observe_still_bumps(self, spec):
+        store = CalibrationStore()
+        digest = store.state_digest()
+        store.observe("bgd", spec, cost_ratio=2.0)
+        assert store.version == 1
+        assert store.state_digest() != digest
+
+
+class TestDigestServedStateProperty:
+    """state_digest() changes iff the served corrections change."""
+
+    def test_scripted_op_sequence(self, spec):
+        from repro.cluster.storage import DatasetStats
+        from repro.runtime import workload_signature
+
+        wl = workload_signature(DatasetStats(
+            name="w", task="classification", n=1000, d=5
+        ))
+        store = CalibrationStore(min_workload_observations=2)
+        seen = [store.state_digest()]
+
+        def step(changed_expected, **kwargs):
+            store.observe("bgd", spec, **kwargs)
+            digest = store.state_digest()
+            if changed_expected:
+                assert digest not in seen
+            else:
+                assert digest == seen[-1]
+            seen.append(digest)
+
+        step(False, cost_ratio=0.0)                   # no-op
+        step(True, cost_ratio=2.0)                    # first real factor
+        step(True, cost_ratio=2.0)                    # count moved (2)
+        step(False, cost_ratio=None)                  # no-op again
+        step(True, cost_ratio=3.0, workload=wl)       # wl key appears
+        step(True, cost_ratio=3.0, workload=wl)       # wl crosses threshold
+
+    def test_threshold_crossing_changes_served_correction(self, spec):
+        from repro.cluster.storage import DatasetStats
+        from repro.runtime import workload_signature
+
+        wl = workload_signature(DatasetStats(
+            name="w", task="classification", n=1000, d=5
+        ))
+        store = CalibrationStore(min_workload_observations=2)
+        store.observe("bgd", spec, cost_ratio=2.0)
+        store.observe("bgd", spec, cost_ratio=8.0, workload=wl)
+        # One workload observation: the aggregate is still served.
+        below = store.correction("bgd", spec, workload=wl)
+        store.observe("bgd", spec, cost_ratio=8.0, workload=wl)
+        above = store.correction("bgd", spec, workload=wl)
+        assert above.cost_factor != below.cost_factor
+
+    def test_eviction_changes_digest(self, spec):
+        other = dataclasses.replace(spec, n_nodes=spec.n_nodes + 1)
+        store = CalibrationStore(max_clusters=1)
+        store.observe("bgd", spec, cost_ratio=2.0)
+        before = store.state_digest()
+        store.observe("bgd", other, cost_ratio=2.0)  # evicts spec's keys
+        assert store.state_digest() != before
+
+    def test_same_served_state_same_digest_across_instances(self, spec):
+        a = CalibrationStore()
+        b = CalibrationStore()
+        for store in (a, b):
+            store.observe("bgd", spec, cost_ratio=2.0)
+            store.observe("sgd", spec, iterations_ratio=0.5)
+        assert a.state_digest() == b.state_digest()
+        # The workload threshold changes which factors lookups serve,
+        # so it is part of the digest.
+        c = CalibrationStore(min_workload_observations=7)
+        assert c.state_digest() != CalibrationStore().state_digest()
+
+
+def _storm_saver(path, seed, rounds):
+    """Cross-process save-storm worker (module level: picklable)."""
+    spec = ClusterSpec(jitter_sigma=0.0)
+    for i in range(rounds):
+        store = CalibrationStore(path=path)
+        for alg in ("bgd", "mgd", "sgd"):
+            store.observe(alg, spec, cost_ratio=float(seed + i + 1),
+                          iterations_ratio=0.5)
+        store.save()
+
+
+class TestSaveStorm:
+    """Regression: concurrent savers must never publish a torn file."""
+
+    def test_cross_process_save_storm_keeps_the_file_parseable(
+            self, tmp_path):
+        import json
+        import multiprocessing
+
+        path = str(tmp_path / "calibration.json")
+        ctx = multiprocessing.get_context("fork")
+        workers = [
+            ctx.Process(target=_storm_saver, args=(path, seed, 20))
+            for seed in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert all(worker.exitcode == 0 for worker in workers)
+        with open(path) as handle:
+            payload = json.load(handle)  # never torn
+        restored = CalibrationStore.from_dict(payload, path=path)
+        assert restored.observations > 0
+
+    def test_unique_temp_names_per_writer(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        path = str(tmp_path / "calibration.json")
+        spec = ClusterSpec(jitter_sigma=0.0)
+        store = CalibrationStore(path=path)
+        store.observe("bgd", spec, cost_ratio=2.0)
+        seen = []
+        real_replace = os_module.replace
+
+        def spy(src, dst):
+            seen.append(src)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(
+            "repro.runtime.calibration.os.replace", spy
+        )
+        store.save()
+        store.save()
+        assert len(seen) == 2
+        # The temp name embeds the writer's identity, not a fixed
+        # "{target}.tmp" two sibling processes would race on.
+        assert all(s != f"{path}.tmp" for s in seen)
+        assert all(str(os_module.getpid()) in s for s in seen)
+
+
+class TestCorrectionForwardCompat:
+    """Regression: additive fields must not brick older readers."""
+
+    def test_from_dict_tolerates_unknown_keys(self):
+        payload = {"cost_factor": 2.0, "cost_observations": 3,
+                   "learned_residual_stats": {"rmse": 0.1}}
+        correction = Correction.from_dict(payload)
+        assert correction.cost_factor == 2.0
+        assert correction.cost_observations == 3
+
+    def test_store_round_trip_with_future_fields(self, spec):
+        store = CalibrationStore()
+        store.observe("bgd", spec, cost_ratio=2.0)
+        payload = store.to_dict()
+        for value in payload["corrections"].values():
+            value["from_the_future"] = True
+        restored = CalibrationStore.from_dict(payload)
+        assert restored.correction("bgd", spec).cost_factor == \
+            pytest.approx(2.0)
+
+    def test_plan_entry_corrections_tolerate_future_fields(
+            self, spec, dataset):
+        from repro.service.serialize import entry_from_dict, entry_to_dict
+
+        training = TrainingSpec(task="logreg", tolerance=1e-3, seed=0)
+        store = CalibrationStore()
+        store.observe("bgd", spec, cost_ratio=2.0)
+        report = GDOptimizer(
+            SimulatedCluster(spec, seed=0), calibration=store
+        ).optimize(dataset, training, fixed_iterations=30)
+        payload = entry_to_dict(report, store.version, store.state_digest())
+        for value in payload["report"]["corrections"].values():
+            value["from_the_future"] = True
+        restored, _, _, _ = entry_from_dict(payload)
+        assert restored.corrections["bgd"].cost_factor == pytest.approx(2.0)

@@ -1,0 +1,344 @@
+"""Learned residual cost model: harvest, fit, mixing, serving."""
+
+import json
+import math
+
+import pytest
+
+from repro.cluster import ClusterSpec, SimulatedCluster
+from repro.core.iterations import SpeculationSettings, SpeculativeEstimator
+from repro.core.optimizer import GDOptimizer
+from repro.core.plans import TrainingSpec
+from repro.errors import LearnedModelError
+from repro.learned import (
+    DEFAULT_MIN_TRAINING,
+    MixedCostModel,
+    ResidualModel,
+    TraceDataset,
+    feature_vector,
+)
+from repro.runtime import (
+    AdaptiveTrainer,
+    CalibrationStore,
+    PerturbedCostModel,
+    PlanSegment,
+)
+from repro.runtime.trace import ExecutionTrace
+
+from support import make_dataset
+
+
+@pytest.fixture
+def dataset(spec):
+    return make_dataset(n_phys=400, d=10, task="logreg", spec=spec, seed=3)
+
+
+@pytest.fixture
+def training():
+    return TrainingSpec(task="logreg", tolerance=1e-2, seed=1)
+
+
+def segment(algorithm="bgd", predicted_per_iter=1.0, observed_per_iter=2.0,
+            iterations=20, predicted_iterations=20, converged=True,
+            applied_cost_factor=1.0):
+    return PlanSegment(
+        plan=algorithm.upper(),
+        algorithm=algorithm,
+        predicted_iterations=predicted_iterations,
+        predicted_per_iteration_s=predicted_per_iter,
+        predicted_total_s=predicted_per_iter * predicted_iterations,
+        applied_cost_factor=applied_cost_factor,
+        iterations=iterations,
+        sim_seconds=observed_per_iter * iterations,
+        converged=converged,
+    )
+
+
+def corpus(stats, spec, algorithm="bgd", ratio=4.0, count=8, epsilon=1e-2):
+    """A TraceDataset of ``count`` segments with a fixed cost ratio."""
+    ds = TraceDataset()
+    for _ in range(count):
+        ds.add_segment(
+            segment(algorithm=algorithm, predicted_per_iter=1.0,
+                    observed_per_iter=ratio),
+            stats, spec, epsilon=epsilon,
+        )
+    return ds
+
+
+class TestTraceDataset:
+    def test_harvests_cost_and_iterations_targets(self, spec, dataset):
+        ds = TraceDataset()
+        ok = ds.add_segment(
+            segment(observed_per_iter=3.0, iterations=30,
+                    predicted_iterations=20),
+            dataset.stats, spec, epsilon=1e-2,
+        )
+        assert ok and len(ds) == 1
+        example = ds.examples[0]
+        assert example.log_cost_ratio == pytest.approx(math.log(3.0))
+        assert example.log_iterations_ratio == pytest.approx(
+            math.log(30 / 20)
+        )
+        assert len(example.features) == len(feature_vector(
+            dataset.stats, spec, "bgd"
+        ))
+
+    def test_applied_factors_compose_back_in(self, spec, dataset):
+        # A segment priced under an already-applied x2 correction that
+        # observes ratio 2 really ran at 4x the *base* model's price.
+        ds = TraceDataset()
+        ds.add_segment(
+            segment(observed_per_iter=2.0, applied_cost_factor=2.0),
+            dataset.stats, spec,
+        )
+        assert ds.examples[0].log_cost_ratio == pytest.approx(math.log(4.0))
+
+    def test_short_and_unconverged_segments_are_skipped(self, spec, dataset):
+        ds = TraceDataset()
+        assert not ds.add_segment(
+            segment(iterations=1), dataset.stats, spec
+        )
+        ds.add_segment(
+            segment(converged=False), dataset.stats, spec
+        )
+        assert ds.examples[0].log_iterations_ratio is None
+
+    def test_add_trace_counts_and_tolerance(self, spec, dataset):
+        trace = ExecutionTrace(
+            workload="w", cluster_signature="c", tolerance=1e-3,
+            segments=[segment(), segment(iterations=1)],
+        )
+        ds = TraceDataset()
+        assert ds.add_trace(trace, dataset.stats, spec) == 1
+        assert ds.counts() == {"bgd": 1}
+
+
+class TestResidualModel:
+    def test_learns_the_corpus_ratio(self, spec, dataset):
+        model = ResidualModel().fit(corpus(dataset.stats, spec, ratio=4.0))
+        features = feature_vector(dataset.stats, spec, "bgd", epsilon=1e-2)
+        assert model.predict_cost_ratio("bgd", features) == pytest.approx(
+            4.0, rel=1e-6
+        )
+        assert model.predict_cost_ratio("sgd", features) is None
+        assert model.training_count("bgd") == 8
+        assert model.training_count("sgd") == 0
+
+    def test_json_round_trip_preserves_predictions(self, spec, dataset,
+                                                   tmp_path):
+        model = ResidualModel().fit(corpus(dataset.stats, spec, ratio=4.0))
+        path = str(tmp_path / "model.json")
+        model.save(path)
+        loaded = ResidualModel.open(path)
+        features = feature_vector(dataset.stats, spec, "bgd", epsilon=1e-2)
+        assert loaded.predict_cost_ratio("bgd", features) == pytest.approx(
+            model.predict_cost_ratio("bgd", features)
+        )
+        assert loaded.state_digest() == model.state_digest()
+
+    def test_newer_format_refuses_to_load(self, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text(json.dumps({"model_format": 99}))
+        with pytest.raises(LearnedModelError):
+            ResidualModel.open(str(path))
+
+    def test_additive_fields_degrade_gracefully(self, spec, dataset):
+        model = ResidualModel().fit(corpus(dataset.stats, spec))
+        payload = json.loads(json.dumps(model.to_dict()))
+        payload["a_future_field"] = {"x": 1}
+        for example in payload["dataset"]["examples"]:
+            example["confidence"] = 0.5
+        loaded = ResidualModel.from_dict(payload)
+        assert loaded.training_count("bgd") == model.training_count("bgd")
+
+    def test_digest_tracks_observations_and_votes(self, spec, dataset):
+        model = ResidualModel()
+        d0 = model.state_digest()
+        model.observe_segment(segment(), dataset.stats, spec)
+        d1 = model.state_digest()
+        assert d1 != d0
+        model.vote_curve_family("bgd", "exponential")
+        assert model.state_digest() != d1
+
+    def test_curve_family_majority_gating(self):
+        model = ResidualModel()
+        model.vote_curve_family("bgd", "exponential")
+        model.vote_curve_family("bgd", "exponential")
+        assert model.curve_family("bgd") is None  # below min_votes
+        model.vote_curve_family("bgd", "exponential")
+        model.vote_curve_family("bgd", "power")
+        assert model.curve_families() == {"bgd": "exponential"}
+
+
+class TestMixedCostModel:
+    def test_below_gate_serves_nothing(self, spec, dataset):
+        model = ResidualModel().fit(corpus(
+            dataset.stats, spec, count=DEFAULT_MIN_TRAINING - 1
+        ))
+        mixed = MixedCostModel(model)
+        assert mixed.factors(("bgd", "sgd"), dataset.stats, spec) == {}
+
+    def test_blend_leans_learned_on_fresh_calibration(self, spec, dataset):
+        model = ResidualModel().fit(corpus(dataset.stats, spec, ratio=4.0,
+                                           count=8))
+        mixed = MixedCostModel(model)
+        factors = mixed.factors(("bgd",), dataset.stats, spec, epsilon=1e-2)
+        assert set(factors) == {"bgd"}
+        # beta = 8 / (8 + 0 + 1): almost all learned.
+        assert factors["bgd"].blend_weight == pytest.approx(8 / 9)
+        assert factors["bgd"].cost_factor == pytest.approx(
+            4.0 ** (8 / 9), rel=1e-6
+        )
+
+    def test_ewma_evidence_pulls_the_blend_back(self, spec, dataset):
+        model = ResidualModel().fit(corpus(dataset.stats, spec, ratio=4.0,
+                                           count=8))
+        mixed = MixedCostModel(model)
+        store = CalibrationStore()
+        for _ in range(8):
+            store.observe("bgd", spec, cost_ratio=2.0)
+        corrections = {"bgd": store.correction("bgd", spec)}
+        factors = mixed.factors(("bgd",), dataset.stats, spec,
+                                epsilon=1e-2, corrections=corrections)
+        # Half the evidence each (8 vs 8): geometric middle ground.
+        assert 2.0 < factors["bgd"].cost_factor < 4.0
+
+
+class TestOptimizerIntegration:
+    def test_below_gate_ranking_is_bit_identical(self, spec, dataset,
+                                                 training):
+        model = ResidualModel().fit(corpus(
+            dataset.stats, spec, count=DEFAULT_MIN_TRAINING - 1
+        ))
+        store = CalibrationStore()
+        store.observe("bgd", spec, cost_ratio=1.7)
+        engine = SimulatedCluster(spec, seed=0)
+        plain = GDOptimizer(engine, calibration=store).optimize(
+            dataset, training, fixed_iterations=40
+        )
+        gated = GDOptimizer(
+            engine, calibration=store, learned=MixedCostModel(model)
+        ).optimize(dataset, training, fixed_iterations=40)
+        assert [c.total_s for c in plain.candidates] == \
+            [c.total_s for c in gated.candidates]
+        assert [c.breakdown for c in plain.candidates] == \
+            [c.breakdown for c in gated.candidates]
+        assert str(plain.chosen_plan) == str(gated.chosen_plan)
+
+    def test_mixed_ranking_recovers_the_truly_cheapest_plan(
+            self, spec, dataset, training):
+        """Seeded end-to-end recovery: a perturbed cost model mis-prices
+        one algorithm; analytic+EWMA alone falls for it, the mixed
+        ranking does not -- and its plan-choice regret is strictly
+        lower."""
+        # A simulated 2M-row workload: per-iteration costs actually
+        # separate the algorithms (a tiny physical sample would be
+        # iteration-overhead-dominated and nothing could recover it).
+        dataset = make_dataset(
+            n_phys=400, d=10, sim_n=2_000_000, task="logreg", spec=spec,
+            seed=3,
+        )
+        engine = SimulatedCluster(spec, seed=0)
+        truth = GDOptimizer(engine).optimize(
+            dataset, training, fixed_iterations=60
+        )
+        best = truth.chosen_plan.algorithm
+        victim, factor = "bgd", 0.05
+        assert best != victim
+        perturbed = PerturbedCostModel(spec, {victim: factor})
+
+        baseline = GDOptimizer(
+            engine, cost_model=perturbed, calibration=CalibrationStore()
+        ).optimize(dataset, training, fixed_iterations=60)
+        assert baseline.chosen_plan.algorithm == victim
+
+        # Traces taught the learned model the victim's true price
+        # (observed/predicted = 1/factor under the perturbed model).
+        model = ResidualModel().fit(corpus(
+            dataset.stats, spec, algorithm=victim, ratio=1.0 / factor,
+            count=8, epsilon=training.tolerance,
+        ))
+        mixed = GDOptimizer(
+            engine, cost_model=perturbed, calibration=CalibrationStore(),
+            learned=MixedCostModel(model),
+        ).optimize(dataset, training, fixed_iterations=60)
+        assert mixed.chosen_plan.algorithm == best
+
+        true_total = {str(c.plan): c.total_s for c in truth.candidates}
+        best_total = min(true_total.values())
+        regret_baseline = true_total[str(baseline.chosen_plan)] - best_total
+        regret_mixed = true_total[str(mixed.chosen_plan)] - best_total
+        assert regret_mixed < regret_baseline
+        assert regret_mixed == pytest.approx(0.0)
+
+
+class TestServiceIntegration:
+    def test_learned_digest_joins_the_cache_stamp(self, spec, dataset,
+                                                  training):
+        from repro.service import OptimizerService
+
+        model = ResidualModel()
+        service = OptimizerService(
+            spec=spec, seed=5, learned=model,
+            speculation=SpeculationSettings(
+                sample_size=400, time_budget_s=0.5,
+                max_speculation_iters=800,
+            ),
+        )
+        first = service.optimize(dataset, training, fixed_iterations=25)
+        assert not first.cache_hit
+        hit = service.optimize(dataset, training, fixed_iterations=25)
+        assert hit.cache_hit
+        # Any learned-state change (here: a curve vote) must invalidate
+        # the stamp and trigger a recost, not a blind reuse.
+        service.learned.vote_curve_family("bgd", "exponential")
+        recost = service.optimize(dataset, training, fixed_iterations=25)
+        assert recost.recalibrated and not recost.cache_hit
+
+    def test_plain_service_stamps_stay_plain(self, spec, dataset, training):
+        """No learned model -> the stamp is the bare calibration digest
+        (persisted entries stay interchangeable with older builds)."""
+        from repro.service import OptimizerService
+
+        service = OptimizerService(spec=spec, seed=5)
+        assert service._pricing_digest() == \
+            service.calibration.state_digest()
+        learned_service = OptimizerService(spec=spec, seed=5,
+                                           learned=ResidualModel())
+        assert "+" in learned_service._pricing_digest()
+
+
+class TestCurveFamilyFeedback:
+    def test_estimator_honors_model_overrides(self, dataset, training):
+        settings = SpeculationSettings(
+            sample_size=200, time_budget_s=0.5, max_speculation_iters=300,
+            min_points_for_fit=3,
+        )
+        default = SpeculativeEstimator(settings, seed=0).estimate(
+            dataset.X, dataset.y, training.gradient(), "bgd",
+            target_tolerance=1e-4,
+        )
+        overridden = SpeculativeEstimator(
+            settings, seed=0, model_overrides={"bgd": "exponential"}
+        ).estimate(
+            dataset.X, dataset.y, training.gradient(), "bgd",
+            target_tolerance=1e-4,
+        )
+        assert default.curve.model != "exponential"
+        assert overridden.curve.model == "exponential"
+
+    def test_adaptive_refits_vote_into_the_learned_model(
+            self, spec, dataset, training):
+        engine = SimulatedCluster(spec, seed=0)
+        model = ResidualModel()
+        trainer = AdaptiveTrainer(
+            GDOptimizer(engine, calibration=CalibrationStore()),
+            calibration=CalibrationStore(),
+            learned=MixedCostModel(model),
+        )
+        outcome = trainer.train(dataset, training, fixed_iterations=40)
+        assert outcome.trace.segments
+        # Every executed segment became an online training example.
+        counts = model.dataset.counts()
+        assert sum(counts.values()) >= 1
